@@ -1,0 +1,113 @@
+#ifndef BLAS_BENCH_BENCH_UTIL_H_
+#define BLAS_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include <benchmark/benchmark.h>
+
+#include "blas/blas.h"
+#include "gen/generator.h"
+#include "gen/queries.h"
+
+namespace blas {
+namespace bench {
+
+/// Builds one of the paper's corpora ('S' / 'P' / 'A') at the given
+/// replication factor. Caches the most recent system so consecutive
+/// benchmarks on the same corpus reuse it (benchmarks run in registration
+/// order; only one corpus is resident at a time).
+inline std::shared_ptr<BlasSystem> GetSystem(char dataset, int replicate) {
+  static char cached_dataset = 0;
+  static int cached_replicate = 0;
+  static std::shared_ptr<BlasSystem> cached;
+  if (cached && cached_dataset == dataset &&
+      cached_replicate == replicate) {
+    return cached;
+  }
+  cached.reset();
+  GenOptions options;
+  options.replicate = replicate;
+  auto gen = dataset == 'S'   ? GenerateShakespeare
+             : dataset == 'P' ? GenerateProtein
+                              : GenerateAuction;
+  Result<BlasSystem> sys = BlasSystem::FromEvents(
+      [&](SaxHandler* h) { gen(options, h); });
+  if (!sys.ok()) {
+    std::fprintf(stderr, "corpus build failed: %s\n",
+                 sys.status().ToString().c_str());
+    std::abort();
+  }
+  cached = std::make_shared<BlasSystem>(std::move(sys).value());
+  cached_dataset = dataset;
+  cached_replicate = replicate;
+  return cached;
+}
+
+/// Runs one query repeatedly under google-benchmark, reporting the paper's
+/// metrics as counters: visited elements, page fetches/misses (disk
+/// accesses), executed D-joins and result cardinality. Every iteration
+/// runs cold-cache, as in the paper's setup (section 5.1).
+inline void RunQueryBenchmark(benchmark::State& state,
+                              std::shared_ptr<BlasSystem> sys,
+                              const std::string& xpath,
+                              Translator translator, Engine engine) {
+  Result<ExecPlan> plan = sys->Plan(xpath, translator);
+  if (!plan.ok()) {
+    state.SkipWithError(plan.status().ToString().c_str());
+    return;
+  }
+  QueryResult last;
+  for (auto _ : state) {
+    state.PauseTiming();
+    sys->ResetCounters();
+    state.ResumeTiming();
+    Result<QueryResult> result = sys->Execute(xpath, translator, engine);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    last = std::move(result).value();
+    benchmark::DoNotOptimize(last.starts.data());
+  }
+  state.counters["elements"] = static_cast<double>(last.stats.elements);
+  state.counters["pages"] = static_cast<double>(last.stats.page_fetches);
+  state.counters["disk"] = static_cast<double>(last.stats.page_misses);
+  state.counters["djoins"] = static_cast<double>(last.stats.d_joins);
+  state.counters["results"] = static_cast<double>(last.stats.output_rows);
+}
+
+/// Registers one (query, translator, engine) benchmark.
+inline void RegisterQuery(const std::string& label, char dataset,
+                          int replicate, const std::string& xpath,
+                          Translator translator, Engine engine) {
+  benchmark::RegisterBenchmark(
+      label.c_str(),
+      [=](benchmark::State& state) {
+        std::shared_ptr<BlasSystem> sys = GetSystem(dataset, replicate);
+        RunQueryBenchmark(state, sys, xpath, translator, engine);
+      })
+      ->Unit(benchmark::kMillisecond);
+}
+
+/// Reads an integer knob from the environment (benchmark scaling).
+inline int EnvInt(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::atoi(v);
+}
+
+inline const Translator kAllTranslators[] = {
+    Translator::kDLabel, Translator::kSplit, Translator::kPushUp,
+    Translator::kUnfold};
+/// Section 5.3 compares D-labeling, Split and Push-up only (Unfold's
+/// unions are outside the twig-join prototype's scope).
+inline const Translator kTwigTranslators[] = {
+    Translator::kDLabel, Translator::kSplit, Translator::kPushUp};
+
+}  // namespace bench
+}  // namespace blas
+
+#endif  // BLAS_BENCH_BENCH_UTIL_H_

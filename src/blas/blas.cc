@@ -1,0 +1,232 @@
+#include "blas/blas.h"
+
+#include <utility>
+
+#include <algorithm>
+#include <map>
+
+#include "common/stopwatch.h"
+#include "exec/optimizer.h"
+#include "labeling/labeler.h"
+#include "storage/persist.h"
+#include "translate/sql_render.h"
+#include "xml/sax_parser.h"
+#include "xpath/parser.h"
+
+namespace blas {
+
+const char* EngineName(Engine e) {
+  switch (e) {
+    case Engine::kRelational:
+      return "RDBMS";
+    case Engine::kTwig:
+      return "TwigJoin";
+  }
+  return "?";
+}
+
+Result<BlasSystem> BlasSystem::FromXml(std::string_view xml,
+                                       const BlasOptions& options) {
+  return FromEvents(
+      [xml](SaxHandler* handler) {
+        SaxParser parser;
+        // Parse errors surface through the labeling pass; the first pass
+        // validates the document fully.
+        (void)parser.Parse(xml, handler);
+      },
+      options);
+}
+
+Result<BlasSystem> BlasSystem::FromEvents(
+    const std::function<void(SaxHandler*)>& emit, const BlasOptions& options) {
+  BlasSystem sys;
+
+  // Pass 1: alphabet, depth, node count (sizes the P-label codec).
+  sys.tags_ = std::make_unique<TagRegistry>();
+  TagCollector collector(sys.tags_.get());
+  emit(&collector);
+  if (collector.node_count() == 0) {
+    return Status::InvalidArgument("document has no elements");
+  }
+  sys.node_count_ = collector.node_count();
+  sys.max_depth_ = collector.max_depth();
+  sys.tags_->Freeze();
+
+  BLAS_ASSIGN_OR_RETURN(
+      PLabelCodec codec,
+      PLabelCodec::Create(sys.tags_->size(), collector.max_depth()));
+  sys.codec_ = std::make_unique<PLabelCodec>(std::move(codec));
+
+  // Pass 2: labeling (index generation).
+  Labeler labeler(*sys.tags_, *sys.codec_);
+  emit(&labeler);
+  BLAS_RETURN_NOT_OK(labeler.status());
+  if (labeler.records().size() != sys.node_count_) {
+    return Status::Internal(
+        "event source replayed a different document between passes");
+  }
+
+  sys.summary_ = std::make_unique<PathSummary>(labeler.TakeSummary());
+  sys.dict_ = std::make_unique<StringDict>(std::move(labeler.dict()));
+  sys.store_ = std::make_unique<NodeStore>(labeler.records(),
+                                           options.cache_pages);
+
+  if (options.keep_dom) {
+    DomBuilder dom_builder;
+    emit(&dom_builder);
+    BLAS_ASSIGN_OR_RETURN(DomTree tree, dom_builder.Take());
+    sys.dom_ = std::make_unique<DomTree>(std::move(tree));
+  }
+  return sys;
+}
+
+Status BlasSystem::SaveIndex(const std::string& path) const {
+  IndexSnapshot snapshot;
+  snapshot.tags.reserve(tags_->size());
+  for (TagId id = 1; id <= tags_->size(); ++id) {
+    snapshot.tags.push_back(tags_->Name(id));
+  }
+  snapshot.max_depth = max_depth_;
+  snapshot.records = store_->ExportRecords();
+  snapshot.values.reserve(dict_->size());
+  for (uint32_t id = 0; id < dict_->size(); ++id) {
+    snapshot.values.push_back(dict_->Get(id));
+  }
+  return SaveSnapshot(snapshot, path);
+}
+
+Result<BlasSystem> BlasSystem::FromIndexFile(const std::string& path,
+                                             const BlasOptions& options) {
+  BLAS_ASSIGN_OR_RETURN(IndexSnapshot snapshot, LoadSnapshot(path));
+  if (snapshot.records.empty()) {
+    return Status::Corruption("index file has no records: " + path);
+  }
+
+  BlasSystem sys;
+  sys.tags_ = std::make_unique<TagRegistry>();
+  for (const std::string& tag : snapshot.tags) sys.tags_->Intern(tag);
+  sys.tags_->Freeze();
+  sys.max_depth_ = snapshot.max_depth;
+  sys.node_count_ = snapshot.records.size();
+
+  BLAS_ASSIGN_OR_RETURN(
+      PLabelCodec codec,
+      PLabelCodec::Create(sys.tags_->size(), snapshot.max_depth));
+  sys.codec_ = std::make_unique<PLabelCodec>(std::move(codec));
+
+  sys.dict_ = std::make_unique<StringDict>();
+  for (const std::string& value : snapshot.values) {
+    sys.dict_->Intern(value);
+  }
+
+  // Rebuild the path summary from the persisted labels: each distinct
+  // P-label decodes to exactly one simple path (definition 3.3).
+  sys.summary_ = std::make_unique<PathSummary>();
+  std::map<PLabel, uint64_t> path_counts;
+  for (const NodeRecord& rec : snapshot.records) {
+    if (rec.level > snapshot.max_depth || rec.level < 1 ||
+        rec.tag > sys.tags_->size()) {
+      return Status::Corruption("record out of range in " + path);
+    }
+    path_counts[rec.plabel]++;
+  }
+  for (const auto& [plabel, count] : path_counts) {
+    std::vector<TagId> tags = sys.codec_->DecodePath(plabel);
+    if (tags.empty()) return Status::Corruption("undecodable label");
+    SummaryNode* node = sys.summary_->mutable_root();
+    PLabel running = 0;
+    for (size_t i = 0; i < tags.size(); ++i) {
+      running = i == 0 ? sys.codec_->RootLabel(tags[i])
+                       : sys.codec_->ChildLabel(running, tags[i]);
+      node = sys.summary_->Extend(node, tags[i], running);
+    }
+    node->count += count;
+  }
+
+  sys.store_ = std::make_unique<NodeStore>(snapshot.records,
+                                           options.cache_pages);
+  return sys;
+}
+
+TranslateContext BlasSystem::translate_context() const {
+  TranslateContext ctx;
+  ctx.tags = tags_.get();
+  ctx.codec = codec_.get();
+  ctx.summary = summary_.get();
+  return ctx;
+}
+
+Result<ExecPlan> BlasSystem::Plan(std::string_view xpath,
+                                  Translator translator) const {
+  BLAS_ASSIGN_OR_RETURN(Query query, ParseXPath(xpath));
+  return Plan(query, translator);
+}
+
+Result<ExecPlan> BlasSystem::Plan(const Query& query,
+                                  Translator translator) const {
+  return Translate(query, translator, translate_context());
+}
+
+Result<QueryResult> BlasSystem::Execute(std::string_view xpath,
+                                        Translator translator, Engine engine,
+                                        const ExecOptions& options) const {
+  BLAS_ASSIGN_OR_RETURN(Query query, ParseXPath(xpath));
+  return Execute(query, translator, engine, options);
+}
+
+Result<QueryResult> BlasSystem::Execute(const Query& query,
+                                        Translator translator, Engine engine,
+                                        const ExecOptions& options) const {
+  BLAS_ASSIGN_OR_RETURN(ExecPlan plan, Plan(query, translator));
+  if (options.optimize_join_order) {
+    CostModel model(summary_.get(), dict_.get());
+    plan = OptimizeJoinOrder(plan, model);
+  }
+  QueryResult result;
+  result.shape = plan.AnalyzeShape();
+  Stopwatch watch;
+  switch (engine) {
+    case Engine::kRelational: {
+      RelationalExecutor exec(store_.get(), dict_.get());
+      BLAS_ASSIGN_OR_RETURN(result.starts, exec.Execute(plan, &result.stats));
+      break;
+    }
+    case Engine::kTwig: {
+      TwigEngine exec(store_.get(), dict_.get());
+      BLAS_ASSIGN_OR_RETURN(result.starts, exec.Execute(plan, &result.stats));
+      break;
+    }
+  }
+  result.millis = watch.ElapsedMillis();
+  return result;
+}
+
+Result<std::string> BlasSystem::ExplainSql(std::string_view xpath,
+                                           Translator translator) const {
+  BLAS_ASSIGN_OR_RETURN(ExecPlan plan, Plan(xpath, translator));
+  return RenderSql(plan, *tags_);
+}
+
+Result<std::string> BlasSystem::ExplainAlgebra(std::string_view xpath,
+                                               Translator translator) const {
+  BLAS_ASSIGN_OR_RETURN(ExecPlan plan, Plan(xpath, translator));
+  return RenderAlgebra(plan, *tags_);
+}
+
+BlasSystem::DocStats BlasSystem::doc_stats() const {
+  DocStats stats;
+  stats.nodes = node_count_;
+  stats.tags = tags_->size();
+  stats.depth = max_depth_;
+  stats.distinct_paths = summary_->path_count();
+  stats.pages = store_->page_count();
+  stats.distinct_values = dict_->size();
+  return stats;
+}
+
+void BlasSystem::ResetCounters() {
+  store_->ResetStats();
+  store_->DropCache();
+}
+
+}  // namespace blas

@@ -1,0 +1,155 @@
+#ifndef BLAS_BLAS_BLAS_H_
+#define BLAS_BLAS_BLAS_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "exec/executor.h"
+#include "exec/plan.h"
+#include "labeling/plabel.h"
+#include "labeling/tag_registry.h"
+#include "schema/path_summary.h"
+#include "storage/node_store.h"
+#include "storage/string_dict.h"
+#include "translate/decomposition.h"
+#include "twig/twig.h"
+#include "xml/dom.h"
+#include "xml/sax.h"
+#include "xpath/ast.h"
+
+namespace blas {
+
+/// Query engine selector (the paper evaluates both, sections 5.2/5.3).
+enum class Engine {
+  kRelational,  // RDBMS-style executor with materialized D-joins
+  kTwig,        // holistic twig join over element streams
+};
+
+const char* EngineName(Engine e);
+
+/// Construction options for BlasSystem.
+struct BlasOptions {
+  /// LRU frames of the shared buffer pool.
+  size_t cache_pages = 4096;
+  /// Retain the DOM (needed for NaiveEval ground truth and for examples
+  /// that print matched content). Costs memory proportional to the input.
+  bool keep_dom = false;
+};
+
+/// Per-query execution options.
+struct ExecOptions {
+  /// Reorder D-joins by estimated input cardinality (statistics from the
+  /// path summary) before execution. Off by default: the paper executes
+  /// plans in decomposition order, and the ablation benchmark measures
+  /// the difference.
+  bool optimize_join_order = false;
+};
+
+/// One answered query: result node start positions plus all measurements.
+struct QueryResult {
+  std::vector<uint32_t> starts;
+  ExecStats stats;
+  ExecPlan::Shape shape;
+  double millis = 0.0;
+};
+
+/// \brief The BLAS system facade (figure 6): index generator + query
+/// translator + query engines over one XML document.
+///
+/// Typical use:
+/// \code
+///   auto sys = BlasSystem::FromXml(xml);
+///   auto res = sys->Execute("/site/regions//item/description",
+///                           Translator::kPushUp, Engine::kRelational);
+///   for (uint32_t start : res->starts) { ... }
+/// \endcode
+class BlasSystem {
+ public:
+  /// Indexes an XML document from text (two SAX passes: tag/depth
+  /// collection, then labeling).
+  static Result<BlasSystem> FromXml(std::string_view xml,
+                                    const BlasOptions& options = {});
+
+  /// Indexes a document produced by an event source. `emit` is invoked
+  /// twice with different handlers and must replay identical events (the
+  /// synthetic generators are deterministic).
+  static Result<BlasSystem> FromEvents(
+      const std::function<void(SaxHandler*)>& emit,
+      const BlasOptions& options = {});
+
+  /// Reopens a system from an index file written by SaveIndex. No XML
+  /// re-parse happens: the store, codec, dictionary and path summary are
+  /// rebuilt from the persisted records. The DOM is not available.
+  static Result<BlasSystem> FromIndexFile(const std::string& path,
+                                          const BlasOptions& options = {});
+
+  /// Persists the index (records, tags, dictionary) to `path`.
+  Status SaveIndex(const std::string& path) const;
+
+  BlasSystem(BlasSystem&&) = default;
+  BlasSystem& operator=(BlasSystem&&) = default;
+
+  /// Parses, translates and runs an XPath query.
+  Result<QueryResult> Execute(std::string_view xpath, Translator translator,
+                              Engine engine,
+                              const ExecOptions& options = {}) const;
+  Result<QueryResult> Execute(const Query& query, Translator translator,
+                              Engine engine,
+                              const ExecOptions& options = {}) const;
+
+  /// Translation only (no execution).
+  Result<ExecPlan> Plan(std::string_view xpath, Translator translator) const;
+  Result<ExecPlan> Plan(const Query& query, Translator translator) const;
+
+  /// SQL / relational algebra text of the translated plan (figure 11).
+  Result<std::string> ExplainSql(std::string_view xpath,
+                                 Translator translator) const;
+  Result<std::string> ExplainAlgebra(std::string_view xpath,
+                                     Translator translator) const;
+
+  /// Document characteristics (figure 12).
+  struct DocStats {
+    size_t nodes = 0;        // element + attribute nodes
+    size_t tags = 0;         // distinct tags
+    int depth = 0;           // longest simple path
+    size_t distinct_paths = 0;
+    size_t pages = 0;        // storage pages across all trees
+    size_t distinct_values = 0;
+  };
+  DocStats doc_stats() const;
+
+  const TagRegistry& tags() const { return *tags_; }
+  const PLabelCodec& codec() const { return *codec_; }
+  const PathSummary& summary() const { return *summary_; }
+  const NodeStore& store() const { return *store_; }
+  const StringDict& dict() const { return *dict_; }
+  /// Non-null only with BlasOptions::keep_dom.
+  const DomTree* dom() const { return dom_.get(); }
+
+  /// Resets storage counters and drops the page cache (cold-cache runs).
+  void ResetCounters();
+
+ private:
+  BlasSystem() = default;
+
+  TranslateContext translate_context() const;
+
+  std::unique_ptr<TagRegistry> tags_;
+  std::unique_ptr<PLabelCodec> codec_;
+  std::unique_ptr<PathSummary> summary_;
+  std::unique_ptr<StringDict> dict_;
+  std::unique_ptr<NodeStore> store_;
+  std::unique_ptr<DomTree> dom_;
+  size_t node_count_ = 0;
+  int max_depth_ = 0;
+};
+
+}  // namespace blas
+
+#endif  // BLAS_BLAS_BLAS_H_

@@ -1,0 +1,81 @@
+#include "blas/collection.h"
+
+#include <utility>
+
+#include "xpath/parser.h"
+
+namespace blas {
+
+namespace {
+
+Status DuplicateName(const std::string& name) {
+  return Status::InvalidArgument("document already in collection: " + name);
+}
+
+}  // namespace
+
+Status BlasCollection::AddXml(const std::string& name, std::string_view xml,
+                              const BlasOptions& options) {
+  if (docs_.count(name) != 0) return DuplicateName(name);
+  BLAS_ASSIGN_OR_RETURN(BlasSystem sys, BlasSystem::FromXml(xml, options));
+  docs_.emplace(name, std::make_unique<BlasSystem>(std::move(sys)));
+  return Status::OK();
+}
+
+Status BlasCollection::AddEvents(
+    const std::string& name, const std::function<void(SaxHandler*)>& emit,
+    const BlasOptions& options) {
+  if (docs_.count(name) != 0) return DuplicateName(name);
+  BLAS_ASSIGN_OR_RETURN(BlasSystem sys,
+                        BlasSystem::FromEvents(emit, options));
+  docs_.emplace(name, std::make_unique<BlasSystem>(std::move(sys)));
+  return Status::OK();
+}
+
+Status BlasCollection::AddIndexFile(const std::string& name,
+                                    const std::string& path,
+                                    const BlasOptions& options) {
+  if (docs_.count(name) != 0) return DuplicateName(name);
+  BLAS_ASSIGN_OR_RETURN(BlasSystem sys,
+                        BlasSystem::FromIndexFile(path, options));
+  docs_.emplace(name, std::make_unique<BlasSystem>(std::move(sys)));
+  return Status::OK();
+}
+
+Status BlasCollection::Remove(const std::string& name) {
+  if (docs_.erase(name) == 0) {
+    return Status::NotFound("no such document: " + name);
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> BlasCollection::names() const {
+  std::vector<std::string> out;
+  out.reserve(docs_.size());
+  for (const auto& [name, _] : docs_) out.push_back(name);
+  return out;
+}
+
+const BlasSystem* BlasCollection::Find(const std::string& name) const {
+  auto it = docs_.find(name);
+  return it == docs_.end() ? nullptr : it->second.get();
+}
+
+Result<BlasCollection::CollectionResult> BlasCollection::Execute(
+    std::string_view xpath, Translator translator, Engine engine) const {
+  // Parse once; translation is per document (codecs differ).
+  BLAS_ASSIGN_OR_RETURN(Query query, ParseXPath(xpath));
+  CollectionResult result;
+  for (const auto& [name, sys] : docs_) {
+    BLAS_ASSIGN_OR_RETURN(QueryResult r,
+                          sys->Execute(query, translator, engine));
+    result.stats += r.stats;
+    result.total_matches += r.starts.size();
+    if (!r.starts.empty()) {
+      result.docs.push_back(DocMatches{name, std::move(r.starts)});
+    }
+  }
+  return result;
+}
+
+}  // namespace blas

@@ -1,0 +1,72 @@
+#ifndef BLAS_BLAS_COLLECTION_H_
+#define BLAS_BLAS_COLLECTION_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "blas/blas.h"
+
+namespace blas {
+
+/// \brief A queryable set of independently indexed XML documents.
+///
+/// Section 3 of the paper notes that the labeling scheme "can be easily
+/// extended to multiple documents by introducing document id information".
+/// This collection realizes that extension at the system level: each
+/// document keeps its own index (tag alphabets and therefore P-label
+/// codecs legitimately differ between documents) and queries fan out
+/// across all of them, returning per-document match lists.
+class BlasCollection {
+ public:
+  BlasCollection() = default;
+  BlasCollection(BlasCollection&&) = default;
+  BlasCollection& operator=(BlasCollection&&) = default;
+
+  /// Indexes and adds a document. Fails on duplicate names or index
+  /// errors; the collection is unchanged on failure.
+  Status AddXml(const std::string& name, std::string_view xml,
+                const BlasOptions& options = {});
+  Status AddEvents(const std::string& name,
+                   const std::function<void(SaxHandler*)>& emit,
+                   const BlasOptions& options = {});
+  /// Adds a document from a persisted index file.
+  Status AddIndexFile(const std::string& name, const std::string& path,
+                      const BlasOptions& options = {});
+
+  /// Removes a document. Returns NotFound if absent.
+  Status Remove(const std::string& name);
+
+  size_t size() const { return docs_.size(); }
+  std::vector<std::string> names() const;
+  /// Returns nullptr when absent.
+  const BlasSystem* Find(const std::string& name) const;
+
+  /// One document's answer within a collection-wide result.
+  struct DocMatches {
+    std::string name;
+    std::vector<uint32_t> starts;
+  };
+  struct CollectionResult {
+    std::vector<DocMatches> docs;  // only documents with >= 1 match
+    ExecStats stats;               // summed across documents
+    size_t total_matches = 0;
+  };
+
+  /// Runs `xpath` over every document. A per-document translation failure
+  /// other than Unsupported aborts the query; Unsupported (e.g. wildcards
+  /// under Split) aborts too — pick Unfold or DLabel for wildcard queries.
+  Result<CollectionResult> Execute(std::string_view xpath,
+                                   Translator translator,
+                                   Engine engine) const;
+
+ private:
+  std::map<std::string, std::unique_ptr<BlasSystem>> docs_;
+};
+
+}  // namespace blas
+
+#endif  // BLAS_BLAS_COLLECTION_H_

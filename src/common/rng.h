@@ -1,0 +1,56 @@
+#ifndef BLAS_COMMON_RNG_H_
+#define BLAS_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace blas {
+
+/// \brief Deterministic xorshift128+ random generator.
+///
+/// Used by the data generators and property tests so that every run of the
+/// test suite and benchmarks sees identical documents.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    // SplitMix64 seeding to avoid all-zero and low-entropy states.
+    s0_ = SplitMix(&seed);
+    s1_ = SplitMix(&seed);
+    if (s0_ == 0 && s1_ == 0) s1_ = 0x9e3779b97f4a7c15ULL;
+  }
+
+  /// Returns a uniformly distributed 64-bit value.
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Returns a value in [0, bound) (bound > 0).
+  uint64_t Below(uint64_t bound) { return Next() % bound; }
+
+  /// Returns a value in [lo, hi] inclusive.
+  uint64_t Between(uint64_t lo, uint64_t hi) {
+    return lo + Below(hi - lo + 1);
+  }
+
+  /// Returns true with probability `percent`/100.
+  bool Percent(unsigned percent) { return Below(100) < percent; }
+
+ private:
+  static uint64_t SplitMix(uint64_t* state) {
+    uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+}  // namespace blas
+
+#endif  // BLAS_COMMON_RNG_H_

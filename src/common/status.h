@@ -1,0 +1,102 @@
+#ifndef BLAS_COMMON_STATUS_H_
+#define BLAS_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace blas {
+
+/// Error categories used across the library (RocksDB/Arrow-style).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kParseError,
+  kNotFound,
+  kOutOfRange,
+  kCapacityExceeded,
+  kCorruption,
+  kUnsupported,
+  kInternal,
+};
+
+/// \brief Lightweight success/error result used instead of exceptions.
+///
+/// Library functions that can fail return `Status` (or `Result<T>`, see
+/// result.h). An OK status carries no allocation; error statuses carry a
+/// code and a human-readable message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status CapacityExceeded(std::string msg) {
+    return Status(StatusCode::kCapacityExceeded, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Returns "OK" or "<code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+/// Returns the canonical name of a status code, e.g. "InvalidArgument".
+const char* StatusCodeName(StatusCode code);
+
+/// Propagates a non-OK status to the caller.
+#define BLAS_RETURN_NOT_OK(expr)                \
+  do {                                          \
+    ::blas::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                  \
+  } while (0)
+
+/// Assigns the value of a Result<T> expression or propagates its error.
+#define BLAS_ASSIGN_OR_RETURN(lhs, expr)        \
+  auto BLAS_CONCAT_(res_, __LINE__) = (expr);   \
+  if (!BLAS_CONCAT_(res_, __LINE__).ok())       \
+    return BLAS_CONCAT_(res_, __LINE__).status(); \
+  lhs = std::move(BLAS_CONCAT_(res_, __LINE__)).value();
+
+#define BLAS_CONCAT_IMPL_(a, b) a##b
+#define BLAS_CONCAT_(a, b) BLAS_CONCAT_IMPL_(a, b)
+
+}  // namespace blas
+
+#endif  // BLAS_COMMON_STATUS_H_

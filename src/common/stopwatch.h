@@ -1,0 +1,29 @@
+#ifndef BLAS_COMMON_STOPWATCH_H_
+#define BLAS_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace blas {
+
+/// Monotonic wall-clock stopwatch used by the benchmark harnesses.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or the last Reset(), in seconds.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace blas
+
+#endif  // BLAS_COMMON_STOPWATCH_H_

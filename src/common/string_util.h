@@ -1,0 +1,26 @@
+#ifndef BLAS_COMMON_STRING_UTIL_H_
+#define BLAS_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace blas {
+
+/// Splits `text` on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view text);
+
+/// True if `text` starts with / ends with the given affix.
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+}  // namespace blas
+
+#endif  // BLAS_COMMON_STRING_UTIL_H_

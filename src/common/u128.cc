@@ -1,0 +1,52 @@
+#include "common/u128.h"
+
+#include <algorithm>
+
+namespace blas {
+
+std::string U128ToString(u128 v) {
+  if (v == 0) return "0";
+  std::string out;
+  while (v > 0) {
+    out.push_back(static_cast<char>('0' + static_cast<int>(v % 10)));
+    v /= 10;
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+bool ParseU128(const std::string& text, u128* out) {
+  if (text.empty()) return false;
+  constexpr u128 kMax = ~static_cast<u128>(0);
+  u128 acc = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    unsigned digit = static_cast<unsigned>(c - '0');
+    if (acc > (kMax - digit) / 10) return false;
+    acc = acc * 10 + digit;
+  }
+  *out = acc;
+  return true;
+}
+
+int U128BitWidth(u128 v) {
+  int bits = 0;
+  while (v > 0) {
+    ++bits;
+    v >>= 1;
+  }
+  return bits;
+}
+
+bool U128Pow(u128 base, unsigned exp, u128* out) {
+  u128 acc = 1;
+  constexpr u128 kMax = ~static_cast<u128>(0);
+  for (unsigned i = 0; i < exp; ++i) {
+    if (base != 0 && acc > kMax / base) return false;
+    acc *= base;
+  }
+  *out = acc;
+  return true;
+}
+
+}  // namespace blas

@@ -1,0 +1,30 @@
+#ifndef BLAS_COMMON_U128_H_
+#define BLAS_COMMON_U128_H_
+
+#include <cstdint>
+#include <string>
+
+namespace blas {
+
+/// 128-bit unsigned integer used for P-labels. The paper requires the label
+/// domain m >= (n+1)^h (n = #tags, h = max depth); 64 bits overflow already
+/// for XMark-sized alphabets, so the whole P-label pipeline is 128-bit.
+using u128 = unsigned __int128;
+
+/// Renders a u128 in decimal (no locale, no allocation surprises).
+std::string U128ToString(u128 v);
+
+/// Parses a decimal string into a u128. Returns false on empty input,
+/// non-digit characters, or overflow.
+bool ParseU128(const std::string& text, u128* out);
+
+/// Returns floor(log2(v)) + 1, i.e. the number of significant bits
+/// (0 for v == 0).
+int U128BitWidth(u128 v);
+
+/// Computes base^exp, saturating detection: returns false on overflow.
+bool U128Pow(u128 base, unsigned exp, u128* out);
+
+}  // namespace blas
+
+#endif  // BLAS_COMMON_U128_H_

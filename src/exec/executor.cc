@@ -1,0 +1,175 @@
+#include "exec/executor.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "exec/operators.h"
+
+namespace blas {
+
+namespace {
+
+/// Restores document order (start ascending) on a tuple list that is a
+/// concatenation of start-sorted runs (one per distinct plabel, as
+/// produced by SP range scans). A k-way merge is O(n log k) versus the
+/// O(n log n) full sort, and k is the number of distinct source paths in
+/// the range -- usually small.
+void SortByStartRunAware(std::vector<NodeRecord>* tuples) {
+  std::vector<std::pair<size_t, size_t>> runs;  // [begin, end)
+  size_t begin = 0;
+  for (size_t i = 1; i <= tuples->size(); ++i) {
+    if (i == tuples->size() || (*tuples)[i].start < (*tuples)[i - 1].start) {
+      runs.emplace_back(begin, i);
+      begin = i;
+    }
+  }
+  if (runs.size() <= 1) return;
+
+  struct Head {
+    uint32_t start;
+    size_t run;
+  };
+  auto cmp = [](const Head& a, const Head& b) { return a.start > b.start; };
+  std::priority_queue<Head, std::vector<Head>, decltype(cmp)> heap(cmp);
+  std::vector<size_t> cursor(runs.size());
+  for (size_t r = 0; r < runs.size(); ++r) {
+    cursor[r] = runs[r].first;
+    heap.push(Head{(*tuples)[runs[r].first].start, r});
+  }
+  std::vector<NodeRecord> merged;
+  merged.reserve(tuples->size());
+  while (!heap.empty()) {
+    Head head = heap.top();
+    heap.pop();
+    merged.push_back((*tuples)[cursor[head.run]]);
+    if (++cursor[head.run] < runs[head.run].second) {
+      heap.push(Head{(*tuples)[cursor[head.run]].start, head.run});
+    }
+  }
+  *tuples = std::move(merged);
+}
+
+}  // namespace
+
+std::vector<NodeRecord> FetchPartTuples(const PlanPart& part,
+                                        const NodeStore& store,
+                                        const StringDict& dict) {
+  std::optional<uint32_t> data;
+  bool residual_filter = false;
+  if (part.value.has_value()) {
+    if (part.value->op == ValueOp::kEq && !part.value->literal.empty()) {
+      // Equality fast path: one dictionary lookup turns the predicate
+      // into an integer comparison inside the scan.
+      auto id = dict.Find(part.value->literal);
+      if (!id.has_value()) return {};  // value never occurs: empty scan
+      data = *id;
+    } else {
+      residual_filter = true;
+    }
+  }
+
+  std::vector<NodeRecord> tuples;
+  switch (part.scan) {
+    case PlanPart::Scan::kPlabelAlts:
+      for (const PlanAlt& alt : part.alts) {
+        std::vector<NodeRecord> chunk =
+            store.ScanPlabelRange(alt.range, data, part.level_eq);
+        tuples.insert(tuples.end(), chunk.begin(), chunk.end());
+      }
+      break;
+    case PlanPart::Scan::kTag: {
+      tuples = store.ScanTag(part.tag, data);
+      if (part.level_eq.has_value()) {
+        std::erase_if(tuples, [&](const NodeRecord& r) {
+          return r.level != *part.level_eq;
+        });
+      }
+      break;
+    }
+    case PlanPart::Scan::kAllTags: {
+      tuples = store.ScanAll(data);
+      if (part.level_eq.has_value()) {
+        std::erase_if(tuples, [&](const NodeRecord& r) {
+          return r.level != *part.level_eq;
+        });
+      }
+      break;
+    }
+  }
+  if (residual_filter) {
+    // Comparison operators decode the data column (a node without
+    // character data compares as the empty string).
+    std::erase_if(tuples, [&](const NodeRecord& rec) {
+      std::string_view text =
+          rec.data == kNullData ? std::string_view() : dict.Get(rec.data);
+      return !part.value->Matches(text);
+    });
+  }
+  SortByStartRunAware(&tuples);
+  return tuples;
+}
+
+Result<std::vector<uint32_t>> RelationalExecutor::Execute(
+    const ExecPlan& plan, ExecStats* stats) const {
+  if (plan.parts.empty()) {
+    return Status::InvalidArgument("empty plan");
+  }
+  StorageStats before = store_->stats();
+  ExecStats local;
+
+  // Materialize part 0, then fold in every other part with one D-join.
+  std::vector<Row> rows;
+  {
+    std::vector<NodeRecord> tuples =
+        FetchPartTuples(plan.parts[0], *store_, *dict_);
+    rows.reserve(tuples.size());
+    for (const NodeRecord& rec : tuples) rows.push_back(Row{rec.dlabel()});
+  }
+
+  std::vector<PerAltDeltas> alt_tables(plan.parts.size());
+  for (size_t i = 1; i < plan.parts.size(); ++i) {
+    const PlanPart& part = plan.parts[i];
+    // The scan happens regardless of the intermediate result (a relational
+    // engine materializes each base input of the join).
+    std::vector<NodeRecord> tuples = FetchPartTuples(part, *store_, *dict_);
+    JoinPred pred;
+    pred.kind = part.join;
+    pred.delta = part.delta;
+    if (part.join == PlanPart::Join::kContainPerAlt) {
+      alt_tables[i] = BuildPerAltDeltas(part);
+      pred.per_alt = &alt_tables[i];
+    }
+    rows = StructuralJoinRows(rows, part.anchor, tuples, pred);
+    ++local.d_joins;
+    local.intermediate_rows += rows.size();
+    if (rows.empty() && i + 1 < plan.parts.size()) {
+      // Keep fetching remaining inputs (they are part of the plan's cost)
+      // but no further join work is needed.
+      for (size_t j = i + 1; j < plan.parts.size(); ++j) {
+        (void)FetchPartTuples(plan.parts[j], *store_, *dict_);
+        ++local.d_joins;
+      }
+      break;
+    }
+  }
+
+  std::vector<uint32_t> result;
+  result.reserve(rows.size());
+  for (const Row& row : rows) {
+    result.push_back(row[plan.return_part].start);
+  }
+  std::sort(result.begin(), result.end());
+  result.erase(std::unique(result.begin(), result.end()), result.end());
+
+  if (stats != nullptr) {
+    StorageStats after = store_->stats();
+    local.elements = after.elements - before.elements;
+    local.page_fetches = after.page_fetches - before.page_fetches;
+    local.page_misses = after.page_misses - before.page_misses;
+    local.output_rows = result.size();
+    *stats += local;
+  }
+  return result;
+}
+
+}  // namespace blas

@@ -1,0 +1,177 @@
+#include "exec/operators.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace blas {
+
+PerAltDeltas BuildPerAltDeltas(const PlanPart& part) {
+  PerAltDeltas table;
+  table.reserve(part.alts.size());
+  for (const PlanAlt& alt : part.alts) {
+    // Unfold alternatives are equality selections (lo == hi).
+    table.emplace_back(alt.range.lo, alt.anchor_deltas);
+  }
+  std::sort(table.begin(), table.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return table;
+}
+
+bool JoinPred::LevelOk(const DLabel& anc, const NodeRecord& desc) const {
+  switch (kind) {
+    case PlanPart::Join::kNone:
+    case PlanPart::Join::kContain:
+      return true;
+    case PlanPart::Join::kContainMin:
+      return desc.level >= anc.level + delta;
+    case PlanPart::Join::kContainExact:
+      return desc.level == anc.level + delta;
+    case PlanPart::Join::kContainPerAlt: {
+      assert(per_alt != nullptr);
+      auto it = std::lower_bound(
+          per_alt->begin(), per_alt->end(), desc.plabel,
+          [](const auto& entry, const PLabel& p) { return entry.first < p; });
+      if (it == per_alt->end() || it->first != desc.plabel) return false;
+      int32_t d = desc.level - anc.level;
+      return std::binary_search(it->second.begin(), it->second.end(), d);
+    }
+  }
+  return false;
+}
+
+namespace {
+
+/// A run of rows sharing one anchor binding.
+struct AnchorGroup {
+  DLabel label;
+  size_t begin = 0;  // [begin, end) into the sorted row-index array
+  size_t end = 0;
+};
+
+/// Groups row indices by their anchor column binding, sorted by start.
+std::vector<AnchorGroup> GroupRowsByAnchor(const std::vector<Row>& rows,
+                                           int anchor_col,
+                                           std::vector<size_t>* order) {
+  order->resize(rows.size());
+  std::iota(order->begin(), order->end(), 0);
+  std::sort(order->begin(), order->end(), [&](size_t a, size_t b) {
+    return rows[a][anchor_col].start < rows[b][anchor_col].start;
+  });
+  std::vector<AnchorGroup> groups;
+  size_t i = 0;
+  while (i < order->size()) {
+    const DLabel& label = rows[(*order)[i]][anchor_col];
+    size_t j = i;
+    while (j < order->size() &&
+           rows[(*order)[j]][anchor_col].start == label.start) {
+      ++j;
+    }
+    groups.push_back(AnchorGroup{label, i, j});
+    i = j;
+  }
+  return groups;
+}
+
+}  // namespace
+
+std::vector<Row> StructuralJoinRows(const std::vector<Row>& rows,
+                                    int anchor_col,
+                                    const std::vector<NodeRecord>& descs,
+                                    const JoinPred& pred) {
+  std::vector<Row> out;
+  if (rows.empty() || descs.empty()) return out;
+
+  std::vector<size_t> order;
+  std::vector<AnchorGroup> groups = GroupRowsByAnchor(rows, anchor_col,
+                                                      &order);
+  std::vector<size_t> stack;  // indices into groups; nested chain
+  size_t g = 0;
+  for (const NodeRecord& desc : descs) {
+    // Bring in anchors that start before this desc; drop finished ones.
+    while (g < groups.size() && groups[g].label.start < desc.start) {
+      while (!stack.empty() &&
+             groups[stack.back()].label.end < groups[g].label.start) {
+        stack.pop_back();
+      }
+      stack.push_back(g);
+      ++g;
+    }
+    while (!stack.empty() && groups[stack.back()].label.end < desc.start) {
+      stack.pop_back();
+    }
+    // Every remaining stack entry strictly contains `desc` (intervals of a
+    // well-formed document either nest or are disjoint).
+    for (size_t idx : stack) {
+      const AnchorGroup& grp = groups[idx];
+      if (!pred.LevelOk(grp.label, desc)) continue;
+      for (size_t r = grp.begin; r < grp.end; ++r) {
+        Row row = rows[order[r]];
+        row.push_back(desc.dlabel());
+        out.push_back(std::move(row));
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<char> SemiMarkAnchors(const std::vector<NodeRecord>& anchors,
+                                  const std::vector<NodeRecord>& descs,
+                                  const std::vector<char>& desc_alive,
+                                  const JoinPred& pred) {
+  std::vector<char> marked(anchors.size(), 0);
+  std::vector<size_t> stack;
+  size_t a = 0;
+  for (size_t j = 0; j < descs.size(); ++j) {
+    if (!desc_alive.empty() && !desc_alive[j]) continue;
+    const NodeRecord& desc = descs[j];
+    while (a < anchors.size() && anchors[a].start < desc.start) {
+      while (!stack.empty() && anchors[stack.back()].end < anchors[a].start) {
+        stack.pop_back();
+      }
+      stack.push_back(a);
+      ++a;
+    }
+    while (!stack.empty() && anchors[stack.back()].end < desc.start) {
+      stack.pop_back();
+    }
+    for (size_t idx : stack) {
+      if (!marked[idx] || pred.kind != PlanPart::Join::kContain) {
+        if (pred.LevelOk(anchors[idx].dlabel(), desc)) marked[idx] = 1;
+      }
+    }
+  }
+  return marked;
+}
+
+std::vector<char> SemiMarkDescs(const std::vector<NodeRecord>& anchors,
+                                const std::vector<char>& anchor_alive,
+                                const std::vector<NodeRecord>& descs,
+                                const JoinPred& pred) {
+  std::vector<char> marked(descs.size(), 0);
+  std::vector<size_t> stack;
+  size_t a = 0;
+  for (size_t j = 0; j < descs.size(); ++j) {
+    const NodeRecord& desc = descs[j];
+    while (a < anchors.size() && anchors[a].start < desc.start) {
+      while (!stack.empty() && anchors[stack.back()].end < anchors[a].start) {
+        stack.pop_back();
+      }
+      stack.push_back(a);
+      ++a;
+    }
+    while (!stack.empty() && anchors[stack.back()].end < desc.start) {
+      stack.pop_back();
+    }
+    for (size_t idx : stack) {
+      if (!anchor_alive.empty() && !anchor_alive[idx]) continue;
+      if (pred.LevelOk(anchors[idx].dlabel(), desc)) {
+        marked[j] = 1;
+        break;
+      }
+    }
+  }
+  return marked;
+}
+
+}  // namespace blas

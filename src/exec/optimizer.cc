@@ -1,0 +1,100 @@
+#include "exec/optimizer.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace blas {
+
+namespace {
+
+void SumCounts(const SummaryNode* node, const PlanPart& part,
+               uint64_t* plabel_hits, uint64_t* tag_hits, uint64_t* total) {
+  for (const auto& child : node->children) {
+    *total += child->count;
+    if (child->tag == part.tag) *tag_hits += child->count;
+    for (const PlanAlt& alt : part.alts) {
+      if (alt.range.Contains(child->plabel)) {
+        *plabel_hits += child->count;
+        break;
+      }
+    }
+    SumCounts(child.get(), part, plabel_hits, tag_hits, total);
+  }
+}
+
+}  // namespace
+
+uint64_t CostModel::EstimateCardinality(const PlanPart& part) const {
+  uint64_t plabel_hits = 0;
+  uint64_t tag_hits = 0;
+  uint64_t total = 0;
+  SumCounts(summary_->root(), part, &plabel_hits, &tag_hits, &total);
+
+  uint64_t base = 0;
+  switch (part.scan) {
+    case PlanPart::Scan::kPlabelAlts:
+      base = plabel_hits;
+      break;
+    case PlanPart::Scan::kTag:
+      base = tag_hits;
+      break;
+    case PlanPart::Scan::kAllTags:
+      base = total;
+      break;
+  }
+  if (part.value.has_value()) {
+    if (part.value->op == ValueOp::kEq &&
+        !dict_->Find(part.value->literal).has_value()) {
+      return 0;  // equality against a literal that never occurs
+    }
+    base = static_cast<uint64_t>(static_cast<double>(base) *
+                                 kValueSelectivity) +
+           1;
+  }
+  return base;
+}
+
+ExecPlan OptimizeJoinOrder(const ExecPlan& plan, const CostModel& model) {
+  const size_t n = plan.parts.size();
+  if (n <= 2) return plan;
+
+  std::vector<uint64_t> cost(n);
+  for (size_t i = 0; i < n; ++i) {
+    cost[i] = model.EstimateCardinality(plan.parts[i]);
+  }
+
+  // Greedy topological order: next = cheapest part whose anchor is placed.
+  std::vector<int> order;
+  std::vector<char> placed(n, 0);
+  order.reserve(n);
+  order.push_back(0);
+  placed[0] = 1;
+  while (order.size() < n) {
+    int best = -1;
+    for (size_t i = 1; i < n; ++i) {
+      if (placed[i]) continue;
+      int anchor = plan.parts[i].anchor;
+      if (anchor >= 0 && !placed[anchor]) continue;
+      if (best < 0 || cost[i] < cost[best]) best = static_cast<int>(i);
+    }
+    order.push_back(best);
+    placed[best] = 1;
+  }
+
+  std::vector<int> new_index(n);
+  for (size_t pos = 0; pos < n; ++pos) {
+    new_index[order[pos]] = static_cast<int>(pos);
+  }
+
+  ExecPlan out;
+  out.parts.reserve(n);
+  for (size_t pos = 0; pos < n; ++pos) {
+    PlanPart part = plan.parts[order[pos]];
+    if (part.anchor >= 0) part.anchor = new_index[part.anchor];
+    out.parts.push_back(std::move(part));
+  }
+  out.return_part = new_index[plan.return_part];
+  return out;
+}
+
+}  // namespace blas

@@ -1,0 +1,32 @@
+#include "exec/plan.h"
+
+namespace blas {
+
+ExecPlan::Shape ExecPlan::AnalyzeShape() const {
+  Shape shape;
+  for (const PlanPart& part : parts) {
+    if (part.join != PlanPart::Join::kNone) ++shape.d_joins;
+    switch (part.scan) {
+      case PlanPart::Scan::kPlabelAlts: {
+        for (const PlanAlt& alt : part.alts) {
+          if (alt.range.lo == alt.range.hi) {
+            ++shape.equality_selections;
+          } else {
+            ++shape.range_selections;
+          }
+        }
+        if (part.alts.size() > 1) {
+          shape.union_arms += static_cast<int>(part.alts.size()) - 1;
+        }
+        break;
+      }
+      case PlanPart::Scan::kTag:
+      case PlanPart::Scan::kAllTags:
+        ++shape.tag_scans;
+        break;
+    }
+  }
+  return shape;
+}
+
+}  // namespace blas

@@ -1,0 +1,264 @@
+#include "gen/generator.h"
+
+#include "gen/gen_util.h"
+
+namespace blas {
+
+namespace {
+
+constexpr const char* kRegions[] = {"africa",   "asia",    "australia",
+                                    "europe",   "namerica", "samerica"};
+
+/// Recursive description content: plain text or parlist/listitem nesting
+/// (XMark's recursive DTD; drives the depth-12 characteristic).
+void EmitDescription(Emitter* em, Rng* rng, int depth_budget) {
+  em->Open("description");
+  if (depth_budget <= 0 || rng->Percent(55)) {
+    em->Leaf("text", FillerWords(rng, 8));
+  } else {
+    // parlist -> listitem -> (text | parlist ...)
+    int levels = static_cast<int>(rng->Between(1, depth_budget));
+    int opened = 0;
+    for (int l = 0; l < levels; ++l) {
+      em->Open("parlist");
+      em->Open("listitem");
+      ++opened;
+      if (l + 1 < levels) continue;
+      em->Leaf("text", FillerWords(rng, 5));
+    }
+    for (int l = 0; l < opened; ++l) {
+      em->Close("listitem");
+      em->Close("parlist");
+    }
+  }
+  em->Close("description");
+}
+
+void EmitItem(Emitter* em, Rng* rng, int id) {
+  std::vector<XmlAttribute> attrs = {
+      {"id", "item" + std::to_string(id)}};
+  if (rng->Percent(10)) attrs.push_back({"featured", "yes"});
+  em->Open("item", attrs);
+  em->Leaf("location", "United States");
+  em->Leaf("quantity", std::to_string(rng->Between(1, 9)));
+  em->Leaf("name", FillerWords(rng, 2));
+  em->Leaf("payment", "Creditcard");
+  EmitDescription(em, rng, /*depth_budget=*/3);
+  if (rng->Percent(70)) em->Leaf("shipping", "Will ship internationally");
+  int cats = static_cast<int>(rng->Between(1, 3));
+  for (int c = 0; c < cats; ++c) {
+    em->Open("incategory",
+             {{"category", "category" + std::to_string(rng->Below(40))}});
+    em->Close("incategory");
+  }
+  em->Open("mailbox");
+  int mails = static_cast<int>(rng->Between(0, 2));
+  for (int m = 0; m < mails; ++m) {
+    em->Open("mail");
+    em->Leaf("from", PersonName(rng->Next()));
+    em->Leaf("to", PersonName(rng->Next()));
+    em->Leaf("date", "0" + std::to_string(rng->Between(1, 9)) + "/" +
+                         std::to_string(rng->Between(1998, 2001)));
+    em->Leaf("text", FillerWords(rng, 6));
+    em->Close("mail");
+  }
+  em->Close("mailbox");
+  em->Close("item");
+}
+
+void EmitPerson(Emitter* em, Rng* rng, int id) {
+  em->Open("person", {{"id", "person" + std::to_string(id)}});
+  em->Leaf("name", PersonName(rng->Next()));
+  em->Leaf("emailaddress", "mailto:user" + std::to_string(id) + "@acm.org");
+  if (rng->Percent(40)) em->Leaf("phone", "+1 (" + std::to_string(rng->Between(200, 999)) + ") 5550199");
+  if (rng->Percent(50)) {
+    em->Open("address");
+    em->Leaf("street", std::to_string(rng->Between(1, 99)) + " Walnut St");
+    em->Leaf("city", "Philadelphia");
+    em->Leaf("country", "United States");
+    em->Leaf("zipcode", std::to_string(rng->Between(10000, 99999)));
+    em->Close("address");
+  }
+  if (rng->Percent(30)) em->Leaf("homepage", "http://example.org/~u" + std::to_string(id));
+  if (rng->Percent(25)) em->Leaf("creditcard", "1234 5678 9012 3456");
+  if (rng->Percent(60)) {
+    em->Open("profile", {{"income", std::to_string(rng->Between(20000, 90000))}});
+    int interests = static_cast<int>(rng->Between(0, 3));
+    for (int i = 0; i < interests; ++i) {
+      em->Open("interest",
+               {{"category", "category" + std::to_string(rng->Below(40))}});
+      em->Close("interest");
+    }
+    if (rng->Percent(50)) em->Leaf("education", "Graduate School");
+    if (rng->Percent(50)) em->Leaf("gender", rng->Percent(50) ? "male" : "female");
+    em->Leaf("business", rng->Percent(50) ? "Yes" : "No");
+    if (rng->Percent(50)) em->Leaf("age", std::to_string(rng->Between(18, 80)));
+    em->Close("profile");
+  }
+  if (rng->Percent(30)) {
+    em->Open("watches");
+    int watches = static_cast<int>(rng->Between(1, 3));
+    for (int w = 0; w < watches; ++w) {
+      em->Open("watch",
+               {{"open_auction", "open_auction" + std::to_string(rng->Below(200))}});
+      em->Close("watch");
+    }
+    em->Close("watches");
+  }
+  em->Close("person");
+}
+
+void EmitOpenAuction(Emitter* em, Rng* rng, int id) {
+  em->Open("open_auction", {{"id", "open_auction" + std::to_string(id)}});
+  em->Leaf("initial", std::to_string(rng->Between(1, 300)) + ".00");
+  if (rng->Percent(40)) em->Leaf("reserve", std::to_string(rng->Between(300, 600)) + ".00");
+  int bidders = static_cast<int>(rng->Between(0, 4));
+  for (int b = 0; b < bidders; ++b) {
+    em->Open("bidder");
+    em->Leaf("date", "0" + std::to_string(rng->Between(1, 9)) + "/2001");
+    em->Leaf("time", std::to_string(rng->Between(10, 23)) + ":30:00");
+    em->Open("personref",
+             {{"person", "person" + std::to_string(rng->Below(300))}});
+    em->Close("personref");
+    em->Leaf("increase", std::to_string(rng->Between(1, 50)) + ".00");
+    em->Close("bidder");
+  }
+  em->Leaf("current", std::to_string(rng->Between(10, 900)) + ".00");
+  if (rng->Percent(30)) em->Leaf("privacy", "Yes");
+  em->Open("itemref", {{"item", "item" + std::to_string(rng->Below(600))}});
+  em->Close("itemref");
+  em->Open("seller", {{"person", "person" + std::to_string(rng->Below(300))}});
+  em->Close("seller");
+  em->Open("annotation");
+  em->Open("author", {{"person", "person" + std::to_string(rng->Below(300))}});
+  em->Close("author");
+  EmitDescription(em, rng, /*depth_budget=*/2);
+  em->Leaf("happiness", std::to_string(rng->Between(1, 10)));
+  em->Close("annotation");
+  em->Leaf("quantity", std::to_string(rng->Between(1, 5)));
+  em->Leaf("type", rng->Percent(50) ? "Regular" : "Featured");
+  em->Open("interval");
+  em->Leaf("start", "01/01/2001");
+  em->Leaf("end", "12/31/2001");
+  em->Close("interval");
+  em->Close("open_auction");
+}
+
+void EmitClosedAuction(Emitter* em, Rng* rng) {
+  em->Open("closed_auction");
+  em->Open("seller", {{"person", "person" + std::to_string(rng->Below(300))}});
+  em->Close("seller");
+  em->Open("buyer", {{"person", "person" + std::to_string(rng->Below(300))}});
+  em->Close("buyer");
+  em->Open("itemref", {{"item", "item" + std::to_string(rng->Below(600))}});
+  em->Close("itemref");
+  em->Leaf("price", std::to_string(rng->Between(10, 900)) + ".00");
+  em->Leaf("date", "0" + std::to_string(rng->Between(1, 9)) + "/2001");
+  em->Leaf("quantity", std::to_string(rng->Between(1, 5)));
+  em->Leaf("type", rng->Percent(50) ? "Regular" : "Featured");
+  if (rng->Percent(80)) {
+    em->Open("annotation");
+    em->Open("author", {{"person", "person" + std::to_string(rng->Below(300))}});
+    em->Close("author");
+    EmitDescription(em, rng, /*depth_budget=*/2);
+    em->Leaf("happiness", std::to_string(rng->Between(1, 10)));
+    em->Close("annotation");
+  }
+  em->Close("closed_auction");
+}
+
+void EmitBody(Emitter* em, Rng* rng, int scale) {
+  em->Open("regions");
+  for (const char* region : kRegions) {
+    em->Open(region);
+    // ~300 items per region at scale 1 lands near figure 12's 62k nodes.
+    int items = 300 * scale;
+    for (int i = 0; i < items; ++i) EmitItem(em, rng, i);
+    em->Close(region);
+  }
+  em->Close("regions");
+
+  em->Open("categories");
+  for (int c = 0; c < 30 * scale; ++c) {
+    em->Open("category", {{"id", "category" + std::to_string(c)}});
+    em->Leaf("name", FillerWords(rng, 1));
+    EmitDescription(em, rng, /*depth_budget=*/2);
+    em->Close("category");
+  }
+  em->Close("categories");
+
+  em->Open("catgraph");
+  for (int e = 0; e < 30 * scale; ++e) {
+    em->Open("edge", {{"from", "category" + std::to_string(rng->Below(40))},
+                      {"to", "category" + std::to_string(rng->Below(40))}});
+    em->Close("edge");
+  }
+  em->Close("catgraph");
+
+  em->Open("people");
+  for (int p = 0; p < 700 * scale; ++p) EmitPerson(em, rng, p);
+  em->Close("people");
+
+  em->Open("open_auctions");
+  for (int a = 0; a < 300 * scale; ++a) EmitOpenAuction(em, rng, a);
+  em->Close("open_auctions");
+
+  em->Open("closed_auctions");
+  for (int a = 0; a < 250 * scale; ++a) EmitClosedAuction(em, rng);
+  em->Close("closed_auctions");
+}
+
+}  // namespace
+
+void GenerateAuction(const GenOptions& options, SaxHandler* handler) {
+  Emitter em(handler);
+  handler->OnStartDocument();
+  em.Open("site");
+  for (int copy = 0; copy < options.replicate; ++copy) {
+    Rng rng(options.seed);
+    EmitBody(&em, &rng, options.scale);
+  }
+  em.Close("site");
+  handler->OnEndDocument();
+}
+
+void GenerateRandomDoc(uint64_t seed, int approx_nodes, int num_tags,
+                       int max_depth, int num_values, SaxHandler* handler) {
+  Rng rng(seed);
+  Emitter em(handler);
+  int budget = approx_nodes;
+
+  auto tag_name = [&](int t) { return "t" + std::to_string(t); };
+  auto value = [&](uint64_t v) {
+    return "v" + std::to_string(v % static_cast<uint64_t>(num_values));
+  };
+
+  // Recursive random subtree emission.
+  auto emit = [&](auto&& self, int depth) -> void {
+    std::string tag = tag_name(static_cast<int>(rng.Below(num_tags)));
+    --budget;
+    std::vector<XmlAttribute> attrs;
+    if (depth < max_depth && rng.Percent(15)) {
+      attrs.push_back({"a" + std::to_string(rng.Below(3)),
+                       value(rng.Next())});
+      --budget;
+    }
+    em.Open(tag, attrs);
+    if (rng.Percent(45)) em.Text(value(rng.Next()));
+    while (depth < max_depth && budget > 0 && rng.Percent(60)) {
+      self(self, depth + 1);
+    }
+    if (rng.Percent(10)) em.Text(value(rng.Next()));  // mixed content
+    em.Close(tag);
+  };
+
+  handler->OnStartDocument();
+  // Fixed root so replays and multi-branch structure are stable.
+  em.Open("root");
+  --budget;
+  while (budget > 0) emit(emit, 2);
+  em.Close("root");
+  handler->OnEndDocument();
+}
+
+}  // namespace blas

@@ -1,0 +1,36 @@
+#include "gen/gen_util.h"
+
+namespace blas {
+
+namespace {
+
+constexpr const char* kWords[] = {
+    "quae",   "ipsa",    "dolor",  "magna",  "tempus", "regna",
+    "ferrum", "gloria",  "umbra",  "fortis", "caelum", "mare",
+    "ventus", "silva",   "flumen", "ignis",  "aurum",  "vox",
+    "lumen",  "nox",     "ordo",   "fatum",  "virtus", "arx",
+};
+
+constexpr const char* kNames[] = {
+    "Evans, M.J.",  "Daniel, M.",   "Chen, Y.",     "Davidson, S.",
+    "Zheng, Y.",    "Bruno, N.",    "Koudas, N.",   "Srivastava, D.",
+    "Tannen, V.",   "Tan, W.C.",    "Milo, T.",     "Suciu, D.",
+    "Abiteboul, S.", "Widom, J.",   "Naughton, J.", "DeWitt, D.",
+};
+
+}  // namespace
+
+std::string FillerWords(Rng* rng, int words) {
+  std::string out;
+  for (int i = 0; i < words; ++i) {
+    if (i > 0) out.push_back(' ');
+    out.append(kWords[rng->Below(sizeof(kWords) / sizeof(kWords[0]))]);
+  }
+  return out;
+}
+
+std::string PersonName(uint64_t index) {
+  return kNames[index % (sizeof(kNames) / sizeof(kNames[0]))];
+}
+
+}  // namespace blas

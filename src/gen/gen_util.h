@@ -1,0 +1,56 @@
+#ifndef BLAS_GEN_GEN_UTIL_H_
+#define BLAS_GEN_GEN_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.h"
+#include "xml/sax.h"
+
+namespace blas {
+
+/// \brief Small helper wrapping a SaxHandler with convenience emitters
+/// used by the dataset generators.
+class Emitter {
+ public:
+  explicit Emitter(SaxHandler* handler) : handler_(handler) {}
+
+  void Open(std::string_view tag) {
+    handler_->OnStartElement(tag, kNoAttrs);
+  }
+  void Open(std::string_view tag, const std::vector<XmlAttribute>& attrs) {
+    handler_->OnStartElement(tag, attrs);
+  }
+  void Close(std::string_view tag) { handler_->OnEndElement(tag); }
+  void Text(std::string_view text) { handler_->OnText(text); }
+
+  /// <tag>text</tag>
+  void Leaf(std::string_view tag, std::string_view text) {
+    Open(tag);
+    Text(text);
+    Close(tag);
+  }
+  /// <tag/>
+  void Empty(std::string_view tag) {
+    Open(tag);
+    Close(tag);
+  }
+
+ private:
+  static const std::vector<XmlAttribute> kNoAttrs;
+  SaxHandler* handler_;
+};
+
+inline const std::vector<XmlAttribute> Emitter::kNoAttrs = {};
+
+/// Deterministic pseudo-words for filler text.
+std::string FillerWords(Rng* rng, int words);
+
+/// A person-style name like "Evans, M.J." from a fixed pool (index mod
+/// pool size).
+std::string PersonName(uint64_t index);
+
+}  // namespace blas
+
+#endif  // BLAS_GEN_GEN_UTIL_H_

@@ -1,0 +1,51 @@
+#ifndef BLAS_GEN_GENERATOR_H_
+#define BLAS_GEN_GENERATOR_H_
+
+#include <cstdint>
+
+#include "xml/sax.h"
+
+namespace blas {
+
+/// \brief Parameters of the synthetic dataset generators.
+///
+/// The paper's corpora (Shakespeare [5], Protein [18], XMark Auction [30])
+/// are reproduced by deterministic generators that match the structural
+/// characteristics reported in figure 12: tag alphabet, depth, DTD shape
+/// (graph / tree / recursive) and, at scale = 1, roughly the node counts.
+/// `replicate` repeats the document body under the root, mirroring how the
+/// paper scales data for sections 5.3.2-5.3.4 ("repeat the original data
+/// set 20 times", 10x-60x).
+struct GenOptions {
+  uint64_t seed = 42;
+  /// Multiplies entity counts within one body (plays / protein entries /
+  /// auction items).
+  int scale = 1;
+  /// Number of identical body copies under the root.
+  int replicate = 1;
+};
+
+/// Shakespeare-like corpus: 19 tags, depth 7, graph-shaped DTD (TITLE and
+/// LINE occur under many parents; LINE may nest STAGEDIR).
+void GenerateShakespeare(const GenOptions& options, SaxHandler* handler);
+
+/// Protein-like corpus (Georgetown PIR): ~60 tags, depth 7, tree DTD.
+/// Contains the paper's running example values ("cytochrome c",
+/// "Evans, M.J.", year 2001) and the QP2 value "Daniel, M.".
+void GenerateProtein(const GenOptions& options, SaxHandler* handler);
+
+/// XMark-auction-like corpus: ~77 tags (attributes included), recursive
+/// DTD (description/parlist/listitem), depth 12.
+void GenerateAuction(const GenOptions& options, SaxHandler* handler);
+
+/// \brief Purely random document for property-based differential tests.
+///
+/// Emits a deterministic random tree with `approx_nodes` element nodes over
+/// the tag alphabet t0..t{num_tags-1}, text values drawn from v0..v{num_values-1},
+/// occasional attributes (@a0..@a2) and maximum depth `max_depth`.
+void GenerateRandomDoc(uint64_t seed, int approx_nodes, int num_tags,
+                       int max_depth, int num_values, SaxHandler* handler);
+
+}  // namespace blas
+
+#endif  // BLAS_GEN_GENERATOR_H_

@@ -1,0 +1,173 @@
+#include "gen/generator.h"
+
+#include "gen/gen_util.h"
+
+namespace blas {
+
+namespace {
+
+constexpr const char* kSuperfamilies[] = {
+    "cytochrome c",  // the paper's running-example value
+    "globin", "kinase", "protease inhibitor", "immunoglobulin",
+};
+
+constexpr const char* kOrganisms[] = {
+    "Homo sapiens", "Mus musculus", "Rattus norvegicus",
+    "Saccharomyces cerevisiae", "Drosophila melanogaster",
+};
+
+void EmitReference(Emitter* em, Rng* rng) {
+  em->Open("reference");
+  em->Open("refinfo");
+  em->Open("authors");
+  int authors = static_cast<int>(rng->Between(2, 5));
+  for (int a = 0; a < authors; ++a) {
+    em->Leaf("author", PersonName(rng->Next()));
+  }
+  if (rng->Percent(10)) {
+    em->Open("editors");
+    em->Leaf("editor", PersonName(rng->Next()));
+    em->Close("editors");
+  }
+  em->Close("authors");
+  if (rng->Percent(80)) {
+    em->Leaf("citation", "J. Biol. Chem. " + FillerWords(rng, 1));
+  }
+  if (rng->Percent(25)) em->Leaf("month", std::to_string(rng->Between(1, 12)));
+  if (rng->Percent(20)) em->Leaf("publisher", FillerWords(rng, 2));
+  em->Leaf("volume", std::to_string(rng->Between(100, 300)));
+  em->Leaf("year", std::to_string(rng->Between(1995, 2003)));
+  em->Leaf("pages", std::to_string(rng->Between(1, 999)) + "-" +
+                        std::to_string(rng->Between(1000, 1999)));
+  em->Leaf("title", "The human somatic " + FillerWords(rng, 3) + " gene");
+  if (rng->Percent(60)) {
+    em->Open("xrefs");
+    for (int x = 0; x < 2; ++x) {
+      em->Open("xref");
+      em->Leaf("db", rng->Percent(50) ? "MEDLINE" : "PIR");
+      em->Leaf("uid", std::to_string(rng->Next() % 10000000));
+      em->Close("xref");
+    }
+    em->Close("xrefs");
+  }
+  em->Close("refinfo");
+  if (rng->Percent(50)) {
+    em->Open("accinfo");
+    em->Leaf("accession", "A" + std::to_string(rng->Next() % 100000));
+    em->Leaf("mol-type", "complete");
+    em->Leaf("seq-spec", std::to_string(rng->Between(1, 104)));
+    em->Close("accinfo");
+  }
+  em->Close("reference");
+}
+
+void EmitProteinEntry(Emitter* em, Rng* rng) {
+  em->Open("ProteinEntry");
+  em->Open("header");
+  em->Leaf("uid", "PIR" + std::to_string(rng->Next() % 1000000));
+  em->Leaf("accession", "B" + std::to_string(rng->Next() % 100000));
+  em->Leaf("created_date", std::to_string(rng->Between(1985, 2000)));
+  em->Leaf("seq-rev_date", std::to_string(rng->Between(1995, 2001)));
+  em->Leaf("txt-rev_date", std::to_string(rng->Between(1999, 2001)));
+  em->Close("header");
+
+  em->Open("protein");
+  em->Leaf("name", "cytochrome c [validated] " + FillerWords(rng, 1));
+  em->Open("source");
+  em->Open("organism");
+  em->Leaf("formal", kOrganisms[rng->Below(5)]);
+  em->Leaf("common", FillerWords(rng, 1));
+  em->Close("organism");
+  em->Close("source");
+  em->Open("classification");
+  em->Leaf("superfamily", kSuperfamilies[rng->Below(5)]);
+  if (rng->Percent(40)) em->Leaf("family", FillerWords(rng, 2));
+  if (rng->Percent(25)) em->Leaf("subfamily", FillerWords(rng, 1));
+  if (rng->Percent(20)) em->Leaf("domain", FillerWords(rng, 2));
+  em->Close("classification");
+  if (rng->Percent(60)) {
+    em->Open("keywords");
+    for (int k = 0; k < 3; ++k) em->Leaf("keyword", FillerWords(rng, 1));
+    em->Close("keywords");
+  }
+  em->Close("protein");
+
+  em->Open("organism");
+  em->Leaf("source", kOrganisms[rng->Below(5)]);
+  em->Leaf("common", FillerWords(rng, 1));
+  if (rng->Percent(15)) em->Leaf("variety", FillerWords(rng, 1));
+  if (rng->Percent(10)) em->Leaf("strain", FillerWords(rng, 1));
+  em->Close("organism");
+
+  int refs = static_cast<int>(rng->Between(2, 4));
+  for (int r = 0; r < refs; ++r) EmitReference(em, rng);
+
+  if (rng->Percent(70)) {
+    em->Open("genetics");
+    em->Leaf("gene", "CYC" + std::to_string(rng->Below(30)));
+    if (rng->Percent(40)) em->Leaf("gene-map", FillerWords(rng, 1));
+    if (rng->Percent(30)) em->Leaf("genetic-code", "standard");
+    if (rng->Percent(25)) em->Leaf("introns", std::to_string(rng->Below(9)));
+    if (rng->Percent(15)) em->Leaf("codon-start", "1");
+    if (rng->Percent(20)) em->Leaf("map-position", FillerWords(rng, 1));
+    em->Close("genetics");
+  }
+  if (rng->Percent(40)) {
+    em->Open("function");
+    em->Leaf("description", FillerWords(rng, 6));
+    if (rng->Percent(30)) em->Leaf("note", FillerWords(rng, 4));
+    em->Close("function");
+  }
+  if (rng->Percent(15)) em->Leaf("complex", FillerWords(rng, 2));
+  if (rng->Percent(20)) em->Leaf("comment", FillerWords(rng, 5));
+  em->Open("summary");
+  em->Leaf("length", std::to_string(rng->Between(80, 900)));
+  em->Leaf("type", "protein");
+  if (rng->Percent(25)) {
+    em->Leaf("molecular-weight", std::to_string(rng->Between(9000, 90000)));
+  }
+  em->Close("summary");
+  em->Leaf("sequence", FillerWords(rng, 10));
+  if (rng->Percent(50)) {
+    em->Open("annotation");
+    for (int f = 0; f < 3; ++f) {
+      em->Open("feature");
+      em->Leaf("feature-type", rng->Percent(50) ? "binding site" : "domain");
+      em->Leaf("description", FillerWords(rng, 3));
+      em->Leaf("seq-spec", std::to_string(rng->Between(1, 100)));
+      if (rng->Percent(30)) em->Leaf("status", "experimental");
+      if (rng->Percent(20)) em->Leaf("label", FillerWords(rng, 1));
+      if (rng->Percent(15)) {
+        em->Open("region");
+        em->Leaf("site", std::to_string(rng->Between(1, 80)));
+        em->Leaf("modification", FillerWords(rng, 1));
+        em->Close("region");
+      }
+      em->Close("feature");
+    }
+    if (rng->Percent(20)) em->Leaf("product", FillerWords(rng, 2));
+    if (rng->Percent(15)) em->Leaf("standard-name", FillerWords(rng, 2));
+    em->Close("annotation");
+  }
+  em->Close("ProteinEntry");
+}
+
+}  // namespace
+
+void GenerateProtein(const GenOptions& options, SaxHandler* handler) {
+  Emitter em(handler);
+  handler->OnStartDocument();
+  em.Open("ProteinDatabase");
+  for (int copy = 0; copy < options.replicate; ++copy) {
+    Rng rng(options.seed);
+    // ~1300 entries at scale 1 give ~113k nodes, matching figure 12.
+    int entries = 1300 * options.scale;
+    for (int e = 0; e < entries; ++e) {
+      EmitProteinEntry(&em, &rng);
+    }
+  }
+  em.Close("ProteinDatabase");
+  handler->OnEndDocument();
+}
+
+}  // namespace blas

@@ -1,0 +1,76 @@
+#include "gen/queries.h"
+
+#include "common/result.h"
+#include "xpath/ast.h"
+#include "xpath/parser.h"
+
+namespace blas {
+
+std::vector<BenchQuery> Figure10Queries(char dataset) {
+  switch (dataset) {
+    case 'S':
+      return {
+          {"QS1", "/PLAYS/PLAY/ACT/SCENE/SPEECH/LINE", false},
+          {"QS2", "/PLAYS/PLAY/EPILOGUE//LINE/STAGEDIR", false},
+          {"QS3",
+           "/PLAYS/PLAY/ACT/SCENE[TITLE ='SCENE III. A public place.']"
+           "//LINE",
+           true},
+      };
+    case 'P':
+      return {
+          {"QP1", "/ProteinDatabase/ProteinEntry/protein/name", false},
+          {"QP2", "/ProteinDatabase/ProteinEntry//authors/author='Daniel, M.'",
+           true},
+          {"QP3",
+           "/ProteinDatabase/ProteinEntry[reference/refinfo[citation and "
+           "year]]/protein/name",
+           false},
+      };
+    case 'A':
+      return {
+          {"QA1", "//category/description/parlist/listitem", false},
+          {"QA2", "/site/regions//item/description", false},
+          {"QA3", "/site/regions/asia/item[shipping]/description", false},
+      };
+    default:
+      return {};
+  }
+}
+
+std::vector<BenchQuery> XMarkBenchmarkQueries() {
+  // Twig-pattern analogues of XMark Q1,Q2,Q4,Q5,Q6 (the paper removes
+  // value predicates and skips Q3's positional predicate; section 5.3.1).
+  return {
+      {"Q1", "/site/people/person/name", false},
+      {"Q2", "/site/open_auctions/open_auction/bidder/increase", false},
+      {"Q4", "/site/closed_auctions/closed_auction[annotation/description]"
+             "/date",
+       false},
+      {"Q5", "/site/closed_auctions/closed_auction/price", false},
+      {"Q6", "/site/regions//item", false},
+  };
+}
+
+std::string StripValuePredicates(const std::string& xpath) {
+  Result<Query> parsed = ParseXPath(xpath);
+  if (!parsed.ok()) return xpath;
+
+  // Drop every value predicate in the tree, then re-render.
+  struct Walker {
+    static void Strip(QueryNode* node) {
+      node->value.reset();
+      for (auto& child : node->children) Strip(child.get());
+    }
+  };
+  Walker::Strip(parsed->root.get());
+  return parsed->ToString();
+}
+
+std::string PaperExampleQuery() {
+  return "/ProteinDatabase/ProteinEntry[protein//superfamily"
+         "=\"cytochrome c\"]/reference/refinfo[//author =\"Evans, M.J.\" "
+         "and year = \"2001\"]/title";
+}
+
+}  // namespace blas

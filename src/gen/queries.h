@@ -1,0 +1,36 @@
+#ifndef BLAS_GEN_QUERIES_H_
+#define BLAS_GEN_QUERIES_H_
+
+#include <string>
+#include <vector>
+
+namespace blas {
+
+/// One benchmark query: paper name + XPath text.
+struct BenchQuery {
+  std::string name;
+  std::string xpath;
+  /// True when the query carries value predicates (removed for the twig
+  /// engine experiments, section 5.3.1).
+  bool has_value_predicate = false;
+};
+
+/// The nine non-benchmark queries of figure 10 (QS1-3, QP1-3, QA1-3).
+/// 'S' = Shakespeare, 'P' = Protein, 'A' = Auction; type 1 = suffix path,
+/// 2 = path with internal descendant axis, 3 = tree query.
+std::vector<BenchQuery> Figure10Queries(char dataset);
+
+/// XMark benchmark-query analogues used for figure 15 (Q1, Q2, Q4, Q5, Q6;
+/// twig-pattern versions without value predicates, section 5.3.1).
+std::vector<BenchQuery> XMarkBenchmarkQueries();
+
+/// Strips value predicates from an XPath text (section 5.3.1 modification
+/// for the holistic twig join experiments).
+std::string StripValuePredicates(const std::string& xpath);
+
+/// The paper's running-example query Q (figure 2).
+std::string PaperExampleQuery();
+
+}  // namespace blas
+
+#endif  // BLAS_GEN_QUERIES_H_

@@ -1,0 +1,124 @@
+#include "gen/generator.h"
+
+#include "gen/gen_util.h"
+
+namespace blas {
+
+namespace {
+
+constexpr const char* kSceneTitles[] = {
+    "SCENE I. A hall in the castle.",
+    "SCENE II. The palace gardens.",
+    "SCENE III. A public place.",  // QS3's predicate value
+    "SCENE IV. Before the city gates.",
+    "SCENE V. A camp near the battlefield.",
+};
+
+void EmitSpeech(Emitter* em, Rng* rng, bool allow_inline_stagedir) {
+  em->Open("SPEECH");
+  em->Leaf("SPEAKER", PersonName(rng->Next()));
+  int lines = static_cast<int>(rng->Between(1, 4));
+  for (int l = 0; l < lines; ++l) {
+    em->Open("LINE");
+    em->Text(FillerWords(rng, 6));
+    if (allow_inline_stagedir && rng->Percent(10)) {
+      // Graph-DTD feature: STAGEDIR nested inside LINE (depth 7).
+      em->Leaf("STAGEDIR", FillerWords(rng, 2));
+    }
+    em->Close("LINE");
+  }
+  em->Close("SPEECH");
+}
+
+void EmitPlay(Emitter* em, Rng* rng, int scale) {
+  em->Open("PLAY");
+  em->Leaf("TITLE", "The Tragedy of " + FillerWords(rng, 2));
+  em->Leaf("SUBTITLE", FillerWords(rng, 3));
+
+  em->Open("FM");
+  for (int i = 0; i < 3; ++i) em->Leaf("P", FillerWords(rng, 8));
+  em->Close("FM");
+
+  em->Open("PERSONAE");
+  em->Leaf("TITLE", "Dramatis Personae");
+  int personae = static_cast<int>(rng->Between(5, 9));
+  for (int i = 0; i < personae; ++i) {
+    em->Leaf("PERSONA", PersonName(rng->Next()));
+  }
+  for (int g = 0; g < 2; ++g) {
+    em->Open("PGROUP");
+    em->Leaf("PERSONA", PersonName(rng->Next()));
+    em->Leaf("PERSONA", PersonName(rng->Next()));
+    em->Leaf("GRPDESCR", FillerWords(rng, 3));
+    em->Close("PGROUP");
+  }
+  em->Close("PERSONAE");
+
+  if (rng->Percent(25)) {
+    em->Open("INDUCT");
+    em->Leaf("TITLE", "Induction");
+    EmitSpeech(em, rng, /*allow_inline_stagedir=*/false);
+    EmitSpeech(em, rng, false);
+    em->Close("INDUCT");
+  }
+
+  if (rng->Percent(30)) {
+    em->Open("PROLOGUE");
+    em->Leaf("TITLE", "Prologue");
+    EmitSpeech(em, rng, false);
+    em->Leaf("STAGEDIR", FillerWords(rng, 2));
+    em->Close("PROLOGUE");
+  }
+
+  for (int act = 0; act < 5; ++act) {
+    em->Open("ACT");
+    em->Leaf("TITLE", "ACT " + std::to_string(act + 1));
+    int scenes = static_cast<int>(rng->Between(3, 5));
+    for (int s = 0; s < scenes; ++s) {
+      em->Open("SCENE");
+      em->Leaf("TITLE", kSceneTitles[s % 5]);
+      if (rng->Percent(40)) em->Leaf("STAGEDIR", FillerWords(rng, 3));
+      int speeches = static_cast<int>(rng->Between(6, 10)) * scale;
+      for (int sp = 0; sp < speeches; ++sp) {
+        EmitSpeech(em, rng, /*allow_inline_stagedir=*/true);
+      }
+      em->Close("SCENE");
+    }
+    em->Close("ACT");
+  }
+
+  if (rng->Percent(35)) {
+    em->Open("EPILOGUE");
+    em->Leaf("TITLE", "Epilogue");
+    EmitSpeech(em, rng, /*allow_inline_stagedir=*/true);
+    for (int l = 0; l < 2; ++l) {
+      em->Open("LINE");
+      em->Text(FillerWords(rng, 5));
+      if (rng->Percent(50)) em->Leaf("STAGEDIR", "Exit");
+      em->Close("LINE");
+    }
+    em->Leaf("STAGEDIR", "Exeunt omnes");
+    em->Close("EPILOGUE");
+  }
+  em->Close("PLAY");
+}
+
+}  // namespace
+
+void GenerateShakespeare(const GenOptions& options, SaxHandler* handler) {
+  Emitter em(handler);
+  handler->OnStartDocument();
+  em.Open("PLAYS");
+  for (int copy = 0; copy < options.replicate; ++copy) {
+    // Identical copies: the paper replicates the data set verbatim.
+    Rng rng(options.seed);
+    // 37 plays at scale 1 gives ~32k nodes, matching figure 12.
+    for (int p = 0; p < 37; ++p) {
+      EmitPlay(&em, &rng, options.scale);
+    }
+  }
+  em.Close("PLAYS");
+  handler->OnEndDocument();
+}
+
+}  // namespace blas

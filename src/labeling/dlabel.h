@@ -1,0 +1,40 @@
+#ifndef BLAS_LABELING_DLABEL_H_
+#define BLAS_LABELING_DLABEL_H_
+
+#include <cstdint>
+
+namespace blas {
+
+/// \brief D-label <start, end, level> (definition 3.1 of the paper).
+///
+/// `start`/`end` are the positions of the node's start and end tags in the
+/// document, counting every start tag, end tag and text run as one unit;
+/// `level` is the length of the path from the root (root = 1).
+struct DLabel {
+  uint32_t start = 0;
+  uint32_t end = 0;
+  int32_t level = 0;
+
+  /// Descendant property: *this is a proper ancestor of `other`.
+  bool Contains(const DLabel& other) const {
+    return start < other.start && end > other.end;
+  }
+
+  /// Child property: `other` is a direct child.
+  bool IsParentOf(const DLabel& other) const {
+    return Contains(other) && level + 1 == other.level;
+  }
+
+  /// Nonoverlap property: disjoint subtrees.
+  bool DisjointWith(const DLabel& other) const {
+    return end < other.start || start > other.end;
+  }
+
+  bool operator==(const DLabel& other) const {
+    return start == other.start && end == other.end && level == other.level;
+  }
+};
+
+}  // namespace blas
+
+#endif  // BLAS_LABELING_DLABEL_H_

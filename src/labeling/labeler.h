@@ -1,0 +1,90 @@
+#ifndef BLAS_LABELING_LABELER_H_
+#define BLAS_LABELING_LABELER_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "labeling/node_record.h"
+#include "labeling/plabel.h"
+#include "labeling/tag_registry.h"
+#include "schema/path_summary.h"
+#include "storage/string_dict.h"
+#include "xml/sax.h"
+
+namespace blas {
+
+/// \brief Pass 1 of the index generator: collects the tag alphabet,
+/// maximum depth and node count needed to size the P-label codec.
+class TagCollector : public SaxHandler {
+ public:
+  explicit TagCollector(TagRegistry* registry) : registry_(registry) {}
+
+  void OnStartElement(std::string_view name,
+                      const std::vector<XmlAttribute>& attributes) override;
+  void OnEndElement(std::string_view name) override;
+  void OnText(std::string_view text) override {
+    (void)text;
+  }
+
+  int max_depth() const { return max_depth_; }
+  size_t node_count() const { return node_count_; }
+
+ private:
+  TagRegistry* registry_;
+  int depth_ = 0;
+  int max_depth_ = 0;
+  size_t node_count_ = 0;
+};
+
+/// \brief Pass 2 of the index generator (figure 6): consumes SAX events and
+/// produces one NodeRecord <plabel, start, end, level, data> per element and
+/// attribute node, the PCDATA dictionary, and the path summary.
+///
+/// Position counting: every element start tag, end tag and text run is one
+/// unit; each attribute occupies three units (start, value, end), matching
+/// xml::DomBuilder so DOM positions and labeled positions can be compared
+/// in tests.
+class Labeler : public SaxHandler {
+ public:
+  Labeler(const TagRegistry& registry, const PLabelCodec& codec);
+
+  void OnStartElement(std::string_view name,
+                      const std::vector<XmlAttribute>& attributes) override;
+  void OnEndElement(std::string_view name) override;
+  void OnText(std::string_view text) override;
+
+  /// Non-OK if an unseen tag or excessive depth was encountered (only
+  /// possible when the registry/codec do not match the document).
+  const Status& status() const { return status_; }
+
+  std::vector<NodeRecord>& records() { return records_; }
+  StringDict& dict() { return dict_; }
+  PathSummary& summary() { return summary_; }
+
+  PathSummary TakeSummary() { return std::move(summary_); }
+
+ private:
+  struct Frame {
+    NodeRecord record;
+    SummaryNode* summary = nullptr;
+    std::string text;
+  };
+
+  void Fail(std::string message);
+
+  const TagRegistry& registry_;
+  const PLabelCodec& codec_;
+  Status status_;
+  uint32_t next_pos_ = 1;
+  std::vector<Frame> stack_;
+  std::vector<NodeRecord> records_;
+  StringDict dict_;
+  PathSummary summary_;
+};
+
+}  // namespace blas
+
+#endif  // BLAS_LABELING_LABELER_H_

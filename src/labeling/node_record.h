@@ -1,0 +1,32 @@
+#ifndef BLAS_LABELING_NODE_RECORD_H_
+#define BLAS_LABELING_NODE_RECORD_H_
+
+#include <cstdint>
+
+#include "labeling/dlabel.h"
+#include "labeling/plabel.h"
+#include "labeling/tag_registry.h"
+
+namespace blas {
+
+/// Sentinel data id for nodes without character data (`data = null` in the
+/// paper's relation).
+inline constexpr uint32_t kNullData = 0xFFFFFFFFu;
+
+/// \brief One tuple of the BLAS relation <plabel, start, end, level, data>
+/// (section 4), plus the tag id used by the D-labeling baseline relation.
+struct NodeRecord {
+  PLabel plabel = 0;
+  uint32_t start = 0;
+  uint32_t end = 0;
+  uint32_t tag = 0;
+  int32_t level = 0;
+  /// Id into the document's StringDict, or kNullData.
+  uint32_t data = kNullData;
+
+  DLabel dlabel() const { return DLabel{start, end, level}; }
+};
+
+}  // namespace blas
+
+#endif  // BLAS_LABELING_NODE_RECORD_H_

@@ -1,0 +1,60 @@
+#include "labeling/plabel.h"
+
+namespace blas {
+
+Result<PLabelCodec> PLabelCodec::Create(size_t num_tags, int max_depth) {
+  if (num_tags == 0) {
+    return Status::InvalidArgument("PLabelCodec: no tags registered");
+  }
+  if (max_depth < 1) {
+    return Status::InvalidArgument("PLabelCodec: max_depth must be >= 1");
+  }
+  u128 base = static_cast<u128>(num_tags) + 1;
+  int height = max_depth + 1;  // one digit per level plus the '/' slot
+  std::vector<u128> pow(static_cast<size_t>(height) + 1);
+  pow[0] = 1;
+  constexpr u128 kMax = ~static_cast<u128>(0);
+  for (int i = 1; i <= height; ++i) {
+    if (pow[i - 1] > kMax / base) {
+      return Status::CapacityExceeded(
+          "PLabelCodec: (n+1)^(depth+1) exceeds 128 bits; n=" +
+          std::to_string(num_tags) + " depth=" + std::to_string(max_depth));
+    }
+    pow[i] = pow[i - 1] * base;
+  }
+  return PLabelCodec(base, height, std::move(pow));
+}
+
+PLabelRange PLabelCodec::SuffixInterval(const std::vector<TagId>& tags,
+                                        bool absolute) const {
+  const int k = static_cast<int>(tags.size());
+  if (k == 0) {
+    // "//" selects everything; "/" alone is not a node-selecting path.
+    return absolute ? PLabelRange{} : AllNodes();
+  }
+  if (k > max_depth()) return PLabelRange{};  // deeper than any node
+  u128 p1 = 0;
+  for (TagId tag : tags) {
+    p1 = p1 / base_ + static_cast<u128>(tag) * pow_[height_ - 1];
+  }
+  if (absolute) {
+    // A simple path is an equality selection: every node with exactly this
+    // source path carries the label p1 (definition 3.3 / proposition 3.2),
+    // and no other node label falls into the '/'-slot subinterval.
+    return PLabelRange{p1, p1};
+  }
+  return PLabelRange{p1, p1 + pow_[height_ - k] - 1};
+}
+
+std::vector<TagId> PLabelCodec::DecodePath(PLabel label) const {
+  // Digits MSB-first are leaf-to-root tags; stop at the first 0 digit.
+  std::vector<TagId> reversed;
+  for (int i = height_ - 1; i >= 0; --i) {
+    u128 digit = (label / pow_[i]) % base_;
+    if (digit == 0) break;
+    reversed.push_back(static_cast<TagId>(digit));
+  }
+  return std::vector<TagId>(reversed.rbegin(), reversed.rend());
+}
+
+}  // namespace blas

@@ -1,0 +1,33 @@
+#include "labeling/tag_registry.h"
+
+#include <cassert>
+
+namespace blas {
+
+namespace {
+const std::string kSlashName = "/";
+}  // namespace
+
+TagId TagRegistry::Intern(std::string_view name) {
+  assert(!frozen_ && "TagRegistry::Intern after Freeze()");
+  auto it = ids_.find(std::string(name));
+  if (it != ids_.end()) return it->second;
+  names_.emplace_back(name);
+  TagId id = static_cast<TagId>(names_.size());  // 1-based
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+std::optional<TagId> TagRegistry::Find(std::string_view name) const {
+  auto it = ids_.find(std::string(name));
+  if (it == ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::string& TagRegistry::Name(TagId id) const {
+  if (id == kSlashTag) return kSlashName;
+  assert(id >= 1 && id <= names_.size());
+  return names_[id - 1];
+}
+
+}  // namespace blas

@@ -1,0 +1,247 @@
+#ifndef BLAS_STORAGE_BPTREE_H_
+#define BLAS_STORAGE_BPTREE_H_
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "storage/buffer_pool.h"
+#include "storage/page.h"
+
+namespace blas {
+
+/// \brief Bulk-loaded, page-resident clustered B+ tree.
+///
+/// Leaves store full `Record`s sorted by `KeyOf::Get(record)`; internal
+/// nodes store separator keys and child page ids. The tree is built once
+/// from sorted data (the BLAS index generator is build-once/query-many) and
+/// then serves point and range lookups whose page accesses are counted by
+/// the owning BufferPool.
+///
+/// Requirements: `Record` and `Key` are trivially copyable; `Key` has
+/// `operator<`; `KeyOf` exposes `static Key Get(const Record&)`.
+template <typename Record, typename Key, typename KeyOf>
+class BPlusTree {
+ public:
+  struct LeafNode {
+    uint32_t is_leaf;  // 1
+    uint32_t count;
+    PageId next;
+    uint32_t pad_;
+    Record records[1];  // actually kLeafCap entries
+  };
+  struct InternalNode {
+    uint32_t is_leaf;  // 0
+    uint32_t count;    // number of keys; children = count + 1
+    Key keys[1];       // actually kInternalCap entries
+    // children array lives at a fixed offset after the key array.
+  };
+
+  static constexpr size_t kLeafHeaderSize =
+      (sizeof(uint32_t) * 3 + sizeof(PageId) + alignof(Record) - 1) /
+      alignof(Record) * alignof(Record);
+  static constexpr size_t kLeafCap =
+      (kPageSize - kLeafHeaderSize) / sizeof(Record);
+  static constexpr size_t kInternalHeaderSize =
+      (sizeof(uint32_t) * 2 + alignof(Key) - 1) / alignof(Key) * alignof(Key);
+  // Keys and children share the remaining space.
+  static constexpr size_t kInternalCap =
+      (kPageSize - kInternalHeaderSize - sizeof(PageId)) /
+      (sizeof(Key) + sizeof(PageId));
+
+  static_assert(kLeafCap >= 2, "record too large for a page");
+  static_assert(kInternalCap >= 2, "key too large for a page");
+
+  BPlusTree() = default;
+
+  /// Builds the tree from records sorted ascending by key. `pool` must
+  /// outlive the tree.
+  void Build(BufferPool* pool, const std::vector<Record>& sorted) {
+    pool_ = pool;
+    root_ = kInvalidPage;
+    first_leaf_ = kInvalidPage;
+    size_ = sorted.size();
+    height_ = 0;
+    if (sorted.empty()) return;
+
+    // Level 0: leaves.
+    std::vector<PageId> level_pages;
+    std::vector<Key> level_keys;  // first key of each page
+    size_t i = 0;
+    PageId prev = kInvalidPage;
+    while (i < sorted.size()) {
+      size_t take = std::min(kLeafCap, sorted.size() - i);
+      PageId pid = pool_->Allocate();
+      auto* leaf = LeafAt(pool_->MutablePage(pid));
+      leaf->is_leaf = 1;
+      leaf->count = static_cast<uint32_t>(take);
+      leaf->next = kInvalidPage;
+      std::memcpy(leaf->records, sorted.data() + i, take * sizeof(Record));
+      if (prev != kInvalidPage) {
+        LeafAt(pool_->MutablePage(prev))->next = pid;
+      } else {
+        first_leaf_ = pid;
+      }
+      prev = pid;
+      level_pages.push_back(pid);
+      level_keys.push_back(KeyOf::Get(sorted[i]));
+      i += take;
+    }
+    height_ = 1;
+
+    // Upper levels.
+    while (level_pages.size() > 1) {
+      std::vector<PageId> next_pages;
+      std::vector<Key> next_keys;
+      size_t j = 0;
+      while (j < level_pages.size()) {
+        size_t children = std::min(kInternalCap + 1, level_pages.size() - j);
+        PageId pid = pool_->Allocate();
+        Page* page = pool_->MutablePage(pid);
+        auto* node = InternalAt(page);
+        node->is_leaf = 0;
+        node->count = static_cast<uint32_t>(children - 1);
+        PageId* kids = ChildrenArray(page);
+        for (size_t c = 0; c < children; ++c) {
+          kids[c] = level_pages[j + c];
+          if (c > 0) node->keys[c - 1] = level_keys[j + c];
+        }
+        next_pages.push_back(pid);
+        next_keys.push_back(level_keys[j]);
+        j += children;
+      }
+      level_pages.swap(next_pages);
+      level_keys.swap(next_keys);
+      ++height_;
+    }
+    root_ = level_pages[0];
+  }
+
+  size_t size() const { return size_; }
+  int height() const { return height_; }
+  PageId root() const { return root_; }
+
+  /// Forward iterator over leaf records; dereference is only valid while
+  /// the underlying pool exists. Advancing across a page boundary fetches
+  /// the next page (counted by the pool).
+  class Iterator {
+   public:
+    Iterator() = default;
+    Iterator(const BufferPool* pool, PageId page, uint32_t slot)
+        : pool_(pool), page_(page), slot_(slot) {
+      if (page_ != kInvalidPage) leaf_ = LeafAt(pool_->Fetch(page_));
+    }
+    /// Positions on an already-fetched leaf (no extra page access).
+    Iterator(const BufferPool* pool, PageId page, uint32_t slot,
+             const LeafNode* leaf)
+        : pool_(pool), page_(page), slot_(slot), leaf_(leaf) {}
+
+    bool at_end() const { return page_ == kInvalidPage; }
+
+    const Record& operator*() const {
+      assert(!at_end());
+      return leaf_->records[slot_];
+    }
+    const Record* operator->() const { return &operator*(); }
+
+    Iterator& operator++() {
+      ++slot_;
+      if (slot_ >= leaf_->count) {
+        page_ = leaf_->next;
+        slot_ = 0;
+        leaf_ = page_ == kInvalidPage ? nullptr : LeafAt(pool_->Fetch(page_));
+      }
+      return *this;
+    }
+
+   private:
+    const BufferPool* pool_ = nullptr;
+    PageId page_ = kInvalidPage;
+    uint32_t slot_ = 0;
+    const LeafNode* leaf_ = nullptr;
+  };
+
+  /// Iterator positioned at the first record with key >= `key`.
+  /// Touches exactly one page per tree level.
+  Iterator Seek(const Key& key) const {
+    if (root_ == kInvalidPage) return Iterator();
+    PageId pid = root_;
+    const Page* page = pool_->Fetch(pid);
+    while (page->As<uint32_t>()[0] == 0) {  // internal
+      const auto* node = InternalAt(page);
+      const Key* begin = node->keys;
+      const Key* end = node->keys + node->count;
+      size_t idx = static_cast<size_t>(
+          std::upper_bound(begin, end, key) - begin);
+      pid = ChildrenArray(page)[idx];
+      page = pool_->Fetch(pid);
+    }
+    const auto* leaf = LeafAt(page);
+    uint32_t lo = 0;
+    uint32_t hi = leaf->count;
+    while (lo < hi) {
+      uint32_t mid = (lo + hi) / 2;
+      if (KeyOf::Get(leaf->records[mid]) < key) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    if (lo >= leaf->count) {
+      // Key larger than everything in this leaf; step to the next one.
+      return Iterator(pool_, leaf->next, 0);
+    }
+    return Iterator(pool_, pid, lo, leaf);
+  }
+
+  /// Iterator at the smallest record.
+  Iterator Begin() const { return Iterator(pool_, first_leaf_, 0); }
+
+  /// Uncounted full traversal in key order (maintenance/export paths;
+  /// bypasses the buffer-pool statistics).
+  template <typename Fn>
+  void ForEachRecord(Fn&& fn) const {
+    PageId pid = first_leaf_;
+    while (pid != kInvalidPage) {
+      const LeafNode* leaf = LeafAt(pool_->Peek(pid));
+      for (uint32_t i = 0; i < leaf->count; ++i) fn(leaf->records[i]);
+      pid = leaf->next;
+    }
+  }
+
+ private:
+  static LeafNode* LeafAt(Page* page) {
+    return reinterpret_cast<LeafNode*>(page->bytes.data());
+  }
+  static const LeafNode* LeafAt(const Page* page) {
+    return reinterpret_cast<const LeafNode*>(page->bytes.data());
+  }
+  static InternalNode* InternalAt(Page* page) {
+    return reinterpret_cast<InternalNode*>(page->bytes.data());
+  }
+  static const InternalNode* InternalAt(const Page* page) {
+    return reinterpret_cast<const InternalNode*>(page->bytes.data());
+  }
+  static PageId* ChildrenArray(Page* page) {
+    return reinterpret_cast<PageId*>(page->bytes.data() +
+                                     kInternalHeaderSize +
+                                     kInternalCap * sizeof(Key));
+  }
+  static const PageId* ChildrenArray(const Page* page) {
+    return reinterpret_cast<const PageId*>(page->bytes.data() +
+                                           kInternalHeaderSize +
+                                           kInternalCap * sizeof(Key));
+  }
+
+  BufferPool* pool_ = nullptr;
+  PageId root_ = kInvalidPage;
+  PageId first_leaf_ = kInvalidPage;
+  size_t size_ = 0;
+  int height_ = 0;
+};
+
+}  // namespace blas
+
+#endif  // BLAS_STORAGE_BPTREE_H_

@@ -1,0 +1,36 @@
+#include "storage/buffer_pool.h"
+
+namespace blas {
+
+BufferPool::BufferPool(size_t cache_capacity)
+    : cache_capacity_(cache_capacity == 0 ? 1 : cache_capacity) {}
+
+PageId BufferPool::Allocate() {
+  pages_.push_back(std::make_unique<Page>());
+  return static_cast<PageId>(pages_.size() - 1);
+}
+
+const Page* BufferPool::Fetch(PageId id) const {
+  ++stats_.fetches;
+  auto it = cached_.find(id);
+  if (it != cached_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return pages_[id].get();
+  }
+  ++stats_.misses;
+  if (cached_.size() >= cache_capacity_) {
+    PageId victim = lru_.back();
+    lru_.pop_back();
+    cached_.erase(victim);
+  }
+  lru_.push_front(id);
+  cached_[id] = lru_.begin();
+  return pages_[id].get();
+}
+
+void BufferPool::DropCache() {
+  lru_.clear();
+  cached_.clear();
+}
+
+}  // namespace blas

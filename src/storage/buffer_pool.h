@@ -1,0 +1,70 @@
+#ifndef BLAS_STORAGE_BUFFER_POOL_H_
+#define BLAS_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/page.h"
+
+namespace blas {
+
+/// \brief Page store with an LRU cache that models disk accesses.
+///
+/// All pages live in memory; `Fetch` runs every access through an LRU
+/// cache of `cache_capacity` frames so that benchmarks can report the two
+/// quantities the paper argues about: logical page reads (`fetches`) and
+/// simulated disk accesses (`misses`). Build-time access via `MutablePage`
+/// bypasses the counters (the paper measures query processing only).
+class BufferPool {
+ public:
+  /// `cache_capacity` is the number of cached frames (>= 1).
+  explicit BufferPool(size_t cache_capacity = 1024);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+  BufferPool(BufferPool&&) = default;
+  BufferPool& operator=(BufferPool&&) = default;
+
+  /// Appends a zeroed page and returns its id.
+  PageId Allocate();
+
+  /// Build-time access; does not touch the counters.
+  Page* MutablePage(PageId id) { return pages_[id].get(); }
+
+  /// Query-time access; counts one fetch, plus one miss when `id` is not
+  /// in the LRU cache (it is then brought in, possibly evicting).
+  const Page* Fetch(PageId id) const;
+
+  /// Maintenance access (export, verification); bypasses the counters and
+  /// the cache, like MutablePage but const.
+  const Page* Peek(PageId id) const { return pages_[id].get(); }
+
+  size_t page_count() const { return pages_.size(); }
+
+  struct Stats {
+    uint64_t fetches = 0;
+    uint64_t misses = 0;
+  };
+  const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_ = Stats(); }
+
+  /// Drops all cached frames (cold-cache experiments; the paper runs every
+  /// query on a cold cache).
+  void DropCache();
+
+ private:
+  std::vector<std::unique_ptr<Page>> pages_;
+  size_t cache_capacity_;
+
+  // LRU bookkeeping; mutable because Fetch is logically const.
+  mutable std::list<PageId> lru_;  // front = most recent
+  mutable std::unordered_map<PageId, std::list<PageId>::iterator> cached_;
+  mutable Stats stats_;
+};
+
+}  // namespace blas
+
+#endif  // BLAS_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,100 @@
+#include "storage/node_store.h"
+
+#include <algorithm>
+
+namespace blas {
+
+NodeStore::NodeStore(const std::vector<NodeRecord>& records,
+                     size_t cache_pages)
+    : pool_(cache_pages), count_(records.size()) {
+  std::vector<NodeRecord> sorted = records;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const NodeRecord& a, const NodeRecord& b) {
+              return SpKeyOf::Get(a) < SpKeyOf::Get(b);
+            });
+  sp_.Build(&pool_, sorted);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const NodeRecord& a, const NodeRecord& b) {
+              return SdKeyOf::Get(a) < SdKeyOf::Get(b);
+            });
+  sd_.Build(&pool_, sorted);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const NodeRecord& a, const NodeRecord& b) {
+              return ValKeyOf::Get(a) < ValKeyOf::Get(b);
+            });
+  vindex_.Build(&pool_, sorted);
+}
+
+std::vector<NodeRecord> NodeStore::ScanPlabelRange(
+    const PLabelRange& range, std::optional<uint32_t> data,
+    std::optional<int32_t> level) const {
+  std::vector<NodeRecord> out;
+  if (range.empty()) return out;
+  for (auto it = sp_.Seek(SpKey{range.lo, 0}); !it.at_end(); ++it) {
+    const NodeRecord& rec = *it;
+    if (rec.plabel > range.hi) break;
+    ++elements_;
+    if (data.has_value() && rec.data != *data) continue;
+    if (level.has_value() && rec.level != *level) continue;
+    out.push_back(rec);
+  }
+  return out;
+}
+
+std::vector<NodeRecord> NodeStore::ScanTag(TagId tag,
+                                           std::optional<uint32_t> data) const {
+  std::vector<NodeRecord> out;
+  for (auto it = sd_.Seek(SdKey{tag, 0}); !it.at_end(); ++it) {
+    const NodeRecord& rec = *it;
+    if (rec.tag != tag) break;
+    ++elements_;
+    if (data.has_value() && rec.data != *data) continue;
+    out.push_back(rec);
+  }
+  return out;
+}
+
+std::vector<NodeRecord> NodeStore::ScanAll(
+    std::optional<uint32_t> data) const {
+  std::vector<NodeRecord> out;
+  for (auto it = sd_.Begin(); !it.at_end(); ++it) {
+    const NodeRecord& rec = *it;
+    ++elements_;
+    if (data.has_value() && rec.data != *data) continue;
+    out.push_back(rec);
+  }
+  return out;
+}
+
+std::vector<NodeRecord> NodeStore::ScanValue(uint32_t data) const {
+  std::vector<NodeRecord> out;
+  for (auto it = vindex_.Seek(ValKey{data, 0}); !it.at_end(); ++it) {
+    const NodeRecord& rec = *it;
+    if (rec.data != data) break;
+    ++elements_;
+    out.push_back(rec);
+  }
+  return out;
+}
+
+std::vector<NodeRecord> NodeStore::ExportRecords() const {
+  std::vector<NodeRecord> out;
+  out.reserve(count_);
+  sp_.ForEachRecord([&](const NodeRecord& rec) { out.push_back(rec); });
+  return out;
+}
+
+StorageStats NodeStore::stats() const {
+  StorageStats s;
+  s.elements = elements_;
+  s.page_fetches = pool_.stats().fetches;
+  s.page_misses = pool_.stats().misses;
+  return s;
+}
+
+void NodeStore::ResetStats() {
+  elements_ = 0;
+  pool_.ResetStats();
+}
+
+}  // namespace blas

@@ -1,0 +1,135 @@
+#ifndef BLAS_STORAGE_NODE_STORE_H_
+#define BLAS_STORAGE_NODE_STORE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "labeling/node_record.h"
+#include "storage/bptree.h"
+#include "storage/buffer_pool.h"
+
+namespace blas {
+
+/// Composite key (plabel, start) of the SP relation (clustered order of
+/// the paper's BLAS relation).
+struct SpKey {
+  PLabel plabel;
+  uint32_t start;
+  friend bool operator<(const SpKey& a, const SpKey& b) {
+    if (a.plabel != b.plabel) return a.plabel < b.plabel;
+    return a.start < b.start;
+  }
+};
+
+/// Composite key (tag, start) of the SD relation (clustered order of the
+/// D-labeling baseline relation).
+struct SdKey {
+  uint32_t tag;
+  uint32_t start;
+  friend bool operator<(const SdKey& a, const SdKey& b) {
+    if (a.tag != b.tag) return a.tag < b.tag;
+    return a.start < b.start;
+  }
+};
+
+/// Composite key (data, start) of the secondary value index.
+struct ValKey {
+  uint32_t data;
+  uint32_t start;
+  friend bool operator<(const ValKey& a, const ValKey& b) {
+    if (a.data != b.data) return a.data < b.data;
+    return a.start < b.start;
+  }
+};
+
+struct SpKeyOf {
+  static SpKey Get(const NodeRecord& r) { return SpKey{r.plabel, r.start}; }
+};
+struct SdKeyOf {
+  static SdKey Get(const NodeRecord& r) { return SdKey{r.tag, r.start}; }
+};
+struct ValKeyOf {
+  static ValKey Get(const NodeRecord& r) { return ValKey{r.data, r.start}; }
+};
+
+/// Per-query storage access counters. `elements` is the paper's "visited
+/// elements"; page counters come from the buffer pool.
+struct StorageStats {
+  uint64_t elements = 0;
+  uint64_t page_fetches = 0;
+  uint64_t page_misses = 0;
+
+  StorageStats& operator+=(const StorageStats& o) {
+    elements += o.elements;
+    page_fetches += o.page_fetches;
+    page_misses += o.page_misses;
+    return *this;
+  }
+};
+
+/// \brief The BLAS index store (section 4, index generator output).
+///
+/// Holds both physical designs the paper compares over one buffer pool:
+///   * SP — clustered by {plabel, start} (BLAS),
+///   * SD — clustered by {tag, start}   (D-labeling baseline),
+/// plus a secondary value index clustered by {data, start}.
+///
+/// All scans count every record they touch (including records later
+/// rejected by a residual data/level filter), matching how the paper counts
+/// visited elements.
+class NodeStore {
+ public:
+  /// Builds all trees from the labeler output. `cache_pages` sizes the
+  /// LRU cache of the shared buffer pool.
+  explicit NodeStore(const std::vector<NodeRecord>& records,
+                     size_t cache_pages = 1024);
+
+  NodeStore(const NodeStore&) = delete;
+  NodeStore& operator=(const NodeStore&) = delete;
+
+  /// Records with plabel in [range.lo, range.hi], optionally filtered by
+  /// data id and/or exact level. Result is ordered by (plabel, start).
+  std::vector<NodeRecord> ScanPlabelRange(
+      const PLabelRange& range, std::optional<uint32_t> data = std::nullopt,
+      std::optional<int32_t> level = std::nullopt) const;
+
+  /// Records with the given tag (D-labeling access path), optionally
+  /// filtered by data id. Result is ordered by start.
+  std::vector<NodeRecord> ScanTag(TagId tag,
+                                  std::optional<uint32_t> data =
+                                      std::nullopt) const;
+
+  /// Full scan of the SD relation (wildcard tag test), optional data
+  /// filter. Ordered by (tag, start).
+  std::vector<NodeRecord> ScanAll(std::optional<uint32_t> data =
+                                      std::nullopt) const;
+
+  /// Records with the given data id via the secondary value index.
+  std::vector<NodeRecord> ScanValue(uint32_t data) const;
+
+  size_t record_count() const { return count_; }
+  size_t page_count() const { return pool_.page_count(); }
+
+  /// All records in (plabel, start) order, without touching the counters
+  /// (index export / persistence).
+  std::vector<NodeRecord> ExportRecords() const;
+
+  /// Snapshot of counters accumulated since the last ResetStats().
+  StorageStats stats() const;
+  void ResetStats();
+  /// Cold-cache experiments (the paper measures cold-cache runs).
+  void DropCache() { pool_.DropCache(); }
+
+ private:
+  mutable BufferPool pool_;
+  BPlusTree<NodeRecord, SpKey, SpKeyOf> sp_;
+  BPlusTree<NodeRecord, SdKey, SdKeyOf> sd_;
+  BPlusTree<NodeRecord, ValKey, ValKeyOf> vindex_;
+  size_t count_ = 0;
+  mutable uint64_t elements_ = 0;
+};
+
+}  // namespace blas
+
+#endif  // BLAS_STORAGE_NODE_STORE_H_

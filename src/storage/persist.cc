@@ -1,0 +1,141 @@
+#include "storage/persist.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+namespace blas {
+
+namespace {
+
+constexpr char kMagic[8] = {'B', 'L', 'A', 'S', 'I', 'D', 'X', '1'};
+
+void WriteU32(std::ostream& os, uint32_t v) {
+  char buf[4];
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  os.write(buf, 4);
+}
+
+void WriteU64(std::ostream& os, uint64_t v) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  os.write(buf, 8);
+}
+
+void WriteString(std::ostream& os, const std::string& s) {
+  WriteU32(os, static_cast<uint32_t>(s.size()));
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+bool ReadU32(std::istream& is, uint32_t* v) {
+  char buf[4];
+  if (!is.read(buf, 4)) return false;
+  *v = 0;
+  for (int i = 3; i >= 0; --i) {
+    *v = (*v << 8) | static_cast<uint8_t>(buf[i]);
+  }
+  return true;
+}
+
+bool ReadU64(std::istream& is, uint64_t* v) {
+  char buf[8];
+  if (!is.read(buf, 8)) return false;
+  *v = 0;
+  for (int i = 7; i >= 0; --i) {
+    *v = (*v << 8) | static_cast<uint8_t>(buf[i]);
+  }
+  return true;
+}
+
+bool ReadString(std::istream& is, std::string* s) {
+  uint32_t len;
+  if (!ReadU32(is, &len)) return false;
+  // Guard against absurd lengths from corrupt files.
+  if (len > (1u << 28)) return false;
+  s->resize(len);
+  return static_cast<bool>(is.read(s->data(), len));
+}
+
+}  // namespace
+
+Status SaveSnapshot(const IndexSnapshot& snapshot, const std::string& path) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) return Status::InvalidArgument("cannot open for write: " + path);
+
+  os.write(kMagic, sizeof(kMagic));
+  WriteU32(os, static_cast<uint32_t>(snapshot.tags.size()));
+  for (const std::string& tag : snapshot.tags) WriteString(os, tag);
+  WriteU32(os, static_cast<uint32_t>(snapshot.max_depth));
+
+  WriteU64(os, snapshot.records.size());
+  for (const NodeRecord& rec : snapshot.records) {
+    WriteU64(os, static_cast<uint64_t>(rec.plabel >> 64));
+    WriteU64(os, static_cast<uint64_t>(rec.plabel));
+    WriteU32(os, rec.start);
+    WriteU32(os, rec.end);
+    WriteU32(os, rec.tag);
+    WriteU32(os, static_cast<uint32_t>(rec.level));
+    WriteU32(os, rec.data);
+  }
+
+  WriteU64(os, snapshot.values.size());
+  for (const std::string& value : snapshot.values) WriteString(os, value);
+
+  os.flush();
+  if (!os) return Status::Internal("write failed: " + path);
+  return Status::OK();
+}
+
+Result<IndexSnapshot> LoadSnapshot(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return Status::NotFound("cannot open: " + path);
+
+  char magic[8];
+  if (!is.read(magic, 8) || std::memcmp(magic, kMagic, 8) != 0) {
+    return Status::Corruption("bad magic in " + path);
+  }
+
+  IndexSnapshot snapshot;
+  uint32_t num_tags;
+  if (!ReadU32(is, &num_tags) || num_tags > (1u << 24)) {
+    return Status::Corruption("bad tag count in " + path);
+  }
+  snapshot.tags.resize(num_tags);
+  for (std::string& tag : snapshot.tags) {
+    if (!ReadString(is, &tag)) return Status::Corruption("truncated tags");
+  }
+  uint32_t depth;
+  if (!ReadU32(is, &depth) || depth > 100000) {
+    return Status::Corruption("bad depth");
+  }
+  snapshot.max_depth = static_cast<int>(depth);
+
+  uint64_t num_records;
+  if (!ReadU64(is, &num_records) || num_records > (1ULL << 40)) {
+    return Status::Corruption("bad record count");
+  }
+  snapshot.records.resize(num_records);
+  for (NodeRecord& rec : snapshot.records) {
+    uint64_t hi, lo;
+    uint32_t level;
+    if (!ReadU64(is, &hi) || !ReadU64(is, &lo) || !ReadU32(is, &rec.start) ||
+        !ReadU32(is, &rec.end) || !ReadU32(is, &rec.tag) ||
+        !ReadU32(is, &level) || !ReadU32(is, &rec.data)) {
+      return Status::Corruption("truncated records");
+    }
+    rec.plabel = (static_cast<u128>(hi) << 64) | lo;
+    rec.level = static_cast<int32_t>(level);
+  }
+
+  uint64_t num_values;
+  if (!ReadU64(is, &num_values) || num_values > (1ULL << 32)) {
+    return Status::Corruption("bad value count");
+  }
+  snapshot.values.resize(num_values);
+  for (std::string& value : snapshot.values) {
+    if (!ReadString(is, &value)) return Status::Corruption("truncated values");
+  }
+  return snapshot;
+}
+
+}  // namespace blas

@@ -1,0 +1,37 @@
+#ifndef BLAS_STORAGE_PERSIST_H_
+#define BLAS_STORAGE_PERSIST_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "labeling/node_record.h"
+
+namespace blas {
+
+/// \brief Serializable form of a BLAS index: everything the index
+/// generator produced, sufficient to rebuild the node store, codec, value
+/// dictionary and path summary without re-parsing the XML.
+struct IndexSnapshot {
+  /// Tag names in id order (id = position + 1; id 0 is "/").
+  std::vector<std::string> tags;
+  /// Maximum document depth (sizes the P-label codec).
+  int max_depth = 0;
+  /// All node records (any order).
+  std::vector<NodeRecord> records;
+  /// Dictionary values in id order.
+  std::vector<std::string> values;
+};
+
+/// Writes a snapshot to `path` in the BLAS1 binary format (little-endian,
+/// fixed-width lengths; P-labels stored as two 64-bit halves).
+Status SaveSnapshot(const IndexSnapshot& snapshot, const std::string& path);
+
+/// Reads a snapshot written by SaveSnapshot. Fails with Corruption on
+/// magic/version mismatch or truncated input.
+Result<IndexSnapshot> LoadSnapshot(const std::string& path);
+
+}  // namespace blas
+
+#endif  // BLAS_STORAGE_PERSIST_H_

@@ -1,0 +1,20 @@
+#include "storage/string_dict.h"
+
+namespace blas {
+
+uint32_t StringDict::Intern(std::string_view value) {
+  auto it = ids_.find(std::string(value));
+  if (it != ids_.end()) return it->second;
+  uint32_t id = static_cast<uint32_t>(values_.size());
+  values_.emplace_back(value);
+  ids_.emplace(values_.back(), id);
+  return id;
+}
+
+std::optional<uint32_t> StringDict::Find(std::string_view value) const {
+  auto it = ids_.find(std::string(value));
+  if (it == ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace blas

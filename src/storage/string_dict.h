@@ -1,0 +1,36 @@
+#ifndef BLAS_STORAGE_STRING_DICT_H_
+#define BLAS_STORAGE_STRING_DICT_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace blas {
+
+/// \brief Dictionary encoding for PCDATA values.
+///
+/// The `data` column of the node relation stores dictionary ids; equality
+/// value predicates become integer comparisons after one lookup.
+class StringDict {
+ public:
+  /// Returns the id of `value`, inserting it if new.
+  uint32_t Intern(std::string_view value);
+
+  /// Returns the id of `value` if present (query-time lookup; an absent
+  /// value means the predicate selects nothing).
+  std::optional<uint32_t> Find(std::string_view value) const;
+
+  const std::string& Get(uint32_t id) const { return values_[id]; }
+  size_t size() const { return values_.size(); }
+
+ private:
+  std::vector<std::string> values_;
+  std::unordered_map<std::string, uint32_t> ids_;
+};
+
+}  // namespace blas
+
+#endif  // BLAS_STORAGE_STRING_DICT_H_

@@ -1,0 +1,247 @@
+#include "translate/decomposition.h"
+
+#include <cassert>
+#include <utility>
+
+namespace blas {
+
+std::string Part::PathString() const {
+  std::string out;
+  for (const PartStep& step : steps) {
+    out.append(step.axis == Axis::kChild ? "/" : "//");
+    out.append(step.tag);
+  }
+  if (value.has_value()) {
+    out.append(ValueOpText(value->op));
+    out.push_back('"');
+    out.append(value->literal);
+    out.push_back('"');
+  }
+  return out;
+}
+
+std::string Decomposition::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    const Part& p = parts[i];
+    out.append("Q");
+    out.append(std::to_string(i));
+    out.append(": ");
+    out.append(p.PathString());
+    if (p.anchor >= 0) {
+      out.append("  [anchor Q");
+      out.append(std::to_string(p.anchor));
+      out.append(p.exact ? ", level = anchor+" : ", level >= anchor+");
+      out.append(std::to_string(p.delta));
+      out.push_back(']');
+    }
+    if (p.is_return) out.append("  <return>");
+    out.push_back('\n');
+  }
+  return out;
+}
+
+namespace {
+
+/// Work item: decompose the subtree rooted at `node`, whose part begins
+/// with `prefix` steps followed by `node` entered via `lead` axis.
+struct Fragment {
+  const QueryNode* node;
+  Axis lead;
+  std::vector<PartStep> prefix;
+  int anchor;
+  bool exact;
+};
+
+class Decomposer {
+ public:
+  Decomposer(DecomposeMode mode) : mode_(mode) {}
+
+  Result<Decomposition> Run(const Query& query) {
+    if (!query.root) return Status::InvalidArgument("empty query");
+    if (query.return_node() == nullptr) {
+      return Status::InvalidArgument("query has no return node");
+    }
+    std::vector<Fragment> todo;
+    todo.push_back(Fragment{query.root.get(), query.root->axis, {}, -1,
+                            /*exact=*/query.root->axis == Axis::kChild});
+    // Breadth-first over fragments keeps anchors before their children.
+    for (size_t i = 0; i < todo.size(); ++i) {
+      BLAS_RETURN_NOT_OK(ProcessFragment(todo[i], &todo));
+    }
+    if (!found_return_) {
+      return Status::Internal("decomposition lost the return node");
+    }
+    return std::move(result_);
+  }
+
+ private:
+  Status ProcessFragment(const Fragment& frag, std::vector<Fragment>* todo) {
+    Part part;
+    part.steps = frag.prefix;
+    part.anchor = frag.anchor;
+    part.exact = frag.exact;
+
+    const QueryNode* node = frag.node;
+    Axis axis = frag.lead;
+    int below = 0;
+    while (true) {
+      if (node->tag == kWildcard && mode_ != DecomposeMode::kUnfold) {
+        return Status::Unsupported(
+            "wildcards require schema information (Unfold)");
+      }
+      part.steps.push_back(PartStep{axis, node->tag});
+      ++below;
+
+      bool ends_here = node->children.empty() || node->IsBranchingPoint();
+      // A lone descendant-edge child also ends the part for Split/Push-up
+      // (descendant-axis elimination); Unfold keeps the axis inline.
+      const QueryNode* only_child =
+          node->children.size() == 1 ? node->children[0].get() : nullptr;
+      if (!ends_here && only_child->axis == Axis::kDescendant &&
+          mode_ != DecomposeMode::kUnfold) {
+        ends_here = true;
+      }
+
+      if (!ends_here) {
+        node = only_child;
+        axis = node->axis;
+        continue;
+      }
+
+      // Close the part at `node`.
+      part.value = node->value;
+      part.delta = below;
+      part.is_return = node->is_return;
+      int part_index = static_cast<int>(result_.parts.size());
+      if (node->is_return) {
+        result_.return_part = part_index;
+        found_return_ = true;
+      }
+
+      // Cut every child into its own fragment anchored at this part.
+      for (const auto& child : node->children) {
+        Fragment next;
+        next.node = child.get();
+        next.anchor = part_index;
+        next.exact = child->axis == Axis::kChild;
+        if (child->axis == Axis::kDescendant &&
+            mode_ != DecomposeMode::kUnfold) {
+          // Descendant-axis elimination: restart as a floating suffix path.
+          next.lead = Axis::kDescendant;
+        } else if (mode_ == DecomposeMode::kSplit) {
+          // Branch elimination (algorithm 4): child parts become //q.
+          next.lead = Axis::kDescendant;
+          // The cut edge is a child axis, so the join keeps the exact
+          // level difference (example 4.1).
+        } else {
+          // Push-up / Unfold: carry the full prefix (algorithm 5).
+          next.lead = child->axis;
+          next.prefix = part.steps;
+        }
+        todo->push_back(std::move(next));
+      }
+      result_.parts.push_back(std::move(part));
+      return Status::OK();
+    }
+  }
+
+  DecomposeMode mode_;
+  Decomposition result_;
+  bool found_return_ = false;
+};
+
+}  // namespace
+
+Result<Decomposition> Decompose(const Query& query, DecomposeMode mode) {
+  Decomposer decomposer(mode);
+  return decomposer.Run(query);
+}
+
+Result<ExecPlan> LowerToPlan(const Decomposition& decomp,
+                             const TranslateContext& ctx) {
+  if (ctx.tags == nullptr || ctx.codec == nullptr) {
+    return Status::InvalidArgument("TranslateContext missing tags/codec");
+  }
+  ExecPlan plan;
+  plan.return_part = decomp.return_part;
+  plan.parts.reserve(decomp.parts.size());
+  for (const Part& part : decomp.parts) {
+    PlanPart out;
+    out.scan = PlanPart::Scan::kPlabelAlts;
+    out.value = part.value;
+    out.label = part.PathString();
+    out.anchor = part.anchor;
+    out.delta = part.delta;
+    if (part.anchor >= 0) {
+      out.join = part.exact ? PlanPart::Join::kContainExact
+                            : PlanPart::Join::kContainMin;
+    }
+
+    // Resolve tags; an unknown tag makes the part provably empty.
+    std::vector<TagId> tags;
+    tags.reserve(part.steps.size());
+    bool known = true;
+    for (const PartStep& step : part.steps) {
+      assert(step.axis == Axis::kChild || &step == &part.steps.front());
+      auto id = ctx.tags->Find(step.tag);
+      if (!id.has_value()) {
+        known = false;
+        break;
+      }
+      tags.push_back(*id);
+    }
+    if (known) {
+      bool absolute = part.steps.front().axis == Axis::kChild;
+      PLabelRange range = ctx.codec->SuffixInterval(tags, absolute);
+      if (!range.empty()) out.alts.push_back(PlanAlt{range, {}});
+    }
+    plan.parts.push_back(std::move(out));
+  }
+  return plan;
+}
+
+Result<ExecPlan> TranslateSplit(const Query& query,
+                                const TranslateContext& ctx) {
+  BLAS_ASSIGN_OR_RETURN(Decomposition decomp,
+                        Decompose(query, DecomposeMode::kSplit));
+  return LowerToPlan(decomp, ctx);
+}
+
+Result<ExecPlan> TranslatePushUp(const Query& query,
+                                 const TranslateContext& ctx) {
+  BLAS_ASSIGN_OR_RETURN(Decomposition decomp,
+                        Decompose(query, DecomposeMode::kPushUp));
+  return LowerToPlan(decomp, ctx);
+}
+
+const char* TranslatorName(Translator t) {
+  switch (t) {
+    case Translator::kDLabel:
+      return "D-labeling";
+    case Translator::kSplit:
+      return "Split";
+    case Translator::kPushUp:
+      return "Push-up";
+    case Translator::kUnfold:
+      return "Unfold";
+  }
+  return "?";
+}
+
+Result<ExecPlan> Translate(const Query& query, Translator translator,
+                           const TranslateContext& ctx) {
+  switch (translator) {
+    case Translator::kDLabel:
+      return TranslateDLabel(query, ctx);
+    case Translator::kSplit:
+      return TranslateSplit(query, ctx);
+    case Translator::kPushUp:
+      return TranslatePushUp(query, ctx);
+    case Translator::kUnfold:
+      return TranslateUnfold(query, ctx);
+  }
+  return Status::InvalidArgument("unknown translator");
+}
+
+}  // namespace blas

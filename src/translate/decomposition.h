@@ -1,0 +1,111 @@
+#ifndef BLAS_TRANSLATE_DECOMPOSITION_H_
+#define BLAS_TRANSLATE_DECOMPOSITION_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "exec/plan.h"
+#include "labeling/plabel.h"
+#include "labeling/tag_registry.h"
+#include "schema/path_summary.h"
+#include "xpath/ast.h"
+
+namespace blas {
+
+/// One location step of a decomposed part (axis preceding the tag).
+struct PartStep {
+  Axis axis = Axis::kChild;
+  std::string tag;
+};
+
+/// \brief One suffix-path subquery produced by query decomposition
+/// (section 4.1).
+struct Part {
+  /// Root-to-leaf steps. steps[0].axis is the part's lead axis: kChild
+  /// means the part is anchored exactly (an absolute simple path for the
+  /// root part, or a Push-up part under a '/' lead); kDescendant means a
+  /// floating suffix path. Internal steps are all kChild except under
+  /// Unfold, where internal descendant axes survive until expansion.
+  std::vector<PartStep> steps;
+  /// Value predicate on the part's leaf node.
+  std::optional<ValuePred> value;
+  /// Index of the part whose leaf anchors this one (-1 for the root part).
+  int anchor = -1;
+  /// Number of steps between the anchor leaf and this part's leaf.
+  int delta = 0;
+  /// True when the cut edge was a child axis: leaf.level == anchor.level +
+  /// delta. False for descendant cuts: leaf.level >= anchor.level + delta
+  /// (the sound completion of the paper's bare-containment D-join; see
+  /// DESIGN.md).
+  bool exact = false;
+  /// True if this part's leaf is the query's return node.
+  bool is_return = false;
+
+  /// Renders e.g. "//reference/refinfo" (for plans and debugging).
+  std::string PathString() const;
+};
+
+/// Decomposition flavor (section 4.1.1-4.1.3).
+enum class DecomposeMode {
+  kSplit,   // parts restart with '//' at every cut
+  kPushUp,  // branch cuts push the anchor's full prefix into the part
+  kUnfold,  // Push-up prefixes, but descendant edges stay inside parts
+            // for schema expansion
+};
+
+/// \brief Result of decomposing a tree query into suffix-path parts plus
+/// the ancestor-descendant relationships among their results.
+struct Decomposition {
+  std::vector<Part> parts;  // anchors precede their children
+  int return_part = 0;
+
+  std::string ToString() const;
+};
+
+/// Decomposes `query` (algorithms 3-5). Fails with Unsupported for
+/// wildcards under kSplit/kPushUp (the paper handles wildcards via the
+/// schema, i.e. Unfold).
+Result<Decomposition> Decompose(const Query& query, DecomposeMode mode);
+
+/// Inputs shared by all translators.
+struct TranslateContext {
+  const TagRegistry* tags = nullptr;
+  const PLabelCodec* codec = nullptr;
+  /// Required by TranslateUnfold only.
+  const PathSummary* summary = nullptr;
+};
+
+/// Lowers a Split/Push-up decomposition to an executable plan by computing
+/// each part's P-label interval (algorithm 1). Used by TranslateSplit and
+/// TranslatePushUp; Unfold has its own lowering (schema expansion).
+Result<ExecPlan> LowerToPlan(const Decomposition& decomp,
+                             const TranslateContext& ctx);
+
+/// The three BLAS translators (section 4.1) and the D-labeling baseline.
+Result<ExecPlan> TranslateSplit(const Query& query,
+                                const TranslateContext& ctx);
+Result<ExecPlan> TranslatePushUp(const Query& query,
+                                 const TranslateContext& ctx);
+Result<ExecPlan> TranslateUnfold(const Query& query,
+                                 const TranslateContext& ctx);
+Result<ExecPlan> TranslateDLabel(const Query& query,
+                                 const TranslateContext& ctx);
+
+/// Translator selector used by the facade and benchmarks.
+enum class Translator {
+  kDLabel,
+  kSplit,
+  kPushUp,
+  kUnfold,
+};
+
+const char* TranslatorName(Translator t);
+
+Result<ExecPlan> Translate(const Query& query, Translator translator,
+                           const TranslateContext& ctx);
+
+}  // namespace blas
+
+#endif  // BLAS_TRANSLATE_DECOMPOSITION_H_

@@ -1,0 +1,22 @@
+#ifndef BLAS_TRANSLATE_SQL_RENDER_H_
+#define BLAS_TRANSLATE_SQL_RENDER_H_
+
+#include <string>
+
+#include "exec/plan.h"
+#include "labeling/tag_registry.h"
+
+namespace blas {
+
+/// Renders a translated plan as a standard SQL statement over the SP
+/// (P-labeled, clustered by {plabel, start}) or SD (tag-labeled, clustered
+/// by {tag, start}) relation — the query translator output of section 4.1.
+std::string RenderSql(const ExecPlan& plan, const TagRegistry& tags);
+
+/// Renders the same plan in the relational-algebra style of figure 11
+/// (pi / rho / sigma / joins with explicit D-join predicates).
+std::string RenderAlgebra(const ExecPlan& plan, const TagRegistry& tags);
+
+}  // namespace blas
+
+#endif  // BLAS_TRANSLATE_SQL_RENDER_H_

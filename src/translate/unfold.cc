@@ -1,0 +1,113 @@
+#include <algorithm>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "translate/decomposition.h"
+
+namespace blas {
+
+namespace {
+
+/// Resolves part steps to summary pattern steps. Returns false when a tag
+/// does not occur in the document (the part is provably empty).
+bool ToSummarySteps(const TagRegistry& tags,
+                    const std::vector<PartStep>& steps, size_t begin,
+                    std::vector<SummaryStep>* out) {
+  out->clear();
+  for (size_t i = begin; i < steps.size(); ++i) {
+    SummaryStep step;
+    step.descendant = steps[i].axis == Axis::kDescendant;
+    if (steps[i].tag != kWildcard) {
+      auto id = tags.Find(steps[i].tag);
+      if (!id.has_value()) return false;
+      step.tag = *id;
+    }
+    out->push_back(step);
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<ExecPlan> TranslateUnfold(const Query& query,
+                                 const TranslateContext& ctx) {
+  if (ctx.tags == nullptr || ctx.codec == nullptr) {
+    return Status::InvalidArgument("TranslateContext missing tags/codec");
+  }
+  if (ctx.summary == nullptr) {
+    return Status::InvalidArgument(
+        "Unfold requires schema information (path summary)");
+  }
+  BLAS_ASSIGN_OR_RETURN(Decomposition decomp,
+                        Decompose(query, DecomposeMode::kUnfold));
+
+  ExecPlan plan;
+  plan.return_part = decomp.return_part;
+  plan.parts.reserve(decomp.parts.size());
+  // Alternatives of each processed part, used to align child expansions.
+  std::vector<std::vector<const SummaryNode*>> part_nodes(
+      decomp.parts.size());
+
+  for (size_t i = 0; i < decomp.parts.size(); ++i) {
+    const Part& part = decomp.parts[i];
+    PlanPart out;
+    out.scan = PlanPart::Scan::kPlabelAlts;
+    out.value = part.value;
+    out.label = part.PathString();
+    out.anchor = part.anchor;
+    out.delta = part.delta;
+
+    // The extension below the anchor leaf is the last `delta` steps
+    // (for the root part the prefix is empty, so it is the whole path).
+    size_t ext_begin = part.steps.size() - static_cast<size_t>(part.delta);
+    std::vector<SummaryStep> ext;
+    bool resolvable = ToSummarySteps(*ctx.tags, part.steps, ext_begin, &ext);
+
+    if (part.anchor < 0) {
+      if (resolvable) {
+        // ext[0].descendant already reflects the query's lead axis.
+        std::vector<const SummaryNode*> nodes = ctx.summary->Expand(ext);
+        for (const SummaryNode* node : nodes) {
+          out.alts.push_back(PlanAlt{PLabelRange{node->plabel, node->plabel},
+                                     {}});
+        }
+        part_nodes[i] = std::move(nodes);
+      }
+    } else {
+      out.join = PlanPart::Join::kContainPerAlt;
+      if (resolvable) {
+        // Aligned expansion: unfold the extension below every anchor
+        // alternative; remember which level distances realize each
+        // expanded path (section 4.1.3, made sound for recursive schemas).
+        std::map<const SummaryNode*, std::set<int32_t>> found;
+        for (const SummaryNode* anchor_node : part_nodes[part.anchor]) {
+          for (const SummaryNode* node :
+               ctx.summary->ExpandFrom(anchor_node, ext)) {
+            found[node].insert(
+                static_cast<int32_t>(node->depth - anchor_node->depth));
+          }
+        }
+        for (const auto& [node, deltas] : found) {
+          PlanAlt alt;
+          alt.range = PLabelRange{node->plabel, node->plabel};
+          alt.anchor_deltas.assign(deltas.begin(), deltas.end());
+          out.alts.push_back(std::move(alt));
+          part_nodes[i].push_back(node);
+        }
+        std::sort(out.alts.begin(), out.alts.end(),
+                  [](const PlanAlt& a, const PlanAlt& b) {
+                    return a.range.lo < b.range.lo;
+                  });
+        std::sort(part_nodes[i].begin(), part_nodes[i].end(),
+                  [](const SummaryNode* a, const SummaryNode* b) {
+                    return a->plabel < b->plabel;
+                  });
+      }
+    }
+    plan.parts.push_back(std::move(out));
+  }
+  return plan;
+}
+
+}  // namespace blas

@@ -1,0 +1,88 @@
+#include "twig/twig.h"
+
+#include <algorithm>
+
+#include "exec/operators.h"
+
+namespace blas {
+
+Result<std::vector<uint32_t>> TwigEngine::Execute(const ExecPlan& plan,
+                                                  ExecStats* stats) const {
+  if (plan.parts.empty()) {
+    return Status::InvalidArgument("empty plan");
+  }
+  StorageStats before = store_->stats();
+  ExecStats local;
+  const size_t n = plan.parts.size();
+
+  // Load all streams (each stream is read exactly once).
+  std::vector<std::vector<NodeRecord>> streams(n);
+  for (size_t i = 0; i < n; ++i) {
+    streams[i] = FetchPartTuples(plan.parts[i], *store_, *dict_);
+  }
+
+  std::vector<PerAltDeltas> alt_tables(n);
+  auto pred_of = [&](size_t i) {
+    JoinPred pred;
+    pred.kind = plan.parts[i].join;
+    pred.delta = plan.parts[i].delta;
+    if (pred.kind == PlanPart::Join::kContainPerAlt) {
+      if (alt_tables[i].empty()) {
+        alt_tables[i] = BuildPerAltDeltas(plan.parts[i]);
+      }
+      pred.per_alt = &alt_tables[i];
+    }
+    return pred;
+  };
+
+  // Bottom-up pass: alive[i][e] <=> the pattern subtree below part i can
+  // be embedded with e as part i's binding. Children have larger indices,
+  // so a reverse scan finalizes each part before it is used as a child.
+  std::vector<std::vector<char>> alive(n);
+  for (size_t i = 0; i < n; ++i) alive[i].assign(streams[i].size(), 1);
+  for (size_t i = n; i-- > 1;) {
+    int anchor = plan.parts[i].anchor;
+    std::vector<char> support = SemiMarkAnchors(
+        streams[anchor], streams[i], alive[i], pred_of(i));
+    ++local.d_joins;
+    for (size_t e = 0; e < alive[anchor].size(); ++e) {
+      alive[anchor][e] = alive[anchor][e] && support[e];
+    }
+  }
+
+  // Top-down pass: reachable[i][e] <=> e additionally extends to a match
+  // of everything outside part i's subtree.
+  std::vector<std::vector<char>> reachable(n);
+  reachable[0] = alive[0];
+  for (size_t i = 1; i < n; ++i) {
+    int anchor = plan.parts[i].anchor;
+    std::vector<char> down = SemiMarkDescs(streams[anchor],
+                                           reachable[anchor], streams[i],
+                                           pred_of(i));
+    reachable[i].assign(streams[i].size(), 0);
+    for (size_t e = 0; e < down.size(); ++e) {
+      reachable[i][e] = down[e] && alive[i][e];
+    }
+  }
+
+  std::vector<uint32_t> result;
+  const auto& ret_stream = streams[plan.return_part];
+  const auto& ret_alive = reachable[plan.return_part];
+  for (size_t e = 0; e < ret_stream.size(); ++e) {
+    if (ret_alive[e]) result.push_back(ret_stream[e].start);
+  }
+  std::sort(result.begin(), result.end());
+  result.erase(std::unique(result.begin(), result.end()), result.end());
+
+  if (stats != nullptr) {
+    StorageStats after = store_->stats();
+    local.elements = after.elements - before.elements;
+    local.page_fetches = after.page_fetches - before.page_fetches;
+    local.page_misses = after.page_misses - before.page_misses;
+    local.output_rows = result.size();
+    *stats += local;
+  }
+  return result;
+}
+
+}  // namespace blas

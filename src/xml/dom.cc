@@ -1,0 +1,94 @@
+#include "xml/dom.h"
+
+#include <utility>
+
+#include "xml/sax_parser.h"
+
+namespace blas {
+
+std::string DomTree::SourcePath(const DomNode* node) {
+  std::vector<const DomNode*> chain;
+  for (const DomNode* n = node; n != nullptr; n = n->parent) {
+    chain.push_back(n);
+  }
+  std::string path;
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    path.push_back('/');
+    path.append((*it)->tag);
+  }
+  return path;
+}
+
+void DomBuilder::OnStartDocument() {
+  tree_ = DomTree();
+  stack_.clear();
+  next_pos_ = 1;
+  done_ = false;
+}
+
+void DomBuilder::OnStartElement(std::string_view name,
+                                const std::vector<XmlAttribute>& attributes) {
+  auto node = std::make_unique<DomNode>();
+  node->kind = DomNode::Kind::kElement;
+  node->tag = std::string(name);
+  node->start = next_pos_++;
+  DomNode* raw = node.get();
+  if (stack_.empty()) {
+    node->level = 1;
+    tree_.root_ = std::move(node);
+  } else {
+    DomNode* parent = stack_.back();
+    node->parent = parent;
+    node->level = parent->level + 1;
+    parent->children.push_back(std::move(node));
+  }
+  tree_.node_count_++;
+  if (raw->level > tree_.max_depth_) tree_.max_depth_ = raw->level;
+  stack_.push_back(raw);
+
+  for (const XmlAttribute& attr : attributes) {
+    auto anode = std::make_unique<DomNode>();
+    anode->kind = DomNode::Kind::kAttribute;
+    anode->tag = "@" + attr.name;
+    anode->text = attr.value;
+    anode->parent = raw;
+    anode->level = raw->level + 1;
+    anode->start = next_pos_++;
+    next_pos_++;  // value unit
+    anode->end = next_pos_++;
+    tree_.node_count_++;
+    if (anode->level > tree_.max_depth_) tree_.max_depth_ = anode->level;
+    raw->children.push_back(std::move(anode));
+  }
+}
+
+void DomBuilder::OnEndElement(std::string_view /*name*/) {
+  if (stack_.empty()) return;  // Parser guarantees balance; be defensive.
+  DomNode* node = stack_.back();
+  node->end = next_pos_++;
+  stack_.pop_back();
+  if (stack_.empty()) done_ = true;
+}
+
+void DomBuilder::OnText(std::string_view text) {
+  if (stack_.empty()) return;
+  DomNode* node = stack_.back();
+  node->text.append(text);
+  next_pos_++;  // text unit
+}
+
+Result<DomTree> DomBuilder::Take() {
+  if (!done_ || tree_.root_ == nullptr) {
+    return Status::Internal("DomBuilder: document incomplete");
+  }
+  return std::move(tree_);
+}
+
+Result<DomTree> ParseDom(std::string_view xml) {
+  DomBuilder builder;
+  SaxParser parser;
+  BLAS_RETURN_NOT_OK(parser.Parse(xml, &builder));
+  return builder.Take();
+}
+
+}  // namespace blas

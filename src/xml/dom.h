@@ -1,0 +1,116 @@
+#ifndef BLAS_XML_DOM_H_
+#define BLAS_XML_DOM_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "xml/sax.h"
+
+namespace blas {
+
+/// \brief In-memory XML tree node.
+///
+/// Attributes are modeled as element-like children whose tag is "@name"
+/// (the paper counts attribute nodes; XPath attribute steps become `@name`
+/// name tests). Text content is folded into `text` of the owning element,
+/// mirroring the `data` column of the BLAS relation.
+struct DomNode {
+  enum class Kind { kElement, kAttribute };
+
+  Kind kind = Kind::kElement;
+  /// Element tag, or "@name" for attributes.
+  std::string tag;
+  /// Concatenated direct character data (attribute value for attributes).
+  std::string text;
+
+  DomNode* parent = nullptr;
+  std::vector<std::unique_ptr<DomNode>> children;
+
+  /// Depth of the node; the root element has level 1 (the paper defines
+  /// level as the length of the path from the root).
+  int level = 0;
+  /// D-label positions: each start tag, end tag and text run is one unit.
+  uint32_t start = 0;
+  uint32_t end = 0;
+
+  bool is_attribute() const { return kind == Kind::kAttribute; }
+};
+
+/// \brief Owning XML document tree with position/level annotations.
+///
+/// Serves as the ground-truth structure for the naive XPath evaluator and
+/// for differential tests against the labeled relational form.
+class DomTree {
+ public:
+  DomTree() = default;
+  DomTree(DomTree&&) = default;
+  DomTree& operator=(DomTree&&) = default;
+  DomTree(const DomTree&) = delete;
+  DomTree& operator=(const DomTree&) = delete;
+
+  const DomNode* root() const { return root_.get(); }
+  DomNode* mutable_root() { return root_.get(); }
+
+  /// Number of element + attribute nodes.
+  size_t node_count() const { return node_count_; }
+  /// Length of the longest simple path (root = 1).
+  int max_depth() const { return max_depth_; }
+
+  /// Pre-order traversal visiting every element/attribute node.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    if (root_) ForEachImpl(root_.get(), fn);
+  }
+
+  /// Returns the simple path of `node` as "/t1/t2/.../tk".
+  static std::string SourcePath(const DomNode* node);
+
+ private:
+  friend class DomBuilder;
+
+  template <typename Fn>
+  static void ForEachImpl(const DomNode* node, Fn&& fn) {
+    fn(node);
+    for (const auto& child : node->children) ForEachImpl(child.get(), fn);
+  }
+
+  std::unique_ptr<DomNode> root_;
+  size_t node_count_ = 0;
+  int max_depth_ = 0;
+};
+
+/// \brief SAX handler that materializes a DomTree.
+///
+/// Position counting matches labeling::Labeler exactly: every element start
+/// tag, end tag and text run is one unit; each attribute occupies three
+/// units (start, value, end) directly after its owner's start tag.
+class DomBuilder : public SaxHandler {
+ public:
+  void OnStartDocument() override;
+  void OnStartElement(std::string_view name,
+                      const std::vector<XmlAttribute>& attributes) override;
+  void OnEndElement(std::string_view name) override;
+  void OnText(std::string_view text) override;
+
+  /// Takes the finished tree. Returns an error if the document was empty
+  /// or unbalanced.
+  Result<DomTree> Take();
+
+ private:
+  DomTree tree_;
+  std::vector<DomNode*> stack_;
+  uint32_t next_pos_ = 1;
+  bool done_ = false;
+};
+
+/// Convenience: parses XML text into a DomTree.
+Result<DomTree> ParseDom(std::string_view xml);
+
+}  // namespace blas
+
+#endif  // BLAS_XML_DOM_H_

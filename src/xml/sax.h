@@ -1,0 +1,44 @@
+#ifndef BLAS_XML_SAX_H_
+#define BLAS_XML_SAX_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace blas {
+
+/// One parsed XML attribute.
+struct XmlAttribute {
+  std::string name;
+  std::string value;
+};
+
+/// \brief SAX event consumer interface.
+///
+/// The BLAS index generator (labeling::Labeler), the DOM builder and the
+/// test fixtures all implement this interface and are driven by SaxParser
+/// (or directly by the synthetic data generators, which emit events without
+/// materializing XML text).
+class SaxHandler {
+ public:
+  virtual ~SaxHandler() = default;
+
+  /// Called once before the first event.
+  virtual void OnStartDocument() {}
+  /// Called once after the last event.
+  virtual void OnEndDocument() {}
+
+  /// Start tag. `attributes` are in document order.
+  virtual void OnStartElement(std::string_view name,
+                              const std::vector<XmlAttribute>& attributes) = 0;
+  /// End tag (also emitted for self-closing elements).
+  virtual void OnEndElement(std::string_view name) = 0;
+  /// Character data with entities already decoded. Whitespace-only text
+  /// between elements is suppressed by the parser.
+  virtual void OnText(std::string_view text) = 0;
+};
+
+}  // namespace blas
+
+#endif  // BLAS_XML_SAX_H_

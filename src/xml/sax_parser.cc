@@ -1,0 +1,337 @@
+#include "xml/sax_parser.h"
+
+#include <cstdint>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace blas {
+
+namespace {
+
+bool IsNameStartChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+         c == ':' || static_cast<unsigned char>(c) >= 0x80;
+}
+
+bool IsNameChar(char c) {
+  return IsNameStartChar(c) || (c >= '0' && c <= '9') || c == '-' || c == '.';
+}
+
+bool IsSpace(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+}
+
+void AppendUtf8(uint32_t cp, std::string* out) {
+  if (cp < 0x80) {
+    out->push_back(static_cast<char>(cp));
+  } else if (cp < 0x800) {
+    out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else if (cp < 0x10000) {
+    out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else {
+    out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  }
+}
+
+/// Internal cursor over the input with error reporting by offset.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view input) : input_(input) {}
+
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  size_t pos() const { return pos_; }
+  char Peek() const { return input_[pos_]; }
+  char PeekAt(size_t delta) const {
+    size_t p = pos_ + delta;
+    return p < input_.size() ? input_[p] : '\0';
+  }
+  void Advance(size_t n = 1) { pos_ += n; }
+
+  bool Consume(std::string_view token) {
+    if (input_.substr(pos_, token.size()) == token) {
+      pos_ += token.size();
+      return true;
+    }
+    return false;
+  }
+
+  void SkipSpace() {
+    while (!AtEnd() && IsSpace(Peek())) Advance();
+  }
+
+  Status Error(const std::string& what) const {
+    return Status::ParseError(what + " at offset " + std::to_string(pos_));
+  }
+
+  std::string_view Remaining() const { return input_.substr(pos_); }
+  std::string_view Slice(size_t begin, size_t end) const {
+    return input_.substr(begin, end - begin);
+  }
+
+ private:
+  std::string_view input_;
+  size_t pos_ = 0;
+};
+
+class ParserImpl {
+ public:
+  ParserImpl(std::string_view input, SaxHandler* handler)
+      : cur_(input), handler_(handler) {}
+
+  Status Run() {
+    handler_->OnStartDocument();
+    BLAS_RETURN_NOT_OK(SkipProlog());
+    if (cur_.AtEnd() || cur_.Peek() != '<') {
+      return cur_.Error("expected root element");
+    }
+    BLAS_RETURN_NOT_OK(ParseContent(/*depth=*/0));
+    // Trailing misc: comments / PIs / whitespace only.
+    BLAS_RETURN_NOT_OK(SkipMisc());
+    if (!cur_.AtEnd()) return cur_.Error("content after root element");
+    handler_->OnEndDocument();
+    return Status::OK();
+  }
+
+ private:
+  Status SkipProlog() {
+    while (true) {
+      cur_.SkipSpace();
+      if (cur_.Consume("<?")) {
+        BLAS_RETURN_NOT_OK(SkipUntil("?>"));
+      } else if (cur_.Consume("<!--")) {
+        BLAS_RETURN_NOT_OK(SkipUntil("-->"));
+      } else if (cur_.Consume("<!DOCTYPE")) {
+        BLAS_RETURN_NOT_OK(SkipDoctype());
+      } else {
+        return Status::OK();
+      }
+    }
+  }
+
+  Status SkipMisc() {
+    while (true) {
+      cur_.SkipSpace();
+      if (cur_.Consume("<?")) {
+        BLAS_RETURN_NOT_OK(SkipUntil("?>"));
+      } else if (cur_.Consume("<!--")) {
+        BLAS_RETURN_NOT_OK(SkipUntil("-->"));
+      } else {
+        return Status::OK();
+      }
+    }
+  }
+
+  Status SkipDoctype() {
+    // Skip to the matching '>' allowing one level of [...] internal subset.
+    int bracket = 0;
+    while (!cur_.AtEnd()) {
+      char c = cur_.Peek();
+      cur_.Advance();
+      if (c == '[') ++bracket;
+      if (c == ']') --bracket;
+      if (c == '>' && bracket <= 0) return Status::OK();
+    }
+    return cur_.Error("unterminated DOCTYPE");
+  }
+
+  Status SkipUntil(std::string_view token) {
+    while (!cur_.AtEnd()) {
+      if (cur_.Consume(token)) return Status::OK();
+      cur_.Advance();
+    }
+    return cur_.Error(std::string("unterminated construct, expected ") +
+                      std::string(token));
+  }
+
+  Status ParseName(std::string* out) {
+    if (cur_.AtEnd() || !IsNameStartChar(cur_.Peek())) {
+      return cur_.Error("expected name");
+    }
+    size_t begin = cur_.pos();
+    while (!cur_.AtEnd() && IsNameChar(cur_.Peek())) cur_.Advance();
+    *out = std::string(cur_.Slice(begin, cur_.pos()));
+    return Status::OK();
+  }
+
+  Status ParseAttributes(std::vector<XmlAttribute>* attrs, bool* self_close) {
+    attrs->clear();
+    *self_close = false;
+    while (true) {
+      cur_.SkipSpace();
+      if (cur_.AtEnd()) return cur_.Error("unterminated start tag");
+      if (cur_.Consume("/>")) {
+        *self_close = true;
+        return Status::OK();
+      }
+      if (cur_.Consume(">")) return Status::OK();
+      XmlAttribute attr;
+      BLAS_RETURN_NOT_OK(ParseName(&attr.name));
+      cur_.SkipSpace();
+      if (!cur_.Consume("=")) return cur_.Error("expected '=' in attribute");
+      cur_.SkipSpace();
+      if (cur_.AtEnd()) return cur_.Error("unterminated attribute");
+      char quote = cur_.Peek();
+      if (quote != '"' && quote != '\'') {
+        return cur_.Error("expected quoted attribute value");
+      }
+      cur_.Advance();
+      size_t begin = cur_.pos();
+      while (!cur_.AtEnd() && cur_.Peek() != quote) cur_.Advance();
+      if (cur_.AtEnd()) return cur_.Error("unterminated attribute value");
+      std::string decoded;
+      BLAS_RETURN_NOT_OK(
+          DecodeEntities(cur_.Slice(begin, cur_.pos()), &decoded));
+      attr.value = std::move(decoded);
+      cur_.Advance();  // closing quote
+      attrs->push_back(std::move(attr));
+    }
+  }
+
+  /// Parses one element (cursor at '<') and its content recursively.
+  Status ParseContent(int depth) {
+    if (depth > kMaxDepth) return cur_.Error("document too deep");
+    if (!cur_.Consume("<")) return cur_.Error("expected '<'");
+    std::string name;
+    BLAS_RETURN_NOT_OK(ParseName(&name));
+    std::vector<XmlAttribute> attrs;
+    bool self_close = false;
+    BLAS_RETURN_NOT_OK(ParseAttributes(&attrs, &self_close));
+    handler_->OnStartElement(name, attrs);
+    if (self_close) {
+      handler_->OnEndElement(name);
+      return Status::OK();
+    }
+
+    std::string pending_text;
+    auto flush_text = [&]() {
+      if (pending_text.empty()) return;
+      // Suppress whitespace-only runs between markup.
+      if (!Trim(pending_text).empty()) handler_->OnText(pending_text);
+      pending_text.clear();
+    };
+
+    while (true) {
+      if (cur_.AtEnd()) return cur_.Error("unterminated element " + name);
+      if (cur_.Peek() == '<') {
+        if (cur_.PeekAt(1) == '/') {
+          flush_text();
+          cur_.Advance(2);
+          std::string end_name;
+          BLAS_RETURN_NOT_OK(ParseName(&end_name));
+          cur_.SkipSpace();
+          if (!cur_.Consume(">")) return cur_.Error("expected '>' in end tag");
+          if (end_name != name) {
+            return cur_.Error("mismatched end tag </" + end_name +
+                              ">, expected </" + name + ">");
+          }
+          handler_->OnEndElement(name);
+          return Status::OK();
+        }
+        if (cur_.Consume("<!--")) {
+          flush_text();
+          BLAS_RETURN_NOT_OK(SkipUntil("-->"));
+          continue;
+        }
+        if (cur_.Consume("<![CDATA[")) {
+          size_t begin = cur_.pos();
+          BLAS_RETURN_NOT_OK(SkipUntil("]]>"));
+          pending_text.append(cur_.Slice(begin, cur_.pos() - 3));
+          continue;
+        }
+        if (cur_.Consume("<?")) {
+          flush_text();
+          BLAS_RETURN_NOT_OK(SkipUntil("?>"));
+          continue;
+        }
+        flush_text();
+        BLAS_RETURN_NOT_OK(ParseContent(depth + 1));
+        continue;
+      }
+      // Character data run.
+      size_t begin = cur_.pos();
+      while (!cur_.AtEnd() && cur_.Peek() != '<') cur_.Advance();
+      std::string decoded;
+      BLAS_RETURN_NOT_OK(
+          DecodeEntities(cur_.Slice(begin, cur_.pos()), &decoded));
+      pending_text.append(decoded);
+    }
+  }
+
+  static constexpr int kMaxDepth = 512;
+
+  Cursor cur_;
+  SaxHandler* handler_;
+};
+
+}  // namespace
+
+Status DecodeEntities(std::string_view text, std::string* out) {
+  out->clear();
+  out->reserve(text.size());
+  for (size_t i = 0; i < text.size();) {
+    char c = text[i];
+    if (c != '&') {
+      out->push_back(c);
+      ++i;
+      continue;
+    }
+    size_t semi = text.find(';', i + 1);
+    if (semi == std::string_view::npos) {
+      return Status::ParseError("unterminated entity reference");
+    }
+    std::string_view entity = text.substr(i + 1, semi - i - 1);
+    if (entity == "lt") {
+      out->push_back('<');
+    } else if (entity == "gt") {
+      out->push_back('>');
+    } else if (entity == "amp") {
+      out->push_back('&');
+    } else if (entity == "apos") {
+      out->push_back('\'');
+    } else if (entity == "quot") {
+      out->push_back('"');
+    } else if (!entity.empty() && entity[0] == '#') {
+      uint32_t cp = 0;
+      bool hex = entity.size() > 1 && (entity[1] == 'x' || entity[1] == 'X');
+      std::string_view digits = entity.substr(hex ? 2 : 1);
+      if (digits.empty()) return Status::ParseError("empty character ref");
+      for (char d : digits) {
+        uint32_t v;
+        if (d >= '0' && d <= '9') {
+          v = static_cast<uint32_t>(d - '0');
+        } else if (hex && d >= 'a' && d <= 'f') {
+          v = static_cast<uint32_t>(d - 'a' + 10);
+        } else if (hex && d >= 'A' && d <= 'F') {
+          v = static_cast<uint32_t>(d - 'A' + 10);
+        } else {
+          return Status::ParseError("bad character reference &" +
+                                    std::string(entity) + ";");
+        }
+        cp = cp * (hex ? 16 : 10) + v;
+        if (cp > 0x10FFFF) {
+          return Status::ParseError("character reference out of range");
+        }
+      }
+      AppendUtf8(cp, out);
+    } else {
+      return Status::ParseError("unknown entity &" + std::string(entity) +
+                                ";");
+    }
+    i = semi + 1;
+  }
+  return Status::OK();
+}
+
+Status SaxParser::Parse(std::string_view input, SaxHandler* handler) {
+  ParserImpl impl(input, handler);
+  return impl.Run();
+}
+
+}  // namespace blas

@@ -1,0 +1,35 @@
+#ifndef BLAS_XML_SAX_PARSER_H_
+#define BLAS_XML_SAX_PARSER_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "xml/sax.h"
+
+namespace blas {
+
+/// \brief Streaming (SAX-style) XML parser.
+///
+/// Supports the XML subset needed for the paper's datasets: elements,
+/// attributes, character data, predefined and numeric entity references,
+/// CDATA sections, comments, processing instructions and an optional
+/// internal-subset-free DOCTYPE. Namespaces are treated literally (the
+/// prefix is part of the tag name). The parser enforces well-formedness
+/// (tag balance) and reports the byte offset of any error.
+class SaxParser {
+ public:
+  /// Parses `input` end-to-end, emitting events into `handler`.
+  /// On error, a ParseError status with offset information is returned and
+  /// the handler may have received a prefix of the events.
+  Status Parse(std::string_view input, SaxHandler* handler);
+};
+
+/// Decodes XML entity references in `text` (&lt; &gt; &amp; &apos; &quot;
+/// and numeric &#dd; / &#xhh; forms, UTF-8 encoded). Unknown entities are
+/// an error.
+Status DecodeEntities(std::string_view text, std::string* out);
+
+}  // namespace blas
+
+#endif  // BLAS_XML_SAX_PARSER_H_

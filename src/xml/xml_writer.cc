@@ -1,0 +1,107 @@
+#include "xml/xml_writer.h"
+
+namespace blas {
+
+std::string EscapeText(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '<':
+        out.append("&lt;");
+        break;
+      case '>':
+        out.append("&gt;");
+        break;
+      case '&':
+        out.append("&amp;");
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string EscapeAttribute(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '<':
+        out.append("&lt;");
+        break;
+      case '>':
+        out.append("&gt;");
+        break;
+      case '&':
+        out.append("&amp;");
+        break;
+      case '"':
+        out.append("&quot;");
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void WriteNode(const DomNode* node, std::string* out) {
+  out->push_back('<');
+  out->append(node->tag);
+  // Attribute children first (they were recorded in document order).
+  for (const auto& child : node->children) {
+    if (!child->is_attribute()) continue;
+    out->push_back(' ');
+    out->append(child->tag.substr(1));  // drop '@'
+    out->append("=\"");
+    out->append(EscapeAttribute(child->text));
+    out->push_back('"');
+  }
+  out->push_back('>');
+  if (!node->text.empty()) out->append(EscapeText(node->text));
+  for (const auto& child : node->children) {
+    if (child->is_attribute()) continue;
+    WriteNode(child.get(), out);
+  }
+  out->append("</");
+  out->append(node->tag);
+  out->push_back('>');
+}
+
+}  // namespace
+
+std::string WriteXml(const DomTree& tree) {
+  std::string out;
+  if (tree.root() != nullptr) WriteNode(tree.root(), &out);
+  return out;
+}
+
+void XmlTextSink::OnStartElement(std::string_view name,
+                                 const std::vector<XmlAttribute>& attributes) {
+  out_.push_back('<');
+  out_.append(name);
+  for (const XmlAttribute& attr : attributes) {
+    out_.push_back(' ');
+    out_.append(attr.name);
+    out_.append("=\"");
+    out_.append(EscapeAttribute(attr.value));
+    out_.push_back('"');
+  }
+  out_.push_back('>');
+}
+
+void XmlTextSink::OnEndElement(std::string_view name) {
+  out_.append("</");
+  out_.append(name);
+  out_.push_back('>');
+}
+
+void XmlTextSink::OnText(std::string_view text) {
+  out_.append(EscapeText(text));
+}
+
+}  // namespace blas

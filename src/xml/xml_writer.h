@@ -1,0 +1,41 @@
+#ifndef BLAS_XML_XML_WRITER_H_
+#define BLAS_XML_XML_WRITER_H_
+
+#include <string>
+#include <string_view>
+
+#include "xml/dom.h"
+#include "xml/sax.h"
+
+namespace blas {
+
+/// Escapes text for use as XML character data.
+std::string EscapeText(std::string_view text);
+/// Escapes text for use inside a double-quoted attribute value.
+std::string EscapeAttribute(std::string_view text);
+
+/// Serializes a DomTree back to XML text (attributes inline, character data
+/// before child elements). Round-trips through SaxParser/DomBuilder.
+std::string WriteXml(const DomTree& tree);
+
+/// \brief SAX handler that renders events back into XML text.
+///
+/// The synthetic data generators drive this to produce on-disk corpora and
+/// parser test fixtures.
+class XmlTextSink : public SaxHandler {
+ public:
+  void OnStartElement(std::string_view name,
+                      const std::vector<XmlAttribute>& attributes) override;
+  void OnEndElement(std::string_view name) override;
+  void OnText(std::string_view text) override;
+
+  const std::string& text() const { return out_; }
+  std::string TakeText() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+}  // namespace blas
+
+#endif  // BLAS_XML_XML_WRITER_H_

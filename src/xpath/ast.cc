@@ -1,0 +1,147 @@
+#include "xpath/ast.h"
+
+namespace blas {
+
+const char* ValueOpText(ValueOp op) {
+  switch (op) {
+    case ValueOp::kEq:
+      return "=";
+    case ValueOp::kNe:
+      return "!=";
+    case ValueOp::kLt:
+      return "<";
+    case ValueOp::kLe:
+      return "<=";
+    case ValueOp::kGt:
+      return ">";
+    case ValueOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+bool ValuePred::Matches(std::string_view data) const {
+  int cmp = data.compare(literal);
+  switch (op) {
+    case ValueOp::kEq:
+      return cmp == 0;
+    case ValueOp::kNe:
+      return cmp != 0;
+    case ValueOp::kLt:
+      return cmp < 0;
+    case ValueOp::kLe:
+      return cmp <= 0;
+    case ValueOp::kGt:
+      return cmp > 0;
+    case ValueOp::kGe:
+      return cmp >= 0;
+  }
+  return false;
+}
+
+std::unique_ptr<QueryNode> QueryNode::Clone() const {
+  auto node = std::make_unique<QueryNode>();
+  node->tag = tag;
+  node->axis = axis;
+  node->value = value;
+  node->is_return = is_return;
+  node->children.reserve(children.size());
+  for (const auto& child : children) node->children.push_back(child->Clone());
+  return node;
+}
+
+Query Query::Clone() const {
+  Query q;
+  if (root) q.root = root->Clone();
+  return q;
+}
+
+namespace {
+
+const QueryNode* FindReturn(const QueryNode* node) {
+  if (node == nullptr) return nullptr;
+  if (node->is_return) return node;
+  for (const auto& child : node->children) {
+    if (const QueryNode* r = FindReturn(child.get())) return r;
+  }
+  return nullptr;
+}
+
+bool PathShape(const QueryNode* node) {
+  if (node->children.size() > 1) return false;
+  if (node->children.empty()) return true;
+  return PathShape(node->children[0].get());
+}
+
+bool ChildAxesOnly(const QueryNode* node) {
+  for (const auto& child : node->children) {
+    if (child->axis != Axis::kChild) return false;
+    if (!ChildAxesOnly(child.get())) return false;
+  }
+  return true;
+}
+
+void Render(const QueryNode* node, std::string* out) {
+  out->append(node->axis == Axis::kChild ? "/" : "//");
+  out->append(node->tag);
+  // Branch predicates = all children except the main-path continuation,
+  // which is the child leading to (or being) the return node if any,
+  // otherwise there is no continuation (all children are predicates).
+  const QueryNode* continuation = nullptr;
+  for (const auto& child : node->children) {
+    if (FindReturn(child.get()) != nullptr) {
+      continuation = child.get();
+      break;
+    }
+  }
+  for (const auto& child : node->children) {
+    if (child.get() == continuation) continue;
+    out->push_back('[');
+    std::string inner;
+    Render(child.get(), &inner);
+    // Inside predicates a leading child axis is written without '/'.
+    if (inner[0] == '/' && inner[1] != '/') {
+      out->append(inner.substr(1));
+    } else {
+      out->append(inner);
+    }
+    out->push_back(']');
+  }
+  if (node->value.has_value()) {
+    out->push_back(' ');
+    out->append(ValueOpText(node->value->op));
+    out->append(" \"");
+    out->append(node->value->literal);
+    out->push_back('"');
+  }
+  if (continuation != nullptr) Render(continuation, out);
+}
+
+}  // namespace
+
+const QueryNode* Query::return_node() const { return FindReturn(root.get()); }
+
+bool Query::IsPathQuery() const {
+  if (!root) return false;
+  // No branching and no internal value predicates on non-return nodes
+  // (a trailing value predicate on the return leaf keeps it a path query).
+  const QueryNode* node = root.get();
+  while (node != nullptr) {
+    if (node->children.size() > 1) return false;
+    if (node->value.has_value() && !node->children.empty()) return false;
+    node = node->children.empty() ? nullptr : node->children[0].get();
+  }
+  return PathShape(root.get());
+}
+
+bool Query::IsSuffixPathQuery() const {
+  return IsPathQuery() && ChildAxesOnly(root.get());
+}
+
+std::string Query::ToString() const {
+  std::string out;
+  if (root) Render(root.get(), &out);
+  return out;
+}
+
+}  // namespace blas

@@ -1,0 +1,100 @@
+#ifndef BLAS_XPATH_AST_H_
+#define BLAS_XPATH_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace blas {
+
+/// Axis of the edge entering a query node.
+enum class Axis {
+  kChild,       // "/"
+  kDescendant,  // "//"
+};
+
+/// Wildcard name test.
+inline constexpr const char* kWildcard = "*";
+
+/// Comparison operator of a value predicate. The paper's queries use
+/// equality only; the other operators are the "more complex XPath"
+/// extension (section 7) and compare lexicographically on the PCDATA.
+enum class ValueOp {
+  kEq,  // =
+  kNe,  // !=
+  kLt,  // <
+  kLe,  // <=
+  kGt,  // >
+  kGe,  // >=
+};
+
+/// Spelled-out operator text ("=", "!=", ...).
+const char* ValueOpText(ValueOp op);
+
+/// A value predicate "step OP 'literal'" attached to a query node.
+struct ValuePred {
+  ValueOp op = ValueOp::kEq;
+  std::string literal;
+
+  /// Evaluates the predicate against a node's PCDATA.
+  bool Matches(std::string_view data) const;
+
+  bool operator==(const ValuePred&) const = default;
+};
+
+/// \brief Node of the query tree (section 2, figure 3).
+///
+/// Each node carries the name test of one location step, the axis of its
+/// incoming edge, an optional value predicate ("tag = 'literal'"), and its
+/// children (branch predicates plus the main-path continuation). Exactly
+/// one node in a query tree is the return node.
+struct QueryNode {
+  std::string tag;  // name test; kWildcard for "*"
+  Axis axis = Axis::kChild;
+  std::optional<ValuePred> value;  // self value predicate
+  bool is_return = false;
+  std::vector<std::unique_ptr<QueryNode>> children;
+
+  bool IsLeaf() const { return children.empty(); }
+
+  /// A node is a branching point if it has more than one child, or if it
+  /// is the return node / carries a value predicate while not being a leaf
+  /// (section 2 plus the part-leaf normalization of section 4.1).
+  bool IsBranchingPoint() const {
+    if (children.size() > 1) return true;
+    if (children.empty()) return false;
+    return is_return || value.has_value();
+  }
+
+  std::unique_ptr<QueryNode> Clone() const;
+};
+
+/// \brief A parsed tree query.
+struct Query {
+  std::unique_ptr<QueryNode> root;  // root->axis is the leading / or //
+
+  Query() = default;
+  Query(Query&&) = default;
+  Query& operator=(Query&&) = default;
+
+  Query Clone() const;
+
+  /// The unique return node (set by the parser; last main-path step).
+  const QueryNode* return_node() const;
+
+  /// True if no node has more than one child and no internal value
+  /// predicates exist ("path query" in the paper's taxonomy).
+  bool IsPathQuery() const;
+
+  /// True if it is a path query whose only descendant axis (if any) is the
+  /// leading one ("suffix path query", definition 2.3).
+  bool IsSuffixPathQuery() const;
+
+  /// Canonical XPath text (round-trips through the parser).
+  std::string ToString() const;
+};
+
+}  // namespace blas
+
+#endif  // BLAS_XPATH_AST_H_

@@ -1,0 +1,128 @@
+#include "xpath/naive_eval.h"
+
+#include <algorithm>
+#include <set>
+
+namespace blas {
+
+namespace {
+
+bool TagMatches(const QueryNode* q, const DomNode* d) {
+  if (q->tag == kWildcard) return !d->is_attribute();
+  return q->tag == d->tag;
+}
+
+void Candidates(const DomNode* ctx, const QueryNode* q,
+                std::vector<const DomNode*>* out) {
+  for (const auto& child : ctx->children) {
+    if (TagMatches(q, child.get())) out->push_back(child.get());
+    if (q->axis == Axis::kDescendant) Candidates(child.get(), q, out);
+  }
+}
+
+/// Root-step candidates: the document root for '/', every node for '//'.
+void RootCandidates(const DomTree& tree, const QueryNode* q,
+                    std::vector<const DomNode*>* out) {
+  if (q->axis == Axis::kChild) {
+    if (tree.root() != nullptr && TagMatches(q, tree.root())) {
+      out->push_back(tree.root());
+    }
+    return;
+  }
+  tree.ForEach([&](const DomNode* node) {
+    if (TagMatches(q, node)) out->push_back(node);
+  });
+}
+
+bool ValueOk(const QueryNode* q, const DomNode* d) {
+  return !q->value.has_value() || q->value->Matches(d->text);
+}
+
+/// True if some node below `ctx` fully matches the subtree rooted at `q`
+/// (existential predicate semantics).
+bool Exists(const DomNode* ctx, const QueryNode* q);
+
+bool SubtreeOk(const DomNode* d, const QueryNode* q) {
+  if (!ValueOk(q, d)) return false;
+  for (const auto& child : q->children) {
+    if (!Exists(d, child.get())) return false;
+  }
+  return true;
+}
+
+bool Exists(const DomNode* ctx, const QueryNode* q) {
+  std::vector<const DomNode*> cands;
+  Candidates(ctx, q, &cands);
+  for (const DomNode* d : cands) {
+    if (SubtreeOk(d, q)) return true;
+  }
+  return false;
+}
+
+const QueryNode* ContinuationOf(const QueryNode* q) {
+  for (const auto& child : q->children) {
+    // The continuation is the child whose subtree contains the return node.
+    const QueryNode* stack[1] = {child.get()};
+    std::vector<const QueryNode*> todo(stack, stack + 1);
+    while (!todo.empty()) {
+      const QueryNode* n = todo.back();
+      todo.pop_back();
+      if (n->is_return) return child.get();
+      for (const auto& c : n->children) todo.push_back(c.get());
+    }
+  }
+  return nullptr;
+}
+
+/// True if `d` satisfies `q`'s value predicate and every predicate child
+/// (children NOT containing the return node).
+bool LocalOk(const DomNode* d, const QueryNode* q,
+             const QueryNode* continuation) {
+  if (!ValueOk(q, d)) return false;
+  for (const auto& child : q->children) {
+    if (child.get() == continuation) continue;
+    if (!Exists(d, child.get())) return false;
+  }
+  return true;
+}
+
+void Collect(const DomNode* d, const QueryNode* q,
+             std::set<const DomNode*>* out) {
+  const QueryNode* continuation = ContinuationOf(q);
+  if (!LocalOk(d, q, continuation)) return;
+  if (q->is_return) {
+    out->insert(d);
+    return;
+  }
+  if (continuation == nullptr) return;  // malformed (no return below)
+  std::vector<const DomNode*> cands;
+  Candidates(d, continuation, &cands);
+  for (const DomNode* next : cands) Collect(next, continuation, out);
+}
+
+}  // namespace
+
+std::vector<const DomNode*> NaiveEval(const Query& query,
+                                      const DomTree& tree) {
+  std::vector<const DomNode*> result;
+  if (!query.root || tree.root() == nullptr) return result;
+  std::vector<const DomNode*> roots;
+  RootCandidates(tree, query.root.get(), &roots);
+  std::set<const DomNode*> out;
+  for (const DomNode* d : roots) Collect(d, query.root.get(), &out);
+  result.assign(out.begin(), out.end());
+  std::sort(result.begin(), result.end(),
+            [](const DomNode* a, const DomNode* b) {
+              return a->start < b->start;
+            });
+  return result;
+}
+
+std::vector<uint32_t> NaiveEvalStarts(const Query& query,
+                                      const DomTree& tree) {
+  std::vector<uint32_t> starts;
+  for (const DomNode* d : NaiveEval(query, tree)) starts.push_back(d->start);
+  return starts;
+}
+
+}  // namespace blas

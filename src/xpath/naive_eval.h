@@ -1,0 +1,24 @@
+#ifndef BLAS_XPATH_NAIVE_EVAL_H_
+#define BLAS_XPATH_NAIVE_EVAL_H_
+
+#include <vector>
+
+#include "xml/dom.h"
+#include "xpath/ast.h"
+
+namespace blas {
+
+/// \brief Reference XPath evaluator over the DOM.
+///
+/// Straightforward recursive tree matching with no indexes; serves as the
+/// oracle in differential tests against the BLAS translators and engines.
+/// Returns the matched return-node DOM nodes ordered by document position
+/// (start), without duplicates.
+std::vector<const DomNode*> NaiveEval(const Query& query, const DomTree& tree);
+
+/// Convenience: start positions of NaiveEval results.
+std::vector<uint32_t> NaiveEvalStarts(const Query& query, const DomTree& tree);
+
+}  // namespace blas
+
+#endif  // BLAS_XPATH_NAIVE_EVAL_H_

@@ -1,0 +1,206 @@
+#include "xpath/parser.h"
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace blas {
+
+namespace {
+
+bool IsNameChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == '-' || c == '.' ||
+         c == ':';
+}
+
+/// Head + tail of a parsed step sequence (tail = last main-path step).
+struct Seq {
+  std::unique_ptr<QueryNode> head;
+  QueryNode* tail = nullptr;
+};
+
+class XPathParser {
+ public:
+  explicit XPathParser(std::string_view text) : text_(text) {}
+
+  Result<Query> Parse() {
+    SkipSpace();
+    if (!AtAxis()) return Error("query must start with '/' or '//'");
+    Axis lead = ConsumeAxis();
+    BLAS_ASSIGN_OR_RETURN(Seq seq, ParseStepSeq(lead));
+    SkipSpace();
+    if (pos_ != text_.size()) return Error("unexpected trailing input");
+    seq.tail->is_return = true;
+    Query query;
+    query.root = std::move(seq.head);
+    return query;
+  }
+
+ private:
+  Status Error(const std::string& what) const {
+    return Status::ParseError("XPath: " + what + " at offset " +
+                              std::to_string(pos_));
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t')) {
+      ++pos_;
+    }
+  }
+
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  bool AtAxis() const { return Peek() == '/'; }
+
+  Axis ConsumeAxis() {
+    ++pos_;  // first '/'
+    if (Peek() == '/') {
+      ++pos_;
+      return Axis::kDescendant;
+    }
+    return Axis::kChild;
+  }
+
+  /// Parses `Step (Axis Step)*`; the sequence's steps chain as children.
+  Result<Seq> ParseStepSeq(Axis lead) {
+    BLAS_ASSIGN_OR_RETURN(std::unique_ptr<QueryNode> head, ParseStep(lead));
+    Seq seq;
+    seq.tail = head.get();
+    seq.head = std::move(head);
+    while (true) {
+      SkipSpace();
+      if (!AtAxis()) return seq;
+      Axis axis = ConsumeAxis();
+      BLAS_ASSIGN_OR_RETURN(std::unique_ptr<QueryNode> next,
+                            ParseStep(axis));
+      QueryNode* raw = next.get();
+      seq.tail->children.push_back(std::move(next));
+      seq.tail = raw;
+    }
+  }
+
+  /// Parses `NameTest Predicate* ("=" Literal)?`.
+  Result<std::unique_ptr<QueryNode>> ParseStep(Axis axis) {
+    SkipSpace();
+    auto node = std::make_unique<QueryNode>();
+    node->axis = axis;
+    if (Peek() == '*') {
+      ++pos_;
+      node->tag = kWildcard;
+    } else if (Peek() == '@') {
+      ++pos_;
+      BLAS_ASSIGN_OR_RETURN(std::string name, ParseName());
+      node->tag = "@" + name;
+    } else {
+      BLAS_ASSIGN_OR_RETURN(std::string name, ParseName());
+      node->tag = std::move(name);
+    }
+
+    while (true) {
+      SkipSpace();
+      if (Peek() != '[') break;
+      ++pos_;
+      BLAS_RETURN_NOT_OK(ParsePredicateExpr(node.get()));
+      SkipSpace();
+      if (Peek() != ']') return Error("expected ']'");
+      ++pos_;
+    }
+
+    SkipSpace();
+    std::optional<ValueOp> op = TryConsumeValueOp();
+    if (op.has_value()) {
+      BLAS_ASSIGN_OR_RETURN(std::string literal, ParseLiteral());
+      node->value = ValuePred{*op, std::move(literal)};
+    }
+    return node;
+  }
+
+  /// Recognizes =, !=, <, <=, >, >= ahead of a literal.
+  std::optional<ValueOp> TryConsumeValueOp() {
+    SkipSpace();
+    char c = Peek();
+    if (c == '=') {
+      ++pos_;
+      return ValueOp::kEq;
+    }
+    if (c == '!' && pos_ + 1 < text_.size() && text_[pos_ + 1] == '=') {
+      pos_ += 2;
+      return ValueOp::kNe;
+    }
+    if (c == '<' || c == '>') {
+      ++pos_;
+      bool or_equal = Peek() == '=';
+      if (or_equal) ++pos_;
+      if (c == '<') return or_equal ? ValueOp::kLe : ValueOp::kLt;
+      return or_equal ? ValueOp::kGe : ValueOp::kGt;
+    }
+    return std::nullopt;
+  }
+
+  /// Parses `RelPath ("and" RelPath)*`, attaching each relative path as a
+  /// predicate child of `owner`.
+  Status ParsePredicateExpr(QueryNode* owner) {
+    while (true) {
+      BLAS_RETURN_NOT_OK(ParseRelPath(owner));
+      SkipSpace();
+      if (Peek() == 'a' && text_.substr(pos_, 3) == "and" &&
+          (pos_ + 3 == text_.size() || !IsNameChar(text_[pos_ + 3]))) {
+        pos_ += 3;
+        continue;
+      }
+      return Status::OK();
+    }
+  }
+
+  /// Parses one relative path inside a predicate. A leading "//" means
+  /// descendant-of-context; a bare name means child-of-context.
+  Status ParseRelPath(QueryNode* owner) {
+    SkipSpace();
+    Axis lead = Axis::kChild;
+    if (AtAxis()) {
+      Axis axis = ConsumeAxis();
+      if (axis != Axis::kDescendant) {
+        return Error("predicate paths may not start with a single '/'");
+      }
+      lead = Axis::kDescendant;
+    }
+    BLAS_ASSIGN_OR_RETURN(Seq seq, ParseStepSeq(lead));
+    owner->children.push_back(std::move(seq.head));
+    return Status::OK();
+  }
+
+  Result<std::string> ParseName() {
+    SkipSpace();
+    size_t begin = pos_;
+    while (pos_ < text_.size() && IsNameChar(text_[pos_])) ++pos_;
+    if (pos_ == begin) return Error("expected name");
+    return std::string(text_.substr(begin, pos_ - begin));
+  }
+
+  Result<std::string> ParseLiteral() {
+    SkipSpace();
+    char quote = Peek();
+    if (quote != '"' && quote != '\'') return Error("expected string literal");
+    ++pos_;
+    size_t begin = pos_;
+    while (pos_ < text_.size() && text_[pos_] != quote) ++pos_;
+    if (pos_ == text_.size()) return Error("unterminated string literal");
+    std::string value(text_.substr(begin, pos_ - begin));
+    ++pos_;
+    return value;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Query> ParseXPath(std::string_view text) {
+  XPathParser parser(text);
+  return parser.Parse();
+}
+
+}  // namespace blas

@@ -1,0 +1,28 @@
+#ifndef BLAS_XPATH_PARSER_H_
+#define BLAS_XPATH_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "xpath/ast.h"
+
+namespace blas {
+
+/// \brief Parses the paper's tree-query XPath subset.
+///
+/// Grammar (section 2):
+///   Query     := ("/" | "//") StepSeq
+///   StepSeq   := Step (("/" | "//") Step)*
+///   Step      := NameTest Predicate* ("=" Literal)?
+///   NameTest  := Name | "@" Name | "*"
+///   Predicate := "[" RelPath ("and" RelPath)* "]"
+///   RelPath   := "//"? StepSeq          (leading name = child axis)
+///   Literal   := '"' ... '"' | "'" ... "'"
+///
+/// The last step of the outermost path is the return node. Attribute tests
+/// are modeled as "@name" tags (attributes are nodes in this system).
+Result<Query> ParseXPath(std::string_view text);
+
+}  // namespace blas
+
+#endif  // BLAS_XPATH_PARSER_H_

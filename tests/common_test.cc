@@ -1,0 +1,170 @@
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/string_util.h"
+#include "common/u128.h"
+
+namespace blas {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::ParseError("bad token");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+  EXPECT_EQ(s.message(), "bad token");
+  EXPECT_EQ(s.ToString(), "ParseError: bad token");
+}
+
+TEST(StatusTest, StreamInsertion) {
+  std::ostringstream os;
+  os << Status::NotFound("x");
+  EXPECT_EQ(os.str(), "NotFound: x");
+}
+
+TEST(StatusTest, EveryCodeHasAName) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kParseError,
+        StatusCode::kNotFound, StatusCode::kOutOfRange,
+        StatusCode::kCapacityExceeded, StatusCode::kCorruption,
+        StatusCode::kUnsupported, StatusCode::kInternal}) {
+    EXPECT_STRNE(StatusCodeName(code), "Unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("missing");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(5);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 5);
+}
+
+TEST(U128Test, ToStringSmall) {
+  EXPECT_EQ(U128ToString(0), "0");
+  EXPECT_EQ(U128ToString(1), "1");
+  EXPECT_EQ(U128ToString(123456789), "123456789");
+}
+
+TEST(U128Test, ToStringBeyond64Bits) {
+  u128 v = static_cast<u128>(~0ULL);  // 2^64 - 1
+  EXPECT_EQ(U128ToString(v), "18446744073709551615");
+  EXPECT_EQ(U128ToString(v + 1), "18446744073709551616");
+  u128 max = ~static_cast<u128>(0);
+  EXPECT_EQ(U128ToString(max), "340282366920938463463374607431768211455");
+}
+
+TEST(U128Test, ParseRoundTrip) {
+  for (const char* text :
+       {"0", "7", "18446744073709551616", "99999999999999999999999999"}) {
+    u128 v = 0;
+    ASSERT_TRUE(ParseU128(text, &v)) << text;
+    EXPECT_EQ(U128ToString(v), text);
+  }
+}
+
+TEST(U128Test, ParseRejectsGarbage) {
+  u128 v;
+  EXPECT_FALSE(ParseU128("", &v));
+  EXPECT_FALSE(ParseU128("12a", &v));
+  EXPECT_FALSE(ParseU128("-3", &v));
+  // One more than the 128-bit max overflows.
+  EXPECT_FALSE(ParseU128("340282366920938463463374607431768211456", &v));
+}
+
+TEST(U128Test, BitWidth) {
+  EXPECT_EQ(U128BitWidth(0), 0);
+  EXPECT_EQ(U128BitWidth(1), 1);
+  EXPECT_EQ(U128BitWidth(255), 8);
+  EXPECT_EQ(U128BitWidth(static_cast<u128>(1) << 100), 101);
+}
+
+TEST(U128Test, PowDetectsOverflow) {
+  u128 out;
+  EXPECT_TRUE(U128Pow(78, 20, &out));
+  EXPECT_FALSE(U128Pow(78, 60, &out));
+  EXPECT_TRUE(U128Pow(2, 127, &out));
+  EXPECT_FALSE(U128Pow(2, 128, &out));
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, BetweenIsInclusive) {
+  Rng rng(3);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = rng.Between(5, 8);
+    ASSERT_GE(v, 5u);
+    ASSERT_LE(v, 8u);
+    saw_lo |= v == 5;
+    saw_hi |= v == 8;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(StringUtilTest, Split) {
+  EXPECT_EQ(Split("a/b/c", '/'),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("/a/", '/'), (std::vector<std::string>{"", "a", ""}));
+  EXPECT_EQ(Split("", '/'), (std::vector<std::string>{""}));
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({"a", "b"}, "/"), "a/b");
+  EXPECT_EQ(Join({}, "/"), "");
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(Trim("  x  "), "x");
+  EXPECT_EQ(Trim("\n\t"), "");
+  EXPECT_EQ(Trim("a b"), "a b");
+}
+
+TEST(StringUtilTest, Affixes) {
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_FALSE(StartsWith("fo", "foo"));
+  EXPECT_TRUE(EndsWith("foobar", "bar"));
+  EXPECT_FALSE(EndsWith("ar", "bar"));
+}
+
+}  // namespace
+}  // namespace blas

@@ -1,0 +1,301 @@
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "labeling/labeler.h"
+#include "labeling/plabel.h"
+#include "labeling/tag_registry.h"
+#include "xml/dom.h"
+#include "xml/sax_parser.h"
+
+namespace blas {
+namespace {
+
+TEST(TagRegistryTest, InternAssignsSequentialIds) {
+  TagRegistry reg;
+  EXPECT_EQ(reg.Intern("a"), 1u);
+  EXPECT_EQ(reg.Intern("b"), 2u);
+  EXPECT_EQ(reg.Intern("a"), 1u);  // idempotent
+  EXPECT_EQ(reg.size(), 2u);
+  EXPECT_EQ(reg.Name(1), "a");
+  EXPECT_EQ(reg.Name(kSlashTag), "/");
+  EXPECT_EQ(reg.Find("b"), std::optional<TagId>(2));
+  EXPECT_EQ(reg.Find("zzz"), std::nullopt);
+}
+
+TEST(DLabelTest, PaperProperties) {
+  DLabel anc{1, 10, 1};
+  DLabel child{2, 5, 2};
+  DLabel grand{3, 4, 3};
+  DLabel sibling{6, 9, 2};
+  EXPECT_TRUE(anc.Contains(child));
+  EXPECT_TRUE(anc.Contains(grand));
+  EXPECT_TRUE(anc.IsParentOf(child));
+  EXPECT_FALSE(anc.IsParentOf(grand));
+  EXPECT_TRUE(child.Contains(grand));
+  EXPECT_TRUE(child.DisjointWith(sibling));
+  EXPECT_FALSE(anc.DisjointWith(child));
+}
+
+class PLabelCodecTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (const char* t : {"a", "b", "c", "d"}) reg_.Intern(t);
+    reg_.Freeze();
+    Result<PLabelCodec> codec = PLabelCodec::Create(reg_.size(), 6);
+    ASSERT_TRUE(codec.ok());
+    codec_ = std::make_unique<PLabelCodec>(std::move(codec).value());
+  }
+
+  std::vector<TagId> Tags(const std::vector<std::string>& names) {
+    std::vector<TagId> ids;
+    for (const auto& n : names) ids.push_back(*reg_.Find(n));
+    return ids;
+  }
+
+  TagRegistry reg_;
+  std::unique_ptr<PLabelCodec> codec_;
+};
+
+TEST_F(PLabelCodecTest, BasicsAndCapacity) {
+  EXPECT_EQ(codec_->base(), static_cast<u128>(5));
+  EXPECT_EQ(codec_->height(), 7);
+  EXPECT_EQ(codec_->max_depth(), 6);
+  u128 expected_domain = 1;
+  for (int i = 0; i < 7; ++i) expected_domain *= 5;
+  EXPECT_EQ(codec_->domain(), expected_domain);
+}
+
+TEST_F(PLabelCodecTest, CreateRejectsOverflow) {
+  // 78 tags, depth 25 -> 79^26 >> 2^128.
+  EXPECT_EQ(PLabelCodec::Create(78, 25).status().code(),
+            StatusCode::kCapacityExceeded);
+  EXPECT_TRUE(PLabelCodec::Create(78, 18).ok());
+  EXPECT_FALSE(PLabelCodec::Create(0, 3).ok());
+}
+
+TEST_F(PLabelCodecTest, ValidationProperty) {
+  // Definition 3.2: p1 <= p2 for every suffix path.
+  for (bool absolute : {false, true}) {
+    PLabelRange r = codec_->SuffixInterval(Tags({"a", "b"}), absolute);
+    EXPECT_LE(r.lo, r.hi);
+  }
+}
+
+TEST_F(PLabelCodecTest, ContainmentProperty) {
+  // P contained in Q  <=>  interval(P) inside interval(Q) (definition 3.2).
+  PLabelRange b = codec_->SuffixInterval(Tags({"b"}), false);        // //b
+  PLabelRange ab = codec_->SuffixInterval(Tags({"a", "b"}), false);  // //a/b
+  PLabelRange cab =
+      codec_->SuffixInterval(Tags({"c", "a", "b"}), false);  // //c/a/b
+  PLabelRange abs_ab =
+      codec_->SuffixInterval(Tags({"a", "b"}), true);  // /a/b
+  EXPECT_TRUE(b.ContainsRange(ab));
+  EXPECT_TRUE(ab.ContainsRange(cab));
+  EXPECT_TRUE(ab.ContainsRange(abs_ab));
+  EXPECT_FALSE(ab.ContainsRange(b));
+  EXPECT_FALSE(abs_ab.ContainsRange(cab));  // /a/b vs //c/a/b disjoint
+}
+
+TEST_F(PLabelCodecTest, NonIntersectionProperty) {
+  // Non-contained suffix paths never overlap (definition 3.2).
+  PLabelRange ab = codec_->SuffixInterval(Tags({"a", "b"}), false);
+  PLabelRange cb = codec_->SuffixInterval(Tags({"c", "b"}), false);
+  PLabelRange a = codec_->SuffixInterval(Tags({"a"}), false);
+  EXPECT_FALSE(ab.Overlaps(cb));
+  EXPECT_FALSE(a.Overlaps(ab));  // //a vs //a/b: different leaf tags
+}
+
+TEST_F(PLabelCodecTest, AllNodesCoversEverything) {
+  PLabelRange all = codec_->AllNodes();
+  for (const auto& tags :
+       {std::vector<std::string>{"a"}, {"a", "b"}, {"c", "a", "d"}}) {
+    EXPECT_TRUE(all.ContainsRange(codec_->SuffixInterval(Tags(tags), false)));
+    EXPECT_TRUE(all.ContainsRange(codec_->SuffixInterval(Tags(tags), true)));
+  }
+}
+
+TEST_F(PLabelCodecTest, NodeLabelsFallIntoTheirPathIntervals) {
+  // Proposition 3.2: node in [[Q]] <=> Q.p1 <= plabel <= Q.p2.
+  TagId a = *reg_.Find("a");
+  TagId b = *reg_.Find("b");
+  TagId c = *reg_.Find("c");
+  PLabel root = codec_->RootLabel(a);          // /a
+  PLabel child = codec_->ChildLabel(root, b);  // /a/b
+  PLabel grand = codec_->ChildLabel(child, c);  // /a/b/c
+
+  // Simple path equality (the second half of proposition 3.2).
+  EXPECT_EQ(codec_->SuffixInterval(Tags({"a"}), true).lo, root);
+  EXPECT_EQ(codec_->SuffixInterval(Tags({"a", "b"}), true).lo, child);
+  EXPECT_EQ(codec_->SuffixInterval(Tags({"a", "b", "c"}), true).lo, grand);
+
+  // Suffix containment.
+  EXPECT_TRUE(codec_->SuffixInterval(Tags({"b"}), false).Contains(child));
+  EXPECT_TRUE(
+      codec_->SuffixInterval(Tags({"b", "c"}), false).Contains(grand));
+  EXPECT_FALSE(
+      codec_->SuffixInterval(Tags({"a", "c"}), false).Contains(grand));
+  EXPECT_FALSE(codec_->SuffixInterval(Tags({"b"}), false).Contains(grand));
+}
+
+TEST_F(PLabelCodecTest, DecodePathRoundTrip) {
+  TagId a = *reg_.Find("a");
+  TagId d = *reg_.Find("d");
+  PLabel label = codec_->ChildLabel(codec_->ChildLabel(
+      codec_->RootLabel(a), d), a);
+  EXPECT_EQ(codec_->DecodePath(label), (std::vector<TagId>{a, d, a}));
+}
+
+TEST_F(PLabelCodecTest, TooDeepQueriesAreEmpty) {
+  std::vector<TagId> deep(7, *reg_.Find("a"));  // depth 7 > max_depth 6
+  EXPECT_TRUE(codec_->SuffixInterval(deep, false).empty());
+  EXPECT_TRUE(codec_->SuffixInterval(deep, true).empty());
+  EXPECT_TRUE(codec_->SuffixInterval({}, true).empty());  // bare "/"
+  EXPECT_FALSE(codec_->SuffixInterval({}, false).empty());  // bare "//"
+}
+
+/// Exhaustive cross-check of the containment semantics on a real document:
+/// for every node and every suffix path over the alphabet (up to length 3),
+/// interval membership must coincide with path-suffix matching.
+TEST(PLabelSemanticsTest, IntervalMembershipEqualsSuffixMatch) {
+  const std::string xml =
+      "<a><b><a><b/></a></b><c><b><c/></b></c><b/></a>";
+  Result<DomTree> tree = ParseDom(xml);
+  ASSERT_TRUE(tree.ok());
+
+  TagRegistry reg;
+  TagCollector collector(&reg);
+  SaxParser parser;
+  ASSERT_TRUE(parser.Parse(xml, &collector).ok());
+  reg.Freeze();
+  Result<PLabelCodec> codec_r =
+      PLabelCodec::Create(reg.size(), collector.max_depth());
+  ASSERT_TRUE(codec_r.ok());
+  const PLabelCodec& codec = *codec_r;
+
+  Labeler labeler(reg, codec);
+  ASSERT_TRUE(parser.Parse(xml, &labeler).ok());
+  ASSERT_TRUE(labeler.status().ok());
+
+  // Map start -> plabel, and start -> DOM node for the oracle.
+  std::map<uint32_t, PLabel> plabels;
+  for (const NodeRecord& r : labeler.records()) plabels[r.start] = r.plabel;
+  std::map<uint32_t, const DomNode*> doms;
+  tree->ForEach([&](const DomNode* n) { doms[n->start] = n; });
+  ASSERT_EQ(plabels.size(), doms.size());
+
+  std::vector<std::string> alphabet = {"a", "b", "c"};
+  std::vector<std::vector<std::string>> paths;
+  for (const auto& t1 : alphabet) {
+    paths.push_back({t1});
+    for (const auto& t2 : alphabet) {
+      paths.push_back({t1, t2});
+      for (const auto& t3 : alphabet) paths.push_back({t1, t2, t3});
+    }
+  }
+
+  for (const auto& path : paths) {
+    std::vector<TagId> ids;
+    for (const auto& t : path) ids.push_back(*reg.Find(t));
+    for (bool absolute : {false, true}) {
+      PLabelRange range = codec.SuffixInterval(ids, absolute);
+      for (const auto& [start, plabel] : plabels) {
+        // Oracle: does the node's source path (not) end with `path`?
+        const DomNode* n = doms[start];
+        std::vector<std::string> sp;
+        for (const DomNode* cur = n; cur != nullptr; cur = cur->parent) {
+          sp.insert(sp.begin(), cur->tag);
+        }
+        bool expected;
+        if (absolute) {
+          expected = sp == path;
+        } else {
+          expected = sp.size() >= path.size() &&
+                     std::equal(path.rbegin(), path.rend(), sp.rbegin());
+        }
+        EXPECT_EQ(range.Contains(plabel), expected)
+            << "path len " << path.size() << " node " << start;
+      }
+    }
+  }
+}
+
+TEST(LabelerTest, MatchesDomPositionsAndLevels) {
+  const std::string xml =
+      "<a x=\"1\"><b>t<c/>u</b><d y=\"2\" z=\"3\">v</d></a>";
+  Result<DomTree> tree = ParseDom(xml);
+  ASSERT_TRUE(tree.ok());
+
+  TagRegistry reg;
+  TagCollector collector(&reg);
+  SaxParser parser;
+  ASSERT_TRUE(parser.Parse(xml, &collector).ok());
+  reg.Freeze();
+  Result<PLabelCodec> codec =
+      PLabelCodec::Create(reg.size(), collector.max_depth());
+  ASSERT_TRUE(codec.ok());
+  Labeler labeler(reg, *codec);
+  ASSERT_TRUE(parser.Parse(xml, &labeler).ok());
+  ASSERT_TRUE(labeler.status().ok());
+
+  std::map<uint32_t, const DomNode*> doms;
+  tree->ForEach([&](const DomNode* n) { doms[n->start] = n; });
+  ASSERT_EQ(labeler.records().size(), tree->node_count());
+  for (const NodeRecord& rec : labeler.records()) {
+    ASSERT_TRUE(doms.count(rec.start));
+    const DomNode* n = doms[rec.start];
+    EXPECT_EQ(rec.end, n->end);
+    EXPECT_EQ(rec.level, n->level);
+    EXPECT_EQ(reg.Name(rec.tag), n->tag);
+    if (rec.data != kNullData) {
+      EXPECT_EQ(labeler.dict().Get(rec.data), n->text);
+    } else {
+      EXPECT_TRUE(n->text.empty());
+    }
+  }
+}
+
+TEST(LabelerTest, CollectorCountsNodesAndDepth) {
+  const std::string xml = "<a><b k=\"v\"><c/></b></a>";
+  TagRegistry reg;
+  TagCollector collector(&reg);
+  SaxParser parser;
+  ASSERT_TRUE(parser.Parse(xml, &collector).ok());
+  EXPECT_EQ(collector.node_count(), 4u);  // a, b, @k, c
+  EXPECT_EQ(collector.max_depth(), 3);
+  EXPECT_EQ(reg.size(), 4u);  // a, b, @k, c
+}
+
+TEST(LabelerTest, SummaryCountsPaths) {
+  const std::string xml = "<a><b/><b><c/></b><d><c/></d></a>";
+  TagRegistry reg;
+  TagCollector collector(&reg);
+  SaxParser parser;
+  ASSERT_TRUE(parser.Parse(xml, &collector).ok());
+  reg.Freeze();
+  Result<PLabelCodec> codec =
+      PLabelCodec::Create(reg.size(), collector.max_depth());
+  ASSERT_TRUE(codec.ok());
+  Labeler labeler(reg, *codec);
+  ASSERT_TRUE(parser.Parse(xml, &labeler).ok());
+
+  // Distinct simple paths: /a, /a/b, /a/b/c, /a/d, /a/d/c.
+  EXPECT_EQ(labeler.summary().path_count(), 5u);
+}
+
+TEST(LabelerTest, RejectsUnknownTag) {
+  TagRegistry reg;
+  reg.Intern("a");
+  reg.Freeze();
+  Result<PLabelCodec> codec = PLabelCodec::Create(reg.size(), 4);
+  ASSERT_TRUE(codec.ok());
+  Labeler labeler(reg, *codec);
+  SaxParser parser;
+  ASSERT_TRUE(parser.Parse("<a><zzz/></a>", &labeler).ok());
+  EXPECT_FALSE(labeler.status().ok());
+}
+
+}  // namespace
+}  // namespace blas

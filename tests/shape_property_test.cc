@@ -1,0 +1,109 @@
+// Differential tests across structurally extreme document shapes: the
+// random-doc suite (property_test.cc) explores average trees; this one
+// pins the corner geometries where labeling and join logic are most
+// likely to break.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tests/test_util.h"
+
+namespace blas {
+namespace {
+
+/// Builds XML text for a named shape.
+std::string MakeShape(const std::string& shape, uint64_t seed) {
+  Rng rng(seed);
+  if (shape == "wide_flat") {
+    // One root, thousands of leaf children over a tiny alphabet.
+    std::string xml = "<root>";
+    for (int i = 0; i < 800; ++i) {
+      int t = static_cast<int>(rng.Below(3));
+      xml += "<t" + std::to_string(t) + ">v" +
+             std::to_string(rng.Below(3)) + "</t" + std::to_string(t) + ">";
+    }
+    return xml + "</root>";
+  }
+  if (shape == "deep_narrow") {
+    // A single chain alternating two tags, depth ~60.
+    std::string open;
+    std::string close;
+    for (int i = 0; i < 45; ++i) {
+      const char* t = (i % 2 == 0) ? "t0" : "t1";
+      open += std::string("<") + t + ">";
+      close = std::string("</") + t + ">" + close;
+    }
+    return "<root>" + open + "<t2>v0</t2>" + close + "</root>";
+  }
+  if (shape == "attr_heavy") {
+    std::string xml = "<root>";
+    for (int i = 0; i < 150; ++i) {
+      xml += "<t0 a0=\"v" + std::to_string(rng.Below(2)) + "\" a1=\"v" +
+             std::to_string(rng.Below(2)) + "\"><t1 a0=\"v0\"/></t0>";
+    }
+    return xml + "</root>";
+  }
+  // "self_recursive": every tag nests itself.
+  std::string xml = "<root>";
+  for (int i = 0; i < 40; ++i) {
+    int depth = static_cast<int>(rng.Between(1, 6));
+    for (int d = 0; d < depth; ++d) xml += "<t0>";
+    xml += "<t1>v" + std::to_string(rng.Below(2)) + "</t1>";
+    for (int d = 0; d < depth; ++d) xml += "</t0>";
+  }
+  return xml + "</root>";
+}
+
+class ShapeTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ShapeTest, AllPipelinesMatchOracle) {
+  BlasSystem sys = MustBuild(MakeShape(GetParam(), 17));
+  const char* queries[] = {
+      "//t0",
+      "//t0/t1",
+      "//t0//t1",
+      "//t0//t0/t1",
+      "/root/t0",
+      "/root//t1=\"v0\"",
+      "//t0[t1]",
+      "//t0[t1=\"v0\"]//t1",
+      "//t0[@a0]",
+      "//t0[@a0=\"v1\"]/t1",
+      "//t0[t0/t1]",
+      "//t1[@a0 and @a0]",
+      "//t0[t1 != \"v0\"]",
+  };
+  for (const char* q : queries) {
+    ExpectAllAgree(sys, q);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, ShapeTest,
+                         ::testing::Values("wide_flat", "deep_narrow",
+                                           "attr_heavy", "self_recursive"),
+                         [](const auto& info) {
+                           return std::string(info.param);
+                         });
+
+TEST(ShapeTest, DeepNarrowSuffixQueriesAcrossTheWholeChain) {
+  // Long suffix path queries on the 45-deep chain: exercises the P-label
+  // codec with many significant digits. The chain is root/t0/t1/.../t0/t2
+  // (45 alternating tags ending on t0), so the suffix ending at t2 reads
+  // (backwards) t2, t0, t1, t0, ...
+  BlasSystem sys = MustBuild(MakeShape("deep_narrow", 1));
+  std::vector<std::string> reversed_steps = {"t2"};
+  for (int k = 0; k < 30; ++k) {
+    reversed_steps.push_back(k % 2 == 0 ? "t0" : "t1");
+    std::string q = "/" + reversed_steps.back();
+    for (auto it = reversed_steps.rbegin() + 1; it != reversed_steps.rend();
+         ++it) {
+      q += "/" + *it;
+    }
+    ExpectAllAgree(sys, "/" + q);  // "//t?/..../t2"
+  }
+}
+
+}  // namespace
+}  // namespace blas

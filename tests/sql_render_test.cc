@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+#include "translate/sql_render.h"
+
+namespace blas {
+namespace {
+
+class SqlRenderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Recursive list structure so Unfold produces multi-delta joins.
+    sys_ = std::make_unique<BlasSystem>(MustBuild(
+        "<l><i><l><i><x>v</x></i></l></i><i><x>w</x></i></l>"));
+  }
+  std::string Sql(const std::string& q, Translator t) {
+    Result<std::string> sql = sys_->ExplainSql(q, t);
+    EXPECT_TRUE(sql.ok()) << sql.status();
+    return sql.value_or("");
+  }
+  std::unique_ptr<BlasSystem> sys_;
+};
+
+TEST_F(SqlRenderTest, SelectDistinctOverReturnAlias) {
+  std::string sql = Sql("/l/i/x", Translator::kDLabel);
+  EXPECT_NE(sql.find("SELECT DISTINCT T3.start"), std::string::npos) << sql;
+  EXPECT_NE(sql.find("FROM SD T1, SD T2, SD T3"), std::string::npos);
+}
+
+TEST_F(SqlRenderTest, SuffixPathIsSingleSelection) {
+  std::string sql = Sql("//i/x", Translator::kSplit);
+  EXPECT_NE(sql.find("FROM SP T1"), std::string::npos);
+  EXPECT_EQ(sql.find(", SP T2"), std::string::npos) << sql;  // no join
+  EXPECT_NE(sql.find("BETWEEN"), std::string::npos);
+}
+
+TEST_F(SqlRenderTest, EmptyScanRendersFalse) {
+  std::string sql = Sql("//nothing", Translator::kSplit);
+  EXPECT_NE(sql.find("FALSE /* tag not in document */"), std::string::npos);
+}
+
+TEST_F(SqlRenderTest, UnfoldUnionOfEqualities) {
+  // //i expands to /l/i and /l/i/l/i.
+  std::string sql = Sql("//i", Translator::kUnfold);
+  EXPECT_NE(sql.find(" OR "), std::string::npos) << sql;
+  EXPECT_EQ(sql.find("BETWEEN"), std::string::npos) << sql;
+}
+
+TEST_F(SqlRenderTest, UnfoldPerAltLevelAlignment) {
+  // //l//i with a branch: per-alternative level IN (...) clauses appear
+  // when an alternative admits several anchor alignments.
+  std::string sql = Sql("//l//i[x]", Translator::kUnfold);
+  EXPECT_NE(sql.find(".level"), std::string::npos) << sql;
+  // The deep alternative /l/i/l/i aligns with //l at two depths.
+  EXPECT_NE(sql.find("IN ("), std::string::npos) << sql;
+}
+
+TEST_F(SqlRenderTest, LevelPredicatesPerJoinKind) {
+  std::string sql = Sql("/l/i//x", Translator::kPushUp);
+  EXPECT_NE(sql.find("T2.level >= T1.level + 1"), std::string::npos) << sql;
+  sql = Sql("/l[i]/i", Translator::kPushUp);
+  EXPECT_NE(sql.find(".level = T1.level + 1"), std::string::npos) << sql;
+}
+
+TEST_F(SqlRenderTest, AlgebraMirrorsSql) {
+  std::string alg;
+  {
+    Result<std::string> r = sys_->ExplainAlgebra("/l/i[x]", Translator::kSplit);
+    ASSERT_TRUE(r.ok());
+    alg = *r;
+  }
+  EXPECT_NE(alg.find("pi_{T1.start}"), std::string::npos) << alg;
+  EXPECT_NE(alg.find("|X|_{"), std::string::npos);
+  EXPECT_NE(alg.find("rho(T2, sigma_{"), std::string::npos);
+}
+
+TEST_F(SqlRenderTest, ValueOperatorsRendered) {
+  std::string sql = Sql("//x != \"v\"", Translator::kSplit);
+  EXPECT_NE(sql.find(".data != 'v'"), std::string::npos) << sql;
+}
+
+TEST_F(SqlRenderTest, WildcardUnderDLabelScansEverything) {
+  std::string sql = Sql("//*[x]", Translator::kDLabel);
+  // The wildcard part has no tag predicate at all.
+  EXPECT_NE(sql.find("FROM SD T1, SD T2"), std::string::npos) << sql;
+  EXPECT_EQ(sql.find("T1.tag"), std::string::npos) << sql;
+}
+
+}  // namespace
+}  // namespace blas

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace blas {
+namespace {
+
+constexpr char kDoc[] =
+    "<inventory>"
+    "<item><name>apple</name><price>30</price></item>"
+    "<item><name>banana</name><price>12</price></item>"
+    "<item><name>cherry</name><price>45</price></item>"
+    "<item><name>banana</name></item>"  // no price
+    "</inventory>";
+
+TEST(ValuePredTest, MatchesSemantics) {
+  ValuePred eq{ValueOp::kEq, "b"};
+  EXPECT_TRUE(eq.Matches("b"));
+  EXPECT_FALSE(eq.Matches("a"));
+  ValuePred ne{ValueOp::kNe, "b"};
+  EXPECT_FALSE(ne.Matches("b"));
+  EXPECT_TRUE(ne.Matches(""));
+  ValuePred lt{ValueOp::kLt, "b"};
+  EXPECT_TRUE(lt.Matches("a"));
+  EXPECT_FALSE(lt.Matches("b"));
+  ValuePred le{ValueOp::kLe, "b"};
+  EXPECT_TRUE(le.Matches("b"));
+  EXPECT_FALSE(le.Matches("c"));
+  ValuePred gt{ValueOp::kGt, "b"};
+  EXPECT_TRUE(gt.Matches("ba"));
+  EXPECT_FALSE(gt.Matches("b"));
+  ValuePred ge{ValueOp::kGe, "b"};
+  EXPECT_TRUE(ge.Matches("b"));
+  EXPECT_FALSE(ge.Matches("az"));
+}
+
+TEST(ValuePredTest, ParserAcceptsAllOperators) {
+  for (const char* text :
+       {"//a != \"x\"", "//a < \"x\"", "//a <= \"x\"", "//a > \"x\"",
+        "//a >= \"x\"", "//b[c != \"v\"]/d"}) {
+    Result<Query> q = ParseXPath(text);
+    ASSERT_TRUE(q.ok()) << text << ": " << q.status();
+    // Round-trips.
+    Result<Query> again = ParseXPath(q->ToString());
+    ASSERT_TRUE(again.ok()) << q->ToString();
+    EXPECT_EQ(again->ToString(), q->ToString());
+  }
+}
+
+TEST(ValuePredTest, AllPipelinesAgreeOnComparisons) {
+  BlasSystem sys = MustBuild(kDoc);
+  // Lexicographic comparisons over names and (same-width) numeric prices.
+  ExpectAllAgree(sys, "//item[name != \"banana\"]/price");
+  ExpectAllAgree(sys, "//item[price >= \"30\"]/name");
+  ExpectAllAgree(sys, "//item[price < \"30\"]/name");
+  ExpectAllAgree(sys, "//item[name > \"apple\"]/name");
+  ExpectAllAgree(sys, "//name <= \"banana\"");
+  ExpectAllAgree(sys, "//item[name = \"banana\" and price]/price");
+}
+
+TEST(ValuePredTest, ComparisonCountsMatchExpectations) {
+  BlasSystem sys = MustBuild(kDoc);
+  auto run = [&](const std::string& q) {
+    Result<QueryResult> r =
+        sys.Execute(q, Translator::kPushUp, Engine::kRelational);
+    EXPECT_TRUE(r.ok()) << q;
+    return r.ok() ? r->starts.size() : size_t{0};
+  };
+  EXPECT_EQ(run("//name != \"banana\""), 2u);   // apple, cherry
+  EXPECT_EQ(run("//price > \"12\""), 2u);       // 30, 45
+  EXPECT_EQ(run("//price >= \"12\""), 3u);
+  EXPECT_EQ(run("//item[price]/name"), 3u);     // existence only
+  // A node with NO text compares as "" (matches != "banana").
+  EXPECT_EQ(run("//item != \"x\""), 4u);
+}
+
+TEST(ValuePredTest, SqlRendersOperator) {
+  BlasSystem sys = MustBuild(kDoc);
+  Result<std::string> sql =
+      sys.ExplainSql("//price >= \"30\"", Translator::kSplit);
+  ASSERT_TRUE(sql.ok());
+  EXPECT_NE(sql->find(".data >= '30'"), std::string::npos) << *sql;
+}
+
+TEST(ValuePredTest, NonEqualityOnTwigEngine) {
+  BlasSystem sys = MustBuild(kDoc);
+  Result<QueryResult> r = sys.Execute("//item[price > \"12\"]/name",
+                                      Translator::kSplit, Engine::kTwig);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->starts.size(), 2u);
+}
+
+}  // namespace
+}  // namespace blas

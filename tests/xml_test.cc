@@ -1,0 +1,219 @@
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "xml/dom.h"
+#include "xml/sax_parser.h"
+#include "xml/xml_writer.h"
+
+namespace blas {
+namespace {
+
+/// Records events as readable strings for assertions.
+class EventLog : public SaxHandler {
+ public:
+  void OnStartElement(std::string_view name,
+                      const std::vector<XmlAttribute>& attrs) override {
+    std::string e = "<" + std::string(name);
+    for (const auto& a : attrs) e += " " + a.name + "=" + a.value;
+    events.push_back(e + ">");
+  }
+  void OnEndElement(std::string_view name) override {
+    events.push_back("</" + std::string(name) + ">");
+  }
+  void OnText(std::string_view text) override {
+    events.push_back("#" + std::string(text));
+  }
+  std::vector<std::string> events;
+};
+
+Status ParseInto(const std::string& xml, EventLog* log) {
+  SaxParser parser;
+  return parser.Parse(xml, log);
+}
+
+TEST(SaxParserTest, SimpleElement) {
+  EventLog log;
+  ASSERT_TRUE(ParseInto("<a>hi</a>", &log).ok());
+  EXPECT_EQ(log.events,
+            (std::vector<std::string>{"<a>", "#hi", "</a>"}));
+}
+
+TEST(SaxParserTest, NestedAndSelfClosing) {
+  EventLog log;
+  ASSERT_TRUE(ParseInto("<a><b/><c>x</c></a>", &log).ok());
+  EXPECT_EQ(log.events, (std::vector<std::string>{"<a>", "<b>", "</b>",
+                                                  "<c>", "#x", "</c>",
+                                                  "</a>"}));
+}
+
+TEST(SaxParserTest, Attributes) {
+  EventLog log;
+  ASSERT_TRUE(
+      ParseInto("<a x=\"1\" y='two'><b z=\"&lt;3\"/></a>", &log).ok());
+  EXPECT_EQ(log.events[0], "<a x=1 y=two>");
+  EXPECT_EQ(log.events[1], "<b z=<3>");
+}
+
+TEST(SaxParserTest, EntityDecoding) {
+  EventLog log;
+  ASSERT_TRUE(
+      ParseInto("<a>&lt;&gt;&amp;&apos;&quot;&#65;&#x42;</a>", &log).ok());
+  EXPECT_EQ(log.events[1], "#<>&'\"AB");
+}
+
+TEST(SaxParserTest, NumericEntityUtf8) {
+  EventLog log;
+  ASSERT_TRUE(ParseInto("<a>&#233;&#x20AC;</a>", &log).ok());
+  EXPECT_EQ(log.events[1], "#\xC3\xA9\xE2\x82\xAC");  // é €
+}
+
+TEST(SaxParserTest, CdataIsLiteralText) {
+  EventLog log;
+  ASSERT_TRUE(ParseInto("<a><![CDATA[<not> &parsed;]]></a>", &log).ok());
+  EXPECT_EQ(log.events[1], "#<not> &parsed;");
+}
+
+TEST(SaxParserTest, CommentsPisDoctypeSkipped) {
+  EventLog log;
+  ASSERT_TRUE(ParseInto("<?xml version=\"1.0\"?><!DOCTYPE a [<!ELEMENT a "
+                        "ANY>]><!-- hi --><a><!-- in --><?pi data?>x</a>"
+                        "<!-- post -->",
+                        &log)
+                  .ok());
+  EXPECT_EQ(log.events,
+            (std::vector<std::string>{"<a>", "#x", "</a>"}));
+}
+
+TEST(SaxParserTest, WhitespaceOnlyTextSuppressed) {
+  EventLog log;
+  ASSERT_TRUE(ParseInto("<a>\n  <b>x</b>\n</a>", &log).ok());
+  EXPECT_EQ(log.events, (std::vector<std::string>{"<a>", "<b>", "#x",
+                                                  "</b>", "</a>"}));
+}
+
+TEST(SaxParserTest, MismatchedTagRejected) {
+  EventLog log;
+  Status s = ParseInto("<a><b></a></b>", &log);
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+}
+
+TEST(SaxParserTest, UnterminatedRejected) {
+  EventLog log;
+  EXPECT_FALSE(ParseInto("<a><b>", &log).ok());
+  EXPECT_FALSE(ParseInto("<a attr=>", &log).ok());
+  EXPECT_FALSE(ParseInto("<a attr=\"x>", &log).ok());
+  EXPECT_FALSE(ParseInto("<>", &log).ok());
+}
+
+TEST(SaxParserTest, ContentAfterRootRejected) {
+  EventLog log;
+  EXPECT_FALSE(ParseInto("<a/>junk", &log).ok());
+  EXPECT_FALSE(ParseInto("<a/><b/>", &log).ok());
+}
+
+TEST(SaxParserTest, UnknownEntityRejected) {
+  EventLog log;
+  EXPECT_FALSE(ParseInto("<a>&nope;</a>", &log).ok());
+  EXPECT_FALSE(ParseInto("<a>&#xZZ;</a>", &log).ok());
+}
+
+TEST(DecodeEntitiesTest, Direct) {
+  std::string out;
+  ASSERT_TRUE(DecodeEntities("a&amp;b", &out).ok());
+  EXPECT_EQ(out, "a&b");
+  EXPECT_FALSE(DecodeEntities("a&amp", &out).ok());
+}
+
+TEST(DomTest, PositionsMatchPaperCounting) {
+  // <a><b>t</b><c/></a>:
+  // a.start=1, b.start=2, text=3, b.end=4, c.start=5, c.end=6, a.end=7.
+  Result<DomTree> tree = ParseDom("<a><b>t</b><c/></a>");
+  ASSERT_TRUE(tree.ok());
+  const DomNode* a = tree->root();
+  ASSERT_EQ(a->children.size(), 2u);
+  EXPECT_EQ(a->start, 1u);
+  EXPECT_EQ(a->end, 7u);
+  EXPECT_EQ(a->level, 1);
+  const DomNode* b = a->children[0].get();
+  EXPECT_EQ(b->start, 2u);
+  EXPECT_EQ(b->end, 4u);
+  EXPECT_EQ(b->level, 2);
+  EXPECT_EQ(b->text, "t");
+  const DomNode* c = a->children[1].get();
+  EXPECT_EQ(c->start, 5u);
+  EXPECT_EQ(c->end, 6u);
+}
+
+TEST(DomTest, IntervalNestingInvariant) {
+  Result<DomTree> tree =
+      ParseDom("<a><b><c>x</c></b><d>y<e/>z</d></a>");
+  ASSERT_TRUE(tree.ok());
+  tree->ForEach([&](const DomNode* n) {
+    ASSERT_LT(n->start, n->end);
+    for (const auto& child : n->children) {
+      ASSERT_LT(n->start, child->start);
+      ASSERT_GT(n->end, child->end);
+      ASSERT_EQ(child->level, n->level + 1);
+    }
+  });
+}
+
+TEST(DomTest, AttributesBecomeNodes) {
+  Result<DomTree> tree = ParseDom("<a x=\"1\"><b y=\"2\"/></a>");
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->node_count(), 4u);  // a, @x, b, @y
+  const DomNode* ax = tree->root()->children[0].get();
+  EXPECT_TRUE(ax->is_attribute());
+  EXPECT_EQ(ax->tag, "@x");
+  EXPECT_EQ(ax->text, "1");
+  EXPECT_EQ(ax->level, 2);
+}
+
+TEST(DomTest, SourcePath) {
+  Result<DomTree> tree = ParseDom("<a><b><c/></b></a>");
+  ASSERT_TRUE(tree.ok());
+  const DomNode* c =
+      tree->root()->children[0]->children[0].get();
+  EXPECT_EQ(DomTree::SourcePath(c), "/a/b/c");
+}
+
+TEST(DomTest, MaxDepthAndCount) {
+  Result<DomTree> tree = ParseDom("<a><b><c><d/></c></b><e/></a>");
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->max_depth(), 4);
+  EXPECT_EQ(tree->node_count(), 5u);
+}
+
+TEST(WriterTest, EscapeFunctions) {
+  EXPECT_EQ(EscapeText("a<b>&c"), "a&lt;b&gt;&amp;c");
+  EXPECT_EQ(EscapeAttribute("a\"b&c"), "a&quot;b&amp;c");
+}
+
+TEST(WriterTest, RoundTripThroughParser) {
+  const std::string xml =
+      "<a x=\"1&amp;2\"><b>hello &amp; bye</b><c><d>x</d></c></a>";
+  Result<DomTree> tree = ParseDom(xml);
+  ASSERT_TRUE(tree.ok());
+  std::string serialized = WriteXml(*tree);
+  Result<DomTree> again = ParseDom(serialized);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(WriteXml(*again), serialized);
+  EXPECT_EQ(again->node_count(), tree->node_count());
+  EXPECT_EQ(again->max_depth(), tree->max_depth());
+}
+
+TEST(WriterTest, SinkProducesParsableText) {
+  XmlTextSink sink;
+  sink.OnStartElement("a", {{"k", "v<>"}});
+  sink.OnText("x & y");
+  sink.OnEndElement("a");
+  Result<DomTree> tree = ParseDom(sink.text());
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->root()->text, "x & y");
+  EXPECT_EQ(tree->root()->children[0]->text, "v<>");
+}
+
+}  // namespace
+}  // namespace blas

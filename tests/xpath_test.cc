@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include "gen/queries.h"
+#include "xml/dom.h"
+#include "xpath/ast.h"
+#include "xpath/naive_eval.h"
+#include "xpath/parser.h"
+
+namespace blas {
+namespace {
+
+Query MustParse(const std::string& text) {
+  Result<Query> q = ParseXPath(text);
+  EXPECT_TRUE(q.ok()) << text << ": " << q.status().ToString();
+  if (!q.ok()) std::abort();
+  return std::move(q).value();
+}
+
+TEST(XPathParserTest, SimplePath) {
+  Query q = MustParse("/a/b/c");
+  ASSERT_TRUE(q.root != nullptr);
+  EXPECT_EQ(q.root->tag, "a");
+  EXPECT_EQ(q.root->axis, Axis::kChild);
+  const QueryNode* b = q.root->children[0].get();
+  EXPECT_EQ(b->tag, "b");
+  const QueryNode* c = b->children[0].get();
+  EXPECT_EQ(c->tag, "c");
+  EXPECT_TRUE(c->is_return);
+  EXPECT_TRUE(q.IsPathQuery());
+  EXPECT_TRUE(q.IsSuffixPathQuery());
+}
+
+TEST(XPathParserTest, DescendantAxes) {
+  Query q = MustParse("//a//b/c");
+  EXPECT_EQ(q.root->axis, Axis::kDescendant);
+  EXPECT_EQ(q.root->children[0]->axis, Axis::kDescendant);
+  EXPECT_EQ(q.root->children[0]->children[0]->axis, Axis::kChild);
+  EXPECT_TRUE(q.IsPathQuery());
+  EXPECT_FALSE(q.IsSuffixPathQuery());  // internal //
+}
+
+TEST(XPathParserTest, SuffixPathClassification) {
+  EXPECT_TRUE(MustParse("//a/b/c").IsSuffixPathQuery());
+  EXPECT_TRUE(MustParse("/a").IsSuffixPathQuery());
+  EXPECT_FALSE(MustParse("/a[b]/c").IsPathQuery());
+  EXPECT_FALSE(MustParse("/a//b").IsSuffixPathQuery());
+}
+
+TEST(XPathParserTest, Predicates) {
+  Query q = MustParse("/a[b/c][d]/e");
+  ASSERT_EQ(q.root->children.size(), 3u);
+  EXPECT_EQ(q.root->children[0]->tag, "b");
+  EXPECT_EQ(q.root->children[0]->children[0]->tag, "c");
+  EXPECT_EQ(q.root->children[1]->tag, "d");
+  EXPECT_EQ(q.root->children[2]->tag, "e");
+  EXPECT_TRUE(q.root->children[2]->is_return);
+  EXPECT_EQ(q.return_node()->tag, "e");
+}
+
+TEST(XPathParserTest, PredicateWithAnd) {
+  Query q = MustParse("/a[b and c/d]/e");
+  ASSERT_EQ(q.root->children.size(), 3u);
+  EXPECT_EQ(q.root->children[0]->tag, "b");
+  EXPECT_EQ(q.root->children[1]->tag, "c");
+}
+
+TEST(XPathParserTest, ValuePredicates) {
+  Query q = MustParse("/a[b = \"x y\"]/c='z'");
+  EXPECT_EQ(q.root->children[0]->value,
+            std::optional<ValuePred>(ValuePred{ValueOp::kEq, "x y"}));
+  const QueryNode* c = q.return_node();
+  EXPECT_EQ(c->tag, "c");
+  EXPECT_EQ(c->value,
+            std::optional<ValuePred>(ValuePred{ValueOp::kEq, "z"}));
+}
+
+TEST(XPathParserTest, DescendantInsidePredicate) {
+  Query q = MustParse("/a[//b = \"v\" and c]/d");
+  EXPECT_EQ(q.root->children[0]->axis, Axis::kDescendant);
+  EXPECT_EQ(q.root->children[1]->axis, Axis::kChild);
+}
+
+TEST(XPathParserTest, AttributesAndWildcard) {
+  Query q = MustParse("//item[@featured=\"yes\"]/*");
+  EXPECT_EQ(q.root->children[0]->tag, "@featured");
+  EXPECT_EQ(q.return_node()->tag, kWildcard);
+}
+
+TEST(XPathParserTest, PaperQueriesParse) {
+  MustParse(PaperExampleQuery());
+  for (char ds : {'S', 'P', 'A'}) {
+    for (const BenchQuery& bq : Figure10Queries(ds)) MustParse(bq.xpath);
+  }
+  for (const BenchQuery& bq : XMarkBenchmarkQueries()) MustParse(bq.xpath);
+}
+
+TEST(XPathParserTest, RejectsMalformed) {
+  for (const char* bad :
+       {"", "a/b", "/a[", "/a]", "/a[b", "/a[]", "/", "/a/", "/a[b=]",
+        "/a[b='x]", "/a b", "/a[/b]", "/a//", "/a[b]extra"}) {
+    EXPECT_FALSE(ParseXPath(bad).ok()) << bad;
+  }
+}
+
+TEST(XPathParserTest, ToStringRoundTrip) {
+  for (const char* text :
+       {"/a/b/c", "//a//b", "/a[b]/c", "//a[b/c][d = \"x\"]/e",
+        "/a[//b]/c = \"z\"", "//item[@id]/name"}) {
+    Query q1 = MustParse(text);
+    std::string rendered = q1.ToString();
+    Query q2 = MustParse(rendered);
+    EXPECT_EQ(q2.ToString(), rendered) << text;
+  }
+}
+
+TEST(NaiveEvalTest, ChildVsDescendant) {
+  Result<DomTree> tree = ParseDom("<a><b><c/></b><c/></a>");
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(NaiveEvalStarts(MustParse("/a/c"), *tree).size(), 1u);
+  EXPECT_EQ(NaiveEvalStarts(MustParse("/a//c"), *tree).size(), 2u);
+  EXPECT_EQ(NaiveEvalStarts(MustParse("//c"), *tree).size(), 2u);
+}
+
+TEST(NaiveEvalTest, RootAxisAnchors) {
+  Result<DomTree> tree = ParseDom("<a><a><b/></a></a>");
+  ASSERT_TRUE(tree.ok());
+  // "/a" matches only the document root; "//a" both.
+  EXPECT_EQ(NaiveEvalStarts(MustParse("/a"), *tree).size(), 1u);
+  EXPECT_EQ(NaiveEvalStarts(MustParse("//a"), *tree).size(), 2u);
+  EXPECT_EQ(NaiveEvalStarts(MustParse("/a/a/b"), *tree).size(), 1u);
+  EXPECT_EQ(NaiveEvalStarts(MustParse("/b"), *tree).size(), 0u);
+}
+
+TEST(NaiveEvalTest, PredicatesAreExistential) {
+  Result<DomTree> tree = ParseDom(
+      "<lib><book><author>x</author><year>2001</year></book>"
+      "<book><year>1999</year></book></lib>");
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(NaiveEvalStarts(MustParse("/lib/book[author]/year"), *tree)
+                .size(),
+            1u);
+  EXPECT_EQ(
+      NaiveEvalStarts(MustParse("/lib/book[year=\"1999\"]"), *tree).size(),
+      1u);
+  EXPECT_EQ(NaiveEvalStarts(MustParse("/lib/book[author and year]"), *tree)
+                .size(),
+            1u);
+}
+
+TEST(NaiveEvalTest, ValueMatchingIsExact) {
+  Result<DomTree> tree = ParseDom("<a><b>x</b><b>xy</b></a>");
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(NaiveEvalStarts(MustParse("//b=\"x\""), *tree).size(), 1u);
+  EXPECT_EQ(NaiveEvalStarts(MustParse("//b=\"xy\""), *tree).size(), 1u);
+  EXPECT_EQ(NaiveEvalStarts(MustParse("//b=\"\""), *tree).size(), 0u);
+}
+
+TEST(NaiveEvalTest, ResultsSortedAndDeduped) {
+  Result<DomTree> tree =
+      ParseDom("<a><b><c/><c/></b><b><c/></b></a>");
+  ASSERT_TRUE(tree.ok());
+  // //b//c and //b/c overlap on bindings; every result listed once,
+  // in document order.
+  std::vector<uint32_t> starts = NaiveEvalStarts(MustParse("//b/c"), *tree);
+  EXPECT_EQ(starts.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(starts.begin(), starts.end()));
+}
+
+TEST(NaiveEvalTest, WildcardSkipsAttributes) {
+  Result<DomTree> tree = ParseDom("<a k=\"v\"><b/></a>");
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(NaiveEvalStarts(MustParse("/a/*"), *tree).size(), 1u);  // b only
+  EXPECT_EQ(NaiveEvalStarts(MustParse("/a/@k"), *tree).size(), 1u);
+}
+
+}  // namespace
+}  // namespace blas
