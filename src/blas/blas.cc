@@ -21,8 +21,21 @@ const char* EngineName(Engine e) {
       return "RDBMS";
     case Engine::kTwig:
       return "TwigJoin";
+    case Engine::kAuto:
+      return "Auto";
   }
   return "?";
+}
+
+Engine ChooseEngine(const ExecPlan& plan, const CostModel& model) {
+  if (plan.parts.size() <= 1) return Engine::kRelational;
+  if (plan.parts.size() >= 3) return Engine::kTwig;
+  uint64_t total = 0;
+  for (const PlanPart& part : plan.parts) {
+    total += model.EstimateCardinality(part);
+  }
+  uint64_t ret = model.EstimateCardinality(plan.parts[plan.return_part]);
+  return total > 4 * ret ? Engine::kTwig : Engine::kRelational;
 }
 
 Result<BlasSystem> BlasSystem::FromXml(std::string_view xml,
@@ -69,7 +82,8 @@ Result<BlasSystem> BlasSystem::FromEvents(
   sys.summary_ = std::make_unique<PathSummary>(labeler.TakeSummary());
   sys.dict_ = std::make_unique<StringDict>(std::move(labeler.dict()));
   sys.store_ = std::make_unique<NodeStore>(labeler.records(),
-                                           options.cache_pages);
+                                           options.cache_pages,
+                                           options.cache_shards);
 
   if (options.keep_dom) {
     DomBuilder dom_builder;
@@ -144,7 +158,8 @@ Result<BlasSystem> BlasSystem::FromIndexFile(const std::string& path,
   }
 
   sys.store_ = std::make_unique<NodeStore>(snapshot.records,
-                                           options.cache_pages);
+                                           options.cache_pages,
+                                           options.cache_shards);
   return sys;
 }
 
@@ -182,6 +197,15 @@ Result<QueryResult> BlasSystem::Execute(const Query& query,
     CostModel model(summary_.get(), dict_.get());
     plan = OptimizeJoinOrder(plan, model);
   }
+  return ExecutePlan(plan, engine);
+}
+
+Result<QueryResult> BlasSystem::ExecutePlan(const ExecPlan& plan,
+                                            Engine engine) const {
+  if (engine == Engine::kAuto) {
+    CostModel model(summary_.get(), dict_.get());
+    engine = ChooseEngine(plan, model);
+  }
   QueryResult result;
   result.shape = plan.AnalyzeShape();
   Stopwatch watch;
@@ -196,6 +220,8 @@ Result<QueryResult> BlasSystem::Execute(const Query& query,
       BLAS_ASSIGN_OR_RETURN(result.starts, exec.Execute(plan, &result.stats));
       break;
     }
+    case Engine::kAuto:
+      return Status::Internal("Engine::kAuto not resolved");
   }
   result.millis = watch.ElapsedMillis();
   return result;

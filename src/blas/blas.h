@@ -29,14 +29,30 @@ namespace blas {
 enum class Engine {
   kRelational,  // RDBMS-style executor with materialized D-joins
   kTwig,        // holistic twig join over element streams
+  kAuto,        // cost-based choice per plan (ChooseEngine)
 };
 
 const char* EngineName(Engine e);
+
+class CostModel;
+
+/// Cost-based engine selection for Engine::kAuto. The relational engine
+/// materializes every intermediate D-join result; the twig engine reads
+/// each part stream exactly once with O(streams * depth) extra memory.
+/// Single-part plans go relational (no join work to save); deep plans or
+/// plans whose input streams dwarf the estimated return cardinality go to
+/// the twig engine. Deterministic: same plan, same summary, same answer.
+Engine ChooseEngine(const ExecPlan& plan, const CostModel& model);
 
 /// Construction options for BlasSystem.
 struct BlasOptions {
   /// LRU frames of the shared buffer pool.
   size_t cache_pages = 4096;
+  /// Latch shards of the buffer pool's LRU. 0 = auto (scales with
+  /// cache_pages, up to 16 — the concurrent-service default); 1 = one
+  /// global LRU with the exact miss accounting of the paper's
+  /// single-threaded cold-cache experiments.
+  size_t cache_shards = 0;
   /// Retain the DOM (needed for NaiveEval ground truth and for examples
   /// that print matched content). Costs memory proportional to the input.
   bool keep_dom = false;
@@ -102,6 +118,11 @@ class BlasSystem {
   Result<QueryResult> Execute(const Query& query, Translator translator,
                               Engine engine,
                               const ExecOptions& options = {}) const;
+
+  /// Runs an already-translated plan (no parse / translate / optimize) —
+  /// the execution half of Execute, also used by the query service for
+  /// plan-cache hits. Engine::kAuto is resolved via ChooseEngine.
+  Result<QueryResult> ExecutePlan(const ExecPlan& plan, Engine engine) const;
 
   /// Translation only (no execution).
   Result<ExecPlan> Plan(std::string_view xpath, Translator translator) const;

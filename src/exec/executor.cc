@@ -114,7 +114,11 @@ Result<std::vector<uint32_t>> RelationalExecutor::Execute(
   if (plan.parts.empty()) {
     return Status::InvalidArgument("empty plan");
   }
-  StorageStats before = store_->stats();
+  // Count exactly this query's storage accesses on this thread; the
+  // store-wide counters keep accumulating globally, but diffing them
+  // would attribute other threads' concurrent accesses to this query.
+  ReadCounters counters;
+  ReadCounterScope scope(&counters);
   ExecStats local;
 
   // Materialize part 0, then fold in every other part with one D-join.
@@ -162,10 +166,9 @@ Result<std::vector<uint32_t>> RelationalExecutor::Execute(
   result.erase(std::unique(result.begin(), result.end()), result.end());
 
   if (stats != nullptr) {
-    StorageStats after = store_->stats();
-    local.elements = after.elements - before.elements;
-    local.page_fetches = after.page_fetches - before.page_fetches;
-    local.page_misses = after.page_misses - before.page_misses;
+    local.elements = counters.elements;
+    local.page_fetches = counters.fetches;
+    local.page_misses = counters.misses;
     local.output_rows = result.size();
     *stats += local;
   }

@@ -1,0 +1,74 @@
+#include "service/normalize.h"
+
+#include <cctype>
+
+namespace blas {
+
+namespace {
+
+bool IsSpace(char c) {
+  return std::isspace(static_cast<unsigned char>(c)) != 0;
+}
+
+/// Characters that can appear inside a name test or the "and" keyword.
+/// A space between two of these is a token separator and must survive
+/// (collapsed to one byte); any other space is decoration.
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_' ||
+         c == '-' || c == '.' || c == ':';
+}
+
+/// Appends the normalized form of `text` to `out`.
+void NormalizeInto(std::string_view text, std::string* out) {
+  char quote = 0;
+  size_t i = 0;
+  while (i < text.size()) {
+    char c = text[i];
+    if (quote != 0) {
+      out->push_back(c);
+      if (c == quote) quote = 0;
+      ++i;
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      quote = c;
+      out->push_back(c);
+      ++i;
+      continue;
+    }
+    if (IsSpace(c)) {
+      size_t j = i;
+      while (j < text.size() && IsSpace(text[j])) ++j;
+      bool separator = !out->empty() && IsNameChar(out->back()) &&
+                       j < text.size() && IsNameChar(text[j]);
+      if (separator) out->push_back(' ');
+      i = j;
+      continue;
+    }
+    out->push_back(c);
+    ++i;
+  }
+}
+
+}  // namespace
+
+std::string NormalizeXPath(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  NormalizeInto(text, &out);
+  return out;
+}
+
+std::string PlanCacheKey(std::string_view xpath, Translator translator,
+                         bool optimize_join_order) {
+  std::string key;
+  key.reserve(xpath.size() + 4);
+  NormalizeInto(xpath, &key);
+  key.push_back('\x1f');
+  // One byte per knob keeps the key compact and collision-free.
+  key.push_back(static_cast<char>('0' + static_cast<int>(translator)));
+  key.push_back(optimize_join_order ? '1' : '0');
+  return key;
+}
+
+}  // namespace blas

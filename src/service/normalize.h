@@ -1,0 +1,32 @@
+#ifndef BLAS_SERVICE_NORMALIZE_H_
+#define BLAS_SERVICE_NORMALIZE_H_
+
+#include <string>
+#include <string_view>
+
+#include "translate/decomposition.h"
+
+namespace blas {
+
+/// \brief Whitespace-insensitive lexical normalization of XPath text.
+///
+/// Produces identical strings for queries that differ only in whitespace
+/// outside quoted literals, without parsing: whitespace runs collapse to a
+/// single space when both neighbours are name characters (so "a and b"
+/// keeps its separators) and disappear otherwise (" / site // item " ->
+/// "/site//item"). Quoted literals are preserved byte for byte. Used as
+/// the plan-cache key so "  /a/b " and "/a/b" share one cached plan; it
+/// never changes query semantics because the parser already skips the
+/// removed whitespace.
+std::string NormalizeXPath(std::string_view text);
+
+/// Plan-cache key: normalized text plus every knob that changes the
+/// translated plan (translator flavor, join-order optimization).
+/// Normalizes `xpath` itself in the same pass (idempotent, so already-
+/// normalized text is fine) — one allocation on the cache-hit hot path.
+std::string PlanCacheKey(std::string_view xpath, Translator translator,
+                         bool optimize_join_order);
+
+}  // namespace blas
+
+#endif  // BLAS_SERVICE_NORMALIZE_H_

@@ -1,0 +1,78 @@
+#ifndef BLAS_SERVICE_PLAN_CACHE_H_
+#define BLAS_SERVICE_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "blas/blas.h"
+#include "exec/plan.h"
+
+namespace blas {
+
+/// A translated plan plus the cost-based engine choice for Engine::kAuto
+/// (cardinality estimation walks the path summary, so the service caches
+/// the verdict alongside the plan). Immutable once cached.
+struct CachedPlan {
+  ExecPlan plan;
+  Engine auto_engine = Engine::kRelational;
+};
+
+/// \brief Thread-safe LRU cache of translated query plans.
+///
+/// Keyed by PlanCacheKey (normalized XPath + translator + optimizer
+/// knobs); a hit skips parsing, decomposition, translation and join-order
+/// optimization entirely. Entries are immutable and handed out as
+/// shared_ptr<const CachedPlan>, so an entry evicted while a query is
+/// still executing stays alive until that query drops its reference.
+class PlanCache {
+ public:
+  /// `capacity` == 0 disables the cache (every Get misses, Put is a
+  /// no-op) — the service uses that for its cache-bypass mode.
+  explicit PlanCache(size_t capacity = 256);
+
+  /// Returns the cached plan and promotes it to most-recently-used, or
+  /// nullptr on miss. Counts one hit or one miss.
+  std::shared_ptr<const CachedPlan> Get(const std::string& key);
+
+  /// Inserts or refreshes `plan` under `key`, evicting the
+  /// least-recently-used entry when over capacity.
+  void Put(const std::string& key, std::shared_ptr<const CachedPlan> plan);
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t insertions = 0;
+    uint64_t evictions = 0;
+  };
+  Stats stats() const;
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+
+  /// Drops all entries (stats are kept).
+  void Clear();
+
+  /// Keys in recency order, most recent first (tests of eviction order).
+  std::vector<std::string> KeysMruToLru() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    std::shared_ptr<const CachedPlan> plan;
+  };
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  Stats stats_;
+};
+
+}  // namespace blas
+
+#endif  // BLAS_SERVICE_PLAN_CACHE_H_

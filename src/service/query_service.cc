@@ -1,0 +1,136 @@
+#include "service/query_service.h"
+
+#include <utility>
+
+#include "exec/optimizer.h"
+#include "service/normalize.h"
+
+namespace blas {
+
+QueryService::QueryService(const BlasSystem* system,
+                           const ServiceOptions& options)
+    : system_(system),
+      plan_cache_(options.plan_cache_capacity),
+      pool_(options.worker_threads, options.queue_capacity) {}
+
+QueryService::QueryService(std::shared_ptr<const BlasSystem> system,
+                           const ServiceOptions& options)
+    : owned_system_(std::move(system)),
+      system_(owned_system_.get()),
+      plan_cache_(options.plan_cache_capacity),
+      pool_(options.worker_threads, options.queue_capacity) {}
+
+Result<std::unique_ptr<QueryService>> QueryService::FromXml(
+    std::string_view xml, const BlasOptions& blas_options,
+    const ServiceOptions& options) {
+  BLAS_ASSIGN_OR_RETURN(BlasSystem sys, BlasSystem::FromXml(xml, blas_options));
+  auto shared = std::make_shared<const BlasSystem>(std::move(sys));
+  return std::make_unique<QueryService>(std::move(shared), options);
+}
+
+QueryService::~QueryService() { Shutdown(); }
+
+void QueryService::Shutdown() { pool_.Shutdown(); }
+
+std::future<Result<QueryResult>> QueryService::Submit(QueryRequest request) {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  auto task = std::make_shared<std::packaged_task<Result<QueryResult>()>>(
+      [this, request = std::move(request)]() { return Run(request); });
+  std::future<Result<QueryResult>> future = task->get_future();
+  if (!pool_.Submit([task] { (*task)(); })) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    std::promise<Result<QueryResult>> refused;
+    refused.set_value(Status::Unsupported("service is shut down"));
+    return refused.get_future();
+  }
+  return future;
+}
+
+std::vector<std::future<Result<QueryResult>>> QueryService::SubmitBatch(
+    std::vector<QueryRequest> requests) {
+  std::vector<std::future<Result<QueryResult>>> futures;
+  futures.reserve(requests.size());
+  for (QueryRequest& request : requests) {
+    futures.push_back(Submit(std::move(request)));
+  }
+  return futures;
+}
+
+Result<QueryResult> QueryService::Execute(const QueryRequest& request) {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  return Run(request);
+}
+
+Result<QueryResult> QueryService::Run(const QueryRequest& request) {
+  std::shared_ptr<const CachedPlan> plan;
+  std::string key;
+  const bool use_cache =
+      !request.bypass_plan_cache && plan_cache_.capacity() > 0;
+  if (use_cache) {
+    key = PlanCacheKey(request.xpath, request.translator,
+                       request.exec.optimize_join_order);
+    plan = plan_cache_.Get(key);
+  }
+  if (plan == nullptr) {
+    Result<ExecPlan> planned = system_->Plan(request.xpath, request.translator);
+    if (!planned.ok()) {
+      failed_.fetch_add(1, std::memory_order_relaxed);
+      return std::move(planned).status();
+    }
+    CachedPlan fresh;
+    fresh.plan = std::move(planned).value();
+    CostModel model(&system_->summary(), &system_->dict());
+    if (request.exec.optimize_join_order) {
+      fresh.plan = OptimizeJoinOrder(fresh.plan, model);
+    }
+    if (use_cache || request.engine == Engine::kAuto) {
+      // Skippable when the engine is pinned and the plan won't be cached
+      // (cardinality estimation walks the path summary per part).
+      fresh.auto_engine = ChooseEngine(fresh.plan, model);
+    }
+    plan = std::make_shared<const CachedPlan>(std::move(fresh));
+    if (use_cache) plan_cache_.Put(key, plan);
+  }
+
+  Engine engine =
+      request.engine == Engine::kAuto ? plan->auto_engine : request.engine;
+  Result<QueryResult> result = system_->ExecutePlan(plan->plan, engine);
+  if (!result.ok()) {
+    failed_.fetch_add(1, std::memory_order_relaxed);
+    return result;
+  }
+
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  const ExecStats& stats = result->stats;
+  elements_.fetch_add(stats.elements, std::memory_order_relaxed);
+  page_fetches_.fetch_add(stats.page_fetches, std::memory_order_relaxed);
+  page_misses_.fetch_add(stats.page_misses, std::memory_order_relaxed);
+  d_joins_.fetch_add(static_cast<uint64_t>(stats.d_joins),
+                     std::memory_order_relaxed);
+  intermediate_rows_.fetch_add(stats.intermediate_rows,
+                               std::memory_order_relaxed);
+  output_rows_.fetch_add(stats.output_rows, std::memory_order_relaxed);
+  return result;
+}
+
+ServiceStats QueryService::stats() const {
+  ServiceStats s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.failed = failed_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  PlanCache::Stats cache = plan_cache_.stats();
+  s.plan_cache_hits = cache.hits;
+  s.plan_cache_misses = cache.misses;
+  s.plan_cache_evictions = cache.evictions;
+  s.exec.elements = elements_.load(std::memory_order_relaxed);
+  s.exec.page_fetches = page_fetches_.load(std::memory_order_relaxed);
+  s.exec.page_misses = page_misses_.load(std::memory_order_relaxed);
+  s.exec.d_joins = d_joins_.load(std::memory_order_relaxed);
+  s.exec.intermediate_rows =
+      intermediate_rows_.load(std::memory_order_relaxed);
+  s.exec.output_rows = output_rows_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace blas

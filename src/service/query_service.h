@@ -1,0 +1,139 @@
+#ifndef BLAS_SERVICE_QUERY_SERVICE_H_
+#define BLAS_SERVICE_QUERY_SERVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "blas/blas.h"
+#include "service/plan_cache.h"
+#include "service/thread_pool.h"
+
+namespace blas {
+
+/// Construction options for QueryService.
+struct ServiceOptions {
+  /// Worker threads executing queries. 0 means hardware concurrency.
+  size_t worker_threads = 4;
+  /// Bounded submission queue; Submit blocks (backpressure) when full.
+  size_t queue_capacity = 1024;
+  /// LRU entries of the plan cache. 0 disables caching entirely.
+  size_t plan_cache_capacity = 256;
+};
+
+/// One client request: an XPath query plus per-query knobs.
+struct QueryRequest {
+  std::string xpath;
+  Translator translator = Translator::kPushUp;
+  /// kAuto lets the optimizer pick relational vs. twig per plan.
+  Engine engine = Engine::kAuto;
+  ExecOptions exec;
+  /// Skip the plan cache for this request (both lookup and insert).
+  bool bypass_plan_cache = false;
+};
+
+/// Service-wide counters. Values are monotonically increasing since
+/// construction; `stats()` returns a consistent-enough snapshot (each
+/// field is read atomically, the set is not fenced).
+struct ServiceStats {
+  uint64_t submitted = 0;
+  uint64_t completed = 0;  // successful queries
+  uint64_t failed = 0;     // parse/translate/execute errors
+  uint64_t rejected = 0;   // submissions refused after Shutdown
+  // Plan-cache accounting (mirrors PlanCache::stats()).
+  uint64_t plan_cache_hits = 0;
+  uint64_t plan_cache_misses = 0;
+  uint64_t plan_cache_evictions = 0;
+  // Roll-up of every completed query's ExecStats. All fields widened to
+  // uint64 (ExecStats::d_joins is an int sized for one query, not for a
+  // service lifetime).
+  struct ExecRollup {
+    uint64_t elements = 0;
+    uint64_t page_fetches = 0;
+    uint64_t page_misses = 0;
+    uint64_t d_joins = 0;
+    uint64_t intermediate_rows = 0;
+    uint64_t output_rows = 0;
+  };
+  ExecRollup exec;
+};
+
+/// \brief Concurrent query front door over one indexed document.
+///
+/// Owns (or borrows) a BlasSystem and serves XPath queries from many
+/// clients at once: requests enter a bounded queue, a fixed pool of
+/// workers translates and executes them against the shared NodeStore
+/// (safe for concurrent readers), and results come back through futures.
+/// Repeat queries hit an LRU plan cache keyed by normalized query text
+/// and skip the whole parse/decompose/translate/optimize pipeline.
+///
+/// \code
+///   QueryService service(&sys, {.worker_threads = 4});
+///   auto f1 = service.Submit({.xpath = "/site/regions//item"});
+///   auto f2 = service.Submit({.xpath = "//person[name]"});
+///   Result<QueryResult> r1 = f1.get();
+/// \endcode
+class QueryService {
+ public:
+  /// Serves queries against a system owned by the caller, which must
+  /// outlive the service.
+  explicit QueryService(const BlasSystem* system,
+                        const ServiceOptions& options = {});
+  /// Shares ownership of the system.
+  explicit QueryService(std::shared_ptr<const BlasSystem> system,
+                        const ServiceOptions& options = {});
+  /// Builds the system from XML text and owns it.
+  static Result<std::unique_ptr<QueryService>> FromXml(
+      std::string_view xml, const BlasOptions& blas_options = {},
+      const ServiceOptions& options = {});
+
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Enqueues one query; blocks only when the submission queue is full.
+  /// After Shutdown the returned future holds a kUnsupported error.
+  std::future<Result<QueryResult>> Submit(QueryRequest request);
+
+  /// Enqueues a batch; futures are in request order.
+  std::vector<std::future<Result<QueryResult>>> SubmitBatch(
+      std::vector<QueryRequest> requests);
+
+  /// Runs one query on the calling thread (same plan cache and stats).
+  Result<QueryResult> Execute(const QueryRequest& request);
+
+  /// Stops accepting work, drains queued queries, joins the workers.
+  void Shutdown();
+
+  ServiceStats stats() const;
+  const PlanCache& plan_cache() const { return plan_cache_; }
+  const BlasSystem& system() const { return *system_; }
+  size_t worker_threads() const { return pool_.thread_count(); }
+
+ private:
+  Result<QueryResult> Run(const QueryRequest& request);
+
+  std::shared_ptr<const BlasSystem> owned_system_;
+  const BlasSystem* system_;
+  PlanCache plan_cache_;
+  ThreadPool pool_;
+
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> failed_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> elements_{0};
+  std::atomic<uint64_t> page_fetches_{0};
+  std::atomic<uint64_t> page_misses_{0};
+  std::atomic<uint64_t> d_joins_{0};
+  std::atomic<uint64_t> intermediate_rows_{0};
+  std::atomic<uint64_t> output_rows_{0};
+};
+
+}  // namespace blas
+
+#endif  // BLAS_SERVICE_QUERY_SERVICE_H_

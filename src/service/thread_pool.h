@@ -1,0 +1,57 @@
+#ifndef BLAS_SERVICE_THREAD_POOL_H_
+#define BLAS_SERVICE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace blas {
+
+/// \brief Fixed-size worker pool with a bounded submission queue.
+///
+/// Submit blocks the caller while the queue is full (backpressure instead
+/// of unbounded memory); TrySubmit returns false instead. Shutdown drains
+/// every task already accepted, then joins the workers; the destructor
+/// calls Shutdown. Tasks must not throw.
+class ThreadPool {
+ public:
+  ThreadPool(size_t num_threads, size_t queue_capacity);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `task`, waiting for queue space if necessary. Returns false
+  /// (dropping the task) only after Shutdown has begun.
+  bool Submit(std::function<void()> task);
+
+  /// Enqueues `task` only if space is free right now; never blocks.
+  bool TrySubmit(std::function<void()> task);
+
+  /// Stops accepting work, runs everything already queued, joins workers.
+  /// Idempotent.
+  void Shutdown();
+
+  size_t thread_count() const { return workers_.size(); }
+  size_t queue_capacity() const { return queue_capacity_; }
+
+ private:
+  void WorkerLoop();
+
+  const size_t queue_capacity_;
+  std::mutex mu_;
+  std::mutex join_mu_;  // serializes concurrent Shutdown callers
+  std::condition_variable work_ready_;
+  std::condition_variable space_free_;
+  std::deque<std::function<void()>> queue_;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace blas
+
+#endif  // BLAS_SERVICE_THREAD_POOL_H_

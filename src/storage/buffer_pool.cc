@@ -1,9 +1,57 @@
 #include "storage/buffer_pool.h"
 
+#include <list>
+#include <mutex>
+#include <unordered_map>
+
 namespace blas {
 
-BufferPool::BufferPool(size_t cache_capacity)
-    : cache_capacity_(cache_capacity == 0 ? 1 : cache_capacity) {}
+namespace {
+
+thread_local ReadCounters* tls_read_counters = nullptr;
+
+/// One shard per 128 frames, capped at 16: tiny pools (including the unit
+/// tests' 2-frame pools) keep exact single-LRU semantics, while the
+/// default 4096-frame pool spreads readers over 16 latches.
+size_t PickShardCount(size_t capacity) {
+  size_t shards = 1;
+  while (shards < 16 && capacity / (shards * 2) >= 64) shards *= 2;
+  return shards;
+}
+
+}  // namespace
+
+ReadCounterScope::ReadCounterScope(ReadCounters* counters)
+    : prev_(tls_read_counters) {
+  tls_read_counters = counters;
+}
+
+ReadCounterScope::~ReadCounterScope() { tls_read_counters = prev_; }
+
+ReadCounters* ReadCounterScope::Current() { return tls_read_counters; }
+
+struct BufferPool::Shard {
+  std::mutex mu;
+  std::list<PageId> lru;  // front = most recent
+  std::unordered_map<PageId, std::list<PageId>::iterator> cached;
+  size_t capacity = 1;
+  Stats stats;
+};
+
+BufferPool::BufferPool(size_t cache_capacity, size_t shards)
+    : cache_capacity_(cache_capacity == 0 ? 1 : cache_capacity) {
+  size_t n = shards == 0 ? PickShardCount(cache_capacity_) : shards;
+  if (n > cache_capacity_) n = cache_capacity_;
+  shards_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->capacity = cache_capacity_ / n + (i < cache_capacity_ % n ? 1 : 0);
+    if (shard->capacity == 0) shard->capacity = 1;
+    shards_.push_back(std::move(shard));
+  }
+}
+
+BufferPool::~BufferPool() = default;
 
 PageId BufferPool::Allocate() {
   pages_.push_back(std::make_unique<Page>());
@@ -11,26 +59,56 @@ PageId BufferPool::Allocate() {
 }
 
 const Page* BufferPool::Fetch(PageId id) const {
-  ++stats_.fetches;
-  auto it = cached_.find(id);
-  if (it != cached_.end()) {
-    lru_.splice(lru_.begin(), lru_, it->second);
-    return pages_[id].get();
+  Shard& shard = *shards_[id % shards_.size()];
+  bool miss = false;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    ++shard.stats.fetches;
+    auto it = shard.cached.find(id);
+    if (it != shard.cached.end()) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    } else {
+      miss = true;
+      ++shard.stats.misses;
+      if (shard.cached.size() >= shard.capacity) {
+        PageId victim = shard.lru.back();
+        shard.lru.pop_back();
+        shard.cached.erase(victim);
+      }
+      shard.lru.push_front(id);
+      shard.cached[id] = shard.lru.begin();
+    }
   }
-  ++stats_.misses;
-  if (cached_.size() >= cache_capacity_) {
-    PageId victim = lru_.back();
-    lru_.pop_back();
-    cached_.erase(victim);
+  if (ReadCounters* counters = ReadCounterScope::Current()) {
+    ++counters->fetches;
+    if (miss) ++counters->misses;
   }
-  lru_.push_front(id);
-  cached_[id] = lru_.begin();
   return pages_[id].get();
 }
 
+BufferPool::Stats BufferPool::stats() const {
+  Stats total;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total.fetches += shard->stats.fetches;
+    total.misses += shard->stats.misses;
+  }
+  return total;
+}
+
+void BufferPool::ResetStats() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->stats = Stats();
+  }
+}
+
 void BufferPool::DropCache() {
-  lru_.clear();
-  cached_.clear();
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->lru.clear();
+    shard->cached.clear();
+  }
 }
 
 }  // namespace blas

@@ -2,40 +2,80 @@
 #define BLAS_STORAGE_BUFFER_POOL_H_
 
 #include <cstdint>
-#include <list>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "storage/page.h"
 
 namespace blas {
 
+/// Per-thread storage access counters. Scans and page fetches add to the
+/// scope installed on the current thread (if any) in addition to the
+/// owning structure's global counters, so a query running on a worker
+/// thread can attribute exactly its own accesses even while other queries
+/// hammer the same store. Scopes nest; the innermost one receives the
+/// counts.
+struct ReadCounters {
+  uint64_t elements = 0;
+  uint64_t fetches = 0;
+  uint64_t misses = 0;
+};
+
+/// RAII installer for a thread-local ReadCounters sink.
+class ReadCounterScope {
+ public:
+  explicit ReadCounterScope(ReadCounters* counters);
+  ~ReadCounterScope();
+
+  ReadCounterScope(const ReadCounterScope&) = delete;
+  ReadCounterScope& operator=(const ReadCounterScope&) = delete;
+
+  /// The innermost scope installed on this thread, or nullptr.
+  static ReadCounters* Current();
+
+ private:
+  ReadCounters* prev_;
+};
+
 /// \brief Page store with an LRU cache that models disk accesses.
 ///
 /// All pages live in memory; `Fetch` runs every access through an LRU
-/// cache of `cache_capacity` frames so that benchmarks can report the two
-/// quantities the paper argues about: logical page reads (`fetches`) and
-/// simulated disk accesses (`misses`). Build-time access via `MutablePage`
-/// bypasses the counters (the paper measures query processing only).
+/// cache so that benchmarks can report the two quantities the paper argues
+/// about: logical page reads (`fetches`) and simulated disk accesses
+/// (`misses`). Build-time access via `MutablePage` bypasses the counters
+/// (the paper measures query processing only).
+///
+/// Concurrency: `Fetch`, `Peek`, `stats` and the counter scopes are safe
+/// to call from any number of threads once the pool is built. The LRU
+/// state is sharded by page id — small pools (< 128 frames) keep a single
+/// shard and therefore exact global-LRU semantics; larger pools split into
+/// up to 16 independently latched shards so concurrent readers do not
+/// serialize on one mutex. `Allocate` and `MutablePage` are build-time
+/// only and must not race with `Fetch`.
 class BufferPool {
  public:
-  /// `cache_capacity` is the number of cached frames (>= 1).
-  explicit BufferPool(size_t cache_capacity = 1024);
+  /// `cache_capacity` is the number of cached frames (>= 1). `shards` is
+  /// the number of independently latched LRU shards; 0 picks one shard
+  /// per 128 frames (capped at 16). Pass 1 for exact global-LRU miss
+  /// accounting (the paper's single-threaded cold-cache experiments);
+  /// sharded pools approximate it (misses can differ under capacity
+  /// pressure because each shard evicts independently).
+  explicit BufferPool(size_t cache_capacity = 1024, size_t shards = 0);
+  ~BufferPool();
 
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
-  BufferPool(BufferPool&&) = default;
-  BufferPool& operator=(BufferPool&&) = default;
+  BufferPool(BufferPool&&) = delete;
+  BufferPool& operator=(BufferPool&&) = delete;
 
-  /// Appends a zeroed page and returns its id.
+  /// Appends a zeroed page and returns its id. Build-time only.
   PageId Allocate();
 
   /// Build-time access; does not touch the counters.
   Page* MutablePage(PageId id) { return pages_[id].get(); }
 
   /// Query-time access; counts one fetch, plus one miss when `id` is not
-  /// in the LRU cache (it is then brought in, possibly evicting).
+  /// in its shard's LRU cache (it is then brought in, possibly evicting).
   const Page* Fetch(PageId id) const;
 
   /// Maintenance access (export, verification); bypasses the counters and
@@ -43,26 +83,26 @@ class BufferPool {
   const Page* Peek(PageId id) const { return pages_[id].get(); }
 
   size_t page_count() const { return pages_.size(); }
+  size_t shard_count() const { return shards_.size(); }
 
   struct Stats {
     uint64_t fetches = 0;
     uint64_t misses = 0;
   };
-  const Stats& stats() const { return stats_; }
-  void ResetStats() { stats_ = Stats(); }
+  /// Aggregate over all shards since the last ResetStats().
+  Stats stats() const;
+  void ResetStats();
 
   /// Drops all cached frames (cold-cache experiments; the paper runs every
   /// query on a cold cache).
   void DropCache();
 
  private:
+  struct Shard;
+
   std::vector<std::unique_ptr<Page>> pages_;
   size_t cache_capacity_;
-
-  // LRU bookkeeping; mutable because Fetch is logically const.
-  mutable std::list<PageId> lru_;  // front = most recent
-  mutable std::unordered_map<PageId, std::list<PageId>::iterator> cached_;
-  mutable Stats stats_;
+  mutable std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 }  // namespace blas

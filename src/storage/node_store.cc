@@ -4,9 +4,24 @@
 
 namespace blas {
 
+namespace {
+
+/// Flushes a scan's visited-element count into the store-wide atomic and
+/// the current thread's counter scope. One add per scan instead of one
+/// atomic RMW per record keeps the hot loop cheap.
+void CountVisited(std::atomic<uint64_t>* total, uint64_t visited) {
+  if (visited == 0) return;
+  total->fetch_add(visited, std::memory_order_relaxed);
+  if (ReadCounters* counters = ReadCounterScope::Current()) {
+    counters->elements += visited;
+  }
+}
+
+}  // namespace
+
 NodeStore::NodeStore(const std::vector<NodeRecord>& records,
-                     size_t cache_pages)
-    : pool_(cache_pages), count_(records.size()) {
+                     size_t cache_pages, size_t cache_shards)
+    : pool_(cache_pages, cache_shards), count_(records.size()) {
   std::vector<NodeRecord> sorted = records;
   std::sort(sorted.begin(), sorted.end(),
             [](const NodeRecord& a, const NodeRecord& b) {
@@ -30,50 +45,58 @@ std::vector<NodeRecord> NodeStore::ScanPlabelRange(
     std::optional<int32_t> level) const {
   std::vector<NodeRecord> out;
   if (range.empty()) return out;
+  uint64_t visited = 0;
   for (auto it = sp_.Seek(SpKey{range.lo, 0}); !it.at_end(); ++it) {
     const NodeRecord& rec = *it;
     if (rec.plabel > range.hi) break;
-    ++elements_;
+    ++visited;
     if (data.has_value() && rec.data != *data) continue;
     if (level.has_value() && rec.level != *level) continue;
     out.push_back(rec);
   }
+  CountVisited(&elements_, visited);
   return out;
 }
 
 std::vector<NodeRecord> NodeStore::ScanTag(TagId tag,
                                            std::optional<uint32_t> data) const {
   std::vector<NodeRecord> out;
+  uint64_t visited = 0;
   for (auto it = sd_.Seek(SdKey{tag, 0}); !it.at_end(); ++it) {
     const NodeRecord& rec = *it;
     if (rec.tag != tag) break;
-    ++elements_;
+    ++visited;
     if (data.has_value() && rec.data != *data) continue;
     out.push_back(rec);
   }
+  CountVisited(&elements_, visited);
   return out;
 }
 
 std::vector<NodeRecord> NodeStore::ScanAll(
     std::optional<uint32_t> data) const {
   std::vector<NodeRecord> out;
+  uint64_t visited = 0;
   for (auto it = sd_.Begin(); !it.at_end(); ++it) {
     const NodeRecord& rec = *it;
-    ++elements_;
+    ++visited;
     if (data.has_value() && rec.data != *data) continue;
     out.push_back(rec);
   }
+  CountVisited(&elements_, visited);
   return out;
 }
 
 std::vector<NodeRecord> NodeStore::ScanValue(uint32_t data) const {
   std::vector<NodeRecord> out;
+  uint64_t visited = 0;
   for (auto it = vindex_.Seek(ValKey{data, 0}); !it.at_end(); ++it) {
     const NodeRecord& rec = *it;
     if (rec.data != data) break;
-    ++elements_;
+    ++visited;
     out.push_back(rec);
   }
+  CountVisited(&elements_, visited);
   return out;
 }
 
@@ -86,14 +109,15 @@ std::vector<NodeRecord> NodeStore::ExportRecords() const {
 
 StorageStats NodeStore::stats() const {
   StorageStats s;
-  s.elements = elements_;
-  s.page_fetches = pool_.stats().fetches;
-  s.page_misses = pool_.stats().misses;
+  s.elements = elements_.load(std::memory_order_relaxed);
+  BufferPool::Stats pool_stats = pool_.stats();
+  s.page_fetches = pool_stats.fetches;
+  s.page_misses = pool_stats.misses;
   return s;
 }
 
 void NodeStore::ResetStats() {
-  elements_ = 0;
+  elements_.store(0, std::memory_order_relaxed);
   pool_.ResetStats();
 }
 

@@ -1,6 +1,7 @@
 #ifndef BLAS_STORAGE_NODE_STORE_H_
 #define BLAS_STORAGE_NODE_STORE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -78,12 +79,18 @@ struct StorageStats {
 /// All scans count every record they touch (including records later
 /// rejected by a residual data/level filter), matching how the paper counts
 /// visited elements.
+///
+/// Concurrency: all scan methods and `stats` are safe for concurrent
+/// callers once construction finishes (the buffer pool shards its LRU
+/// latches; the element counter is atomic). Per-thread attribution of
+/// visited elements and page accesses goes through ReadCounterScope.
 class NodeStore {
  public:
   /// Builds all trees from the labeler output. `cache_pages` sizes the
-  /// LRU cache of the shared buffer pool.
+  /// LRU cache of the shared buffer pool; `cache_shards` its latch
+  /// sharding (0 = auto, 1 = exact global LRU; see BufferPool).
   explicit NodeStore(const std::vector<NodeRecord>& records,
-                     size_t cache_pages = 1024);
+                     size_t cache_pages = 1024, size_t cache_shards = 0);
 
   NodeStore(const NodeStore&) = delete;
   NodeStore& operator=(const NodeStore&) = delete;
@@ -127,7 +134,7 @@ class NodeStore {
   BPlusTree<NodeRecord, SdKey, SdKeyOf> sd_;
   BPlusTree<NodeRecord, ValKey, ValKeyOf> vindex_;
   size_t count_ = 0;
-  mutable uint64_t elements_ = 0;
+  mutable std::atomic<uint64_t> elements_{0};
 };
 
 }  // namespace blas

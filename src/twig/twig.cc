@@ -11,7 +11,9 @@ Result<std::vector<uint32_t>> TwigEngine::Execute(const ExecPlan& plan,
   if (plan.parts.empty()) {
     return Status::InvalidArgument("empty plan");
   }
-  StorageStats before = store_->stats();
+  // Per-thread attribution; see RelationalExecutor::Execute.
+  ReadCounters counters;
+  ReadCounterScope scope(&counters);
   ExecStats local;
   const size_t n = plan.parts.size();
 
@@ -75,10 +77,9 @@ Result<std::vector<uint32_t>> TwigEngine::Execute(const ExecPlan& plan,
   result.erase(std::unique(result.begin(), result.end()), result.end());
 
   if (stats != nullptr) {
-    StorageStats after = store_->stats();
-    local.elements = after.elements - before.elements;
-    local.page_fetches = after.page_fetches - before.page_fetches;
-    local.page_misses = after.page_misses - before.page_misses;
+    local.elements = counters.elements;
+    local.page_fetches = counters.fetches;
+    local.page_misses = counters.misses;
     local.output_rows = result.size();
     *stats += local;
   }

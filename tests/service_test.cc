@@ -1,0 +1,350 @@
+#include <atomic>
+#include <future>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gen/generator.h"
+#include "gen/queries.h"
+#include "service/normalize.h"
+#include "service/plan_cache.h"
+#include "service/query_service.h"
+#include "service/thread_pool.h"
+#include "tests/test_util.h"
+
+namespace blas {
+namespace {
+
+// ----------------------------------------------------------- normalize ---
+
+TEST(NormalizeTest, StripsDecorativeWhitespace) {
+  EXPECT_EQ(NormalizeXPath("  / site / regions // item  "),
+            "/site/regions//item");
+  EXPECT_EQ(NormalizeXPath("/a/b"), NormalizeXPath("  /a  /  b\t\n"));
+}
+
+TEST(NormalizeTest, KeepsTokenSeparators) {
+  // "and" between two relative paths needs its separating spaces.
+  EXPECT_EQ(NormalizeXPath("//a[ b and c ]"), "//a[b and c]");
+  EXPECT_EQ(NormalizeXPath("//a[b   and   c]"), "//a[b and c]");
+}
+
+TEST(NormalizeTest, PreservesQuotedLiterals) {
+  EXPECT_EQ(NormalizeXPath("//a[ b = \"x  y\" ]"), "//a[b=\"x  y\"]");
+  EXPECT_EQ(NormalizeXPath("//a[b='  spaced  ']"), "//a[b='  spaced  ']");
+}
+
+TEST(NormalizeTest, KeyNormalizesItsInput) {
+  EXPECT_EQ(PlanCacheKey(" /a / b ", Translator::kPushUp, false),
+            PlanCacheKey("/a/b", Translator::kPushUp, false));
+}
+
+TEST(NormalizeTest, KeyIncludesTranslatorAndOptimizerFlag) {
+  std::string norm = NormalizeXPath("/a//b");
+  EXPECT_NE(PlanCacheKey(norm, Translator::kPushUp, false),
+            PlanCacheKey(norm, Translator::kSplit, false));
+  EXPECT_NE(PlanCacheKey(norm, Translator::kPushUp, false),
+            PlanCacheKey(norm, Translator::kPushUp, true));
+}
+
+// ---------------------------------------------------------- plan cache ---
+
+std::shared_ptr<const CachedPlan> DummyPlan() {
+  auto plan = std::make_shared<CachedPlan>();
+  plan->plan.parts.emplace_back();
+  return plan;
+}
+
+TEST(PlanCacheTest, HitAndMissAccounting) {
+  PlanCache cache(4);
+  EXPECT_EQ(cache.Get("k1"), nullptr);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+
+  auto plan = DummyPlan();
+  cache.Put("k1", plan);
+  EXPECT_EQ(cache.Get("k1"), plan);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().insertions, 1u);
+}
+
+TEST(PlanCacheTest, EvictsLeastRecentlyUsed) {
+  PlanCache cache(3);
+  cache.Put("a", DummyPlan());
+  cache.Put("b", DummyPlan());
+  cache.Put("c", DummyPlan());
+  // Touch "a" so "b" becomes the LRU entry.
+  EXPECT_NE(cache.Get("a"), nullptr);
+  cache.Put("d", DummyPlan());  // evicts "b"
+
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.Get("b"), nullptr);
+  EXPECT_NE(cache.Get("c"), nullptr);
+  std::vector<std::string> keys = cache.KeysMruToLru();
+  ASSERT_EQ(keys.size(), 3u);
+  EXPECT_EQ(keys[0], "c");  // just touched
+  EXPECT_EQ(keys[1], "d");
+  EXPECT_EQ(keys[2], "a");
+}
+
+TEST(PlanCacheTest, ZeroCapacityDisables) {
+  PlanCache cache(0);
+  cache.Put("a", DummyPlan());
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.Get("a"), nullptr);
+}
+
+TEST(PlanCacheTest, PutRefreshesExistingKey) {
+  PlanCache cache(2);
+  auto first = DummyPlan();
+  auto second = DummyPlan();
+  cache.Put("a", first);
+  cache.Put("a", second);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.Get("a"), second);
+}
+
+// ---------------------------------------------------------- thread pool ---
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(4, 8);
+    for (int i = 0; i < 100; ++i) {
+      EXPECT_TRUE(pool.Submit([&done] { ++done; }));
+    }
+  }  // destructor drains
+  EXPECT_EQ(done.load(), 100);
+}
+
+TEST(ThreadPoolTest, TrySubmitRespectsQueueBound) {
+  // One paused worker plus a full queue: the next TrySubmit must refuse.
+  std::atomic<bool> worker_busy{false};
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  ThreadPool pool(1, 2);
+  ASSERT_TRUE(pool.Submit([&worker_busy, gate] {
+    worker_busy = true;
+    gate.wait();
+  }));
+  while (!worker_busy) std::this_thread::yield();
+  ASSERT_TRUE(pool.TrySubmit([] {}));   // queue slot 1
+  ASSERT_TRUE(pool.TrySubmit([] {}));   // queue slot 2
+  EXPECT_FALSE(pool.TrySubmit([] {}));  // full
+  release.set_value();
+  pool.Shutdown();
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownFails) {
+  ThreadPool pool(2, 4);
+  pool.Shutdown();
+  EXPECT_FALSE(pool.Submit([] {}));
+  EXPECT_FALSE(pool.TrySubmit([] {}));
+}
+
+// -------------------------------------------------------- query service ---
+
+constexpr char kDoc[] =
+    "<site><regions><region><item><name>lamp</name>"
+    "<description>old lamp</description></item>"
+    "<item><name>vase</name><description>blue vase</description></item>"
+    "</region></regions>"
+    "<people><person><name>alice</name></person>"
+    "<person><name>bob</name></person></people></site>";
+
+TEST(QueryServiceTest, ExecutesAndMatchesFacade) {
+  BlasSystem sys = MustBuild(kDoc);
+  QueryService service(&sys, ServiceOptions{.worker_threads = 2});
+
+  QueryRequest request;
+  request.xpath = "/site/regions//item/name";
+  request.engine = Engine::kRelational;
+  Result<QueryResult> via_service = service.Submit(request).get();
+  ASSERT_TRUE(via_service.ok()) << via_service.status().ToString();
+
+  Result<QueryResult> via_facade =
+      sys.Execute(request.xpath, request.translator, Engine::kRelational);
+  ASSERT_TRUE(via_facade.ok());
+  EXPECT_EQ(via_service->starts, via_facade->starts);
+  EXPECT_EQ(via_service->stats.elements, via_facade->stats.elements);
+}
+
+TEST(QueryServiceTest, PlanCacheHitsOnRepeatAndNormalizedText) {
+  BlasSystem sys = MustBuild(kDoc);
+  QueryService service(&sys, ServiceOptions{.worker_threads = 1});
+
+  QueryRequest request;
+  request.xpath = "/site/people/person/name";
+  ASSERT_TRUE(service.Submit(request).get().ok());
+  EXPECT_EQ(service.stats().plan_cache_misses, 1u);
+  EXPECT_EQ(service.stats().plan_cache_hits, 0u);
+
+  // Same text: hit. Whitespace-decorated text: also a hit.
+  ASSERT_TRUE(service.Submit(request).get().ok());
+  QueryRequest spaced = request;
+  spaced.xpath = "  /site / people/  person /name ";
+  ASSERT_TRUE(service.Submit(spaced).get().ok());
+  EXPECT_EQ(service.stats().plan_cache_hits, 2u);
+  EXPECT_EQ(service.stats().plan_cache_misses, 1u);
+  EXPECT_EQ(service.plan_cache().size(), 1u);
+}
+
+TEST(QueryServiceTest, BypassFlagSkipsCache) {
+  BlasSystem sys = MustBuild(kDoc);
+  QueryService service(&sys, ServiceOptions{.worker_threads = 1});
+
+  QueryRequest request;
+  request.xpath = "//person/name";
+  request.bypass_plan_cache = true;
+  ASSERT_TRUE(service.Submit(request).get().ok());
+  ASSERT_TRUE(service.Submit(request).get().ok());
+  EXPECT_EQ(service.stats().plan_cache_hits, 0u);
+  EXPECT_EQ(service.stats().plan_cache_misses, 0u);
+  EXPECT_EQ(service.plan_cache().size(), 0u);
+
+  // Non-bypassed requests still populate it.
+  request.bypass_plan_cache = false;
+  ASSERT_TRUE(service.Submit(request).get().ok());
+  EXPECT_EQ(service.plan_cache().size(), 1u);
+}
+
+TEST(QueryServiceTest, ParseErrorsCountAsFailed) {
+  BlasSystem sys = MustBuild(kDoc);
+  QueryService service(&sys, ServiceOptions{.worker_threads = 1});
+  Result<QueryResult> bad = service.Submit({.xpath = "not an xpath"}).get();
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(service.stats().failed, 1u);
+  EXPECT_EQ(service.stats().completed, 0u);
+}
+
+TEST(QueryServiceTest, SubmitAfterShutdownReturnsError) {
+  BlasSystem sys = MustBuild(kDoc);
+  QueryService service(&sys, ServiceOptions{.worker_threads = 1});
+  service.Shutdown();
+  Result<QueryResult> refused =
+      service.Submit({.xpath = "//person/name"}).get();
+  EXPECT_FALSE(refused.ok());
+  EXPECT_EQ(service.stats().rejected, 1u);
+}
+
+TEST(QueryServiceTest, OwnsSystemViaFromXml) {
+  Result<std::unique_ptr<QueryService>> service = QueryService::FromXml(kDoc);
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+  Result<QueryResult> result =
+      (*service)->Submit({.xpath = "//item/name"}).get();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->starts.size(), 2u);
+}
+
+// --------------------------------------------------------- concurrency ---
+
+/// N worker threads x M client threads x the auction query suite must
+/// produce byte-identical results to the single-threaded engines, and the
+/// per-query stats must attribute exactly this query's storage accesses.
+TEST(QueryServiceConcurrencyTest, MatchesSingleThreadedBaselines) {
+  GenOptions gen_options;
+  Result<BlasSystem> built = BlasSystem::FromEvents(
+      [&](SaxHandler* h) { GenerateAuction(gen_options, h); });
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  BlasSystem sys = std::move(built).value();
+
+  std::vector<BenchQuery> suite = Figure10Queries('A');
+  for (const BenchQuery& q : XMarkBenchmarkQueries()) suite.push_back(q);
+
+  // Single-threaded baselines, both engines, cold service-free run.
+  struct Baseline {
+    std::vector<uint32_t> starts;
+    uint64_t elements = 0;
+  };
+  std::map<std::pair<std::string, Engine>, Baseline> expected;
+  for (const BenchQuery& q : suite) {
+    for (Engine engine : {Engine::kRelational, Engine::kTwig}) {
+      Result<QueryResult> r =
+          sys.Execute(q.xpath, Translator::kPushUp, engine);
+      ASSERT_TRUE(r.ok()) << q.name << ": " << r.status().ToString();
+      expected[{q.xpath, engine}] =
+          Baseline{r->starts, r->stats.elements};
+    }
+  }
+
+  ASSERT_GE(suite.size(), 6u);
+  QueryService service(
+      &sys, ServiceOptions{.worker_threads = 4,
+                           .plan_cache_capacity = suite.size() - 2});
+
+  // 4 client threads, each submitting every query several times with both
+  // engines; the small cache forces eviction traffic while queries run.
+  constexpr int kClients = 4;
+  constexpr int kRounds = 3;
+  std::vector<std::thread> clients;
+  std::atomic<int> mismatches{0};
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int round = 0; round < kRounds; ++round) {
+        std::vector<std::future<Result<QueryResult>>> futures;
+        std::vector<std::pair<std::string, Engine>> keys;
+        for (const BenchQuery& q : suite) {
+          Engine engine = (c + round) % 2 == 0 ? Engine::kRelational
+                                               : Engine::kTwig;
+          QueryRequest request;
+          request.xpath = q.xpath;
+          request.engine = engine;
+          futures.push_back(service.Submit(std::move(request)));
+          keys.emplace_back(q.xpath, engine);
+        }
+        for (size_t i = 0; i < futures.size(); ++i) {
+          Result<QueryResult> r = futures[i].get();
+          // .at(): the map is shared across threads and must stay
+          // read-only; a missing key should throw, not insert.
+          const Baseline& base = expected.at(keys[i]);
+          if (!r.ok() || r->starts != base.starts ||
+              r->stats.elements != base.elements) {
+            ++mismatches;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  EXPECT_EQ(mismatches.load(), 0);
+  ServiceStats stats = service.stats();
+  uint64_t total = static_cast<uint64_t>(kClients) * kRounds * suite.size();
+  EXPECT_EQ(stats.submitted, total);
+  EXPECT_EQ(stats.completed, total);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_GT(stats.plan_cache_hits, 0u);
+  EXPECT_GT(stats.plan_cache_evictions, 0u);
+  EXPECT_GT(stats.exec.elements, 0u);
+}
+
+/// Service-wide element roll-up equals the store's own global counter when
+/// the service is the only reader (ExecStats aggregation is exact).
+TEST(QueryServiceConcurrencyTest, StatsRollUpMatchesStoreCounters) {
+  BlasSystem sys = MustBuild(kDoc);
+  sys.ResetCounters();
+  QueryService service(&sys, ServiceOptions{.worker_threads = 4});
+
+  std::vector<QueryRequest> batch;
+  for (int i = 0; i < 40; ++i) {
+    QueryRequest request;
+    request.xpath = i % 2 == 0 ? "//item/name" : "/site/people/person/name";
+    request.engine = i % 3 == 0 ? Engine::kTwig : Engine::kRelational;
+    batch.push_back(std::move(request));
+  }
+  for (auto& future : service.SubmitBatch(std::move(batch))) {
+    ASSERT_TRUE(future.get().ok());
+  }
+  EXPECT_EQ(service.stats().exec.elements, sys.store().stats().elements);
+  EXPECT_EQ(service.stats().exec.page_fetches,
+            sys.store().stats().page_fetches);
+}
+
+}  // namespace
+}  // namespace blas

@@ -43,6 +43,15 @@ TEST(BufferPoolTest, LruCountsMisses) {
   EXPECT_EQ(pool.stats().misses, 1u);  // cold again after DropCache
 }
 
+TEST(BufferPoolTest, ShardingIsCapacityScaledAndOverridable) {
+  BufferPool tiny(2);
+  EXPECT_EQ(tiny.shard_count(), 1u);  // exact LRU below 128 frames
+  BufferPool large(4096);
+  EXPECT_EQ(large.shard_count(), 16u);  // auto-sharded for concurrency
+  BufferPool pinned(4096, /*shards=*/1);
+  EXPECT_EQ(pinned.shard_count(), 1u);  // paper-exact miss accounting
+}
+
 TEST(StringDictTest, InternAndFind) {
   StringDict dict;
   uint32_t a = dict.Intern("alpha");
