@@ -65,7 +65,7 @@ void RunServiceThroughput(benchmark::State& state, bool with_plan_cache) {
       for (const std::string& xpath : suite) {
         QueryRequest request;
         request.xpath = xpath;
-        request.engine = Engine::kRelational;
+        request.options.engine = Engine::kRelational;
         batch.push_back(std::move(request));
       }
     }
@@ -104,7 +104,7 @@ void RunPlanColdVsWarm(benchmark::State& state, bool warm) {
     for (const std::string& xpath : suite) {
       QueryRequest request;
       request.xpath = xpath;
-      request.translator = Translator::kUnfold;
+      request.options.translator = Translator::kUnfold;
       benchmark::DoNotOptimize(service.Execute(request));
     }
   }
@@ -113,7 +113,7 @@ void RunPlanColdVsWarm(benchmark::State& state, bool warm) {
     for (const std::string& xpath : suite) {
       QueryRequest request;
       request.xpath = xpath;
-      request.translator = Translator::kUnfold;
+      request.options.translator = Translator::kUnfold;
       request.bypass_plan_cache = !warm;
       Result<QueryResult> result = service.Execute(request);
       if (!result.ok()) {

@@ -49,10 +49,10 @@ int main(int argc, char** argv) {
                       q.xpath.c_str(), blas::TranslatorName(t), "n/a");
           continue;
         }
-        std::printf("%-5s %-28.28s %12s %10.3f %8llu %8d\n", q.name.c_str(),
+        std::printf("%-5s %-28.28s %12s %10.3f %8llu %8llu\n", q.name.c_str(),
                     q.xpath.c_str(), blas::TranslatorName(t), r->millis,
                     static_cast<unsigned long long>(r->stats.elements),
-                    r->stats.d_joins);
+                    static_cast<unsigned long long>(r->stats.d_joins));
       }
     }
     std::printf("\n");

@@ -56,7 +56,7 @@ int main(int argc, char** argv) {
        {"//item//*/shipping", "//closed_auction//*/price"}) {
     blas::QueryRequest request;
     request.xpath = probe;  // structural pattern probe (plan-cache heaven)
-    request.translator = blas::Translator::kUnfold;
+    request.options.translator = blas::Translator::kUnfold;
     mix.push_back(std::move(request));
   }
 

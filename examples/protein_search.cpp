@@ -2,28 +2,24 @@
 // title of a 2001 paper by Evans, M.J. about the cytochrome c protein
 // family, using the XPath query of figure 2 over a protein repository.
 //
-// This example runs that exact query over the generated Protein corpus and
-// prints the matched titles, comparing all four translators.
+// This example runs that exact query over the generated Protein corpus,
+// comparing all four translators, and prints the matched titles through
+// the cursor projection layer — no retained DOM.
 //
 // Build & run:  ./build/examples/protein_search
 
 #include <cstdio>
-#include <map>
+#include <string>
 
 #include "blas/blas.h"
 #include "gen/generator.h"
 #include "gen/queries.h"
-#include "xml/dom.h"
 
 int main() {
-  // Build the corpus, retaining the DOM so we can print matched text.
-  blas::BlasOptions options;
-  options.keep_dom = true;
   blas::Result<blas::BlasSystem> sys = blas::BlasSystem::FromEvents(
       [](blas::SaxHandler* h) {
         blas::GenerateProtein(blas::GenOptions{}, h);
-      },
-      options);
+      });
   if (!sys.ok()) {
     std::fprintf(stderr, "%s\n", sys.status().ToString().c_str());
     return 1;
@@ -35,7 +31,6 @@ int main() {
   std::printf("query Q (figure 2):\n  %s\n\n", query.c_str());
 
   // Execute with every translator; they must agree.
-  std::map<std::string, blas::QueryResult> results;
   for (blas::Translator t :
        {blas::Translator::kDLabel, blas::Translator::kSplit,
         blas::Translator::kPushUp, blas::Translator::kUnfold}) {
@@ -46,23 +41,26 @@ int main() {
                    r.status().ToString().c_str());
       return 1;
     }
-    std::printf("%-12s %6zu matches  %8llu elements  %2d D-joins  %.2f ms\n",
-                blas::TranslatorName(t), r->starts.size(),
-                static_cast<unsigned long long>(r->stats.elements),
-                r->stats.d_joins, r->millis);
-    results.emplace(blas::TranslatorName(t), std::move(r).value());
+    std::printf(
+        "%-12s %6zu matches  %8llu elements  %2llu D-joins  %.2f ms\n",
+        blas::TranslatorName(t), r->starts.size(),
+        static_cast<unsigned long long>(r->stats.elements),
+        static_cast<unsigned long long>(r->stats.d_joins), r->millis);
   }
 
-  // Print the first few matched titles via the retained DOM.
-  const blas::QueryResult& best = results.at("Unfold");
-  std::map<uint32_t, const blas::DomNode*> by_start;
-  sys->dom()->ForEach(
-      [&](const blas::DomNode* n) { by_start[n->start] = n; });
+  // Print the first few matched titles straight from the index.
+  blas::QueryOptions options;
+  options.translator = blas::Translator::kUnfold;
+  options.limit = 5;
+  options.projection = blas::Projection::kValue;
+  blas::Result<blas::ResultCursor> cursor = sys->Open(query, options);
+  if (!cursor.ok()) {
+    std::fprintf(stderr, "%s\n", cursor.status().ToString().c_str());
+    return 1;
+  }
   std::printf("\nfirst matches:\n");
-  size_t shown = 0;
-  for (uint32_t start : best.starts) {
-    if (shown++ >= 5) break;
-    std::printf("  title: \"%s\"\n", by_start.at(start)->text.c_str());
+  while (std::optional<blas::Match> match = cursor->Next()) {
+    std::printf("  title: \"%s\"\n", match->content.c_str());
   }
   return 0;
 }

@@ -1,6 +1,7 @@
-// Quickstart: index a small XML document, translate an XPath query with
-// each of the four translators, execute it on both engines, and inspect
-// the generated SQL.
+// Quickstart: index a small XML document, inspect the SQL each translator
+// generates, then answer queries through the cursor API — projected
+// content, limit-k enumeration, and the paper's cost metrics — without
+// retaining a DOM.
 //
 // Build & run:  ./build/examples/quickstart
 
@@ -38,7 +39,7 @@ int main() {
   std::printf("indexed %zu nodes, %zu tags, depth %d, %zu distinct paths\n\n",
               stats.nodes, stats.tags, stats.depth, stats.distinct_paths);
 
-  // 2. A tree query: books about databases written before a given year.
+  // 2. A tree query: titles of the database books.
   const char* query = "/library/book[@genre=\"databases\"]/title";
 
   // 3. Show what each translator produces.
@@ -50,7 +51,39 @@ int main() {
                 sql.ok() ? sql->c_str() : sql.status().ToString().c_str());
   }
 
-  // 4. Execute on both engines and report the paper's metrics.
+  // 4. Enumerate answers with projected content — straight from the index,
+  //    no DOM retained.
+  blas::QueryOptions options;
+  options.engine = blas::Engine::kAuto;
+  options.projection = blas::Projection::kValue;
+  blas::Result<blas::ResultCursor> cursor = sys->Open(query, options);
+  if (!cursor.ok()) {
+    std::fprintf(stderr, "open error: %s\n",
+                 cursor.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("matched titles (%s engine):\n",
+              blas::EngineName(cursor->engine()));
+  while (std::optional<blas::Match> match = cursor->Next()) {
+    std::printf("  [%u,%u] level %d: \"%s\"\n", match->start, match->end,
+                match->level, match->content.c_str());
+  }
+
+  // 5. Or serialize whole subtrees, stopping after the first answer:
+  //    bounded cursors terminate their scans early.
+  options.projection = blas::Projection::kSubtree;
+  options.limit = 1;
+  blas::Result<blas::QueryResult> first = sys->Execute("//book", options);
+  if (!first.ok()) {
+    std::fprintf(stderr, "%s\n", first.status().ToString().c_str());
+    return 1;
+  }
+  if (!first->matches.empty()) {
+    std::printf("\nfirst book subtree:\n%s\n",
+                first->matches[0].content.c_str());
+  }
+
+  // 6. The paper's metrics, per engine, via the legacy one-shot form.
   for (blas::Engine engine :
        {blas::Engine::kRelational, blas::Engine::kTwig}) {
     blas::Result<blas::QueryResult> result =
@@ -62,11 +95,12 @@ int main() {
     }
     std::printf(
         "%s engine: %zu matches, %llu elements visited, %llu page reads, "
-        "%d D-joins, %.3f ms\n",
+        "%llu D-joins, %.3f ms\n",
         blas::EngineName(engine), result->starts.size(),
         static_cast<unsigned long long>(result->stats.elements),
         static_cast<unsigned long long>(result->stats.page_fetches),
-        result->stats.d_joins, result->millis);
+        static_cast<unsigned long long>(result->stats.d_joins),
+        result->millis);
   }
   return 0;
 }

@@ -1,7 +1,7 @@
 // Interactive-style explorer: indexes the Shakespeare corpus and evaluates
 // XPath queries given on the command line (or a default tour), printing
-// the translated SQL and result counts. Demonstrates the public API as a
-// command-line tool.
+// the translated SQL and the first matching lines via the cursor API —
+// bounded enumeration with projected content, no DOM retained.
 //
 // Build & run:  ./build/examples/shakespeare_explorer ["/PLAYS/PLAY/TITLE" ...]
 
@@ -46,15 +46,36 @@ int main(int argc, char** argv) {
       continue;
     }
     std::printf("push-up SQL:\n%s\n", sql->c_str());
-    blas::Result<blas::QueryResult> r =
+
+    // Count everything once (unbounded cursors reproduce the legacy full
+    // materialization)...
+    blas::Result<blas::QueryResult> full =
         sys->Execute(q, blas::Translator::kPushUp, blas::Engine::kTwig);
-    if (!r.ok()) {
-      std::printf("  error: %s\n\n", r.status().ToString().c_str());
+    if (!full.ok()) {
+      std::printf("  error: %s\n\n", full.status().ToString().c_str());
       continue;
     }
-    std::printf("=> %zu matches in %.3f ms (%llu elements visited)\n\n",
-                r->starts.size(), r->millis,
-                static_cast<unsigned long long>(r->stats.elements));
+    std::printf("=> %zu matches in %.3f ms (%llu elements visited)\n",
+                full->starts.size(), full->millis,
+                static_cast<unsigned long long>(full->stats.elements));
+
+    // ...then show the first three answers with content, paying only for
+    // what is delivered: the bounded cursor stops its scans after three.
+    blas::QueryOptions options;
+    options.engine = blas::Engine::kAuto;
+    options.limit = 3;
+    options.projection = blas::Projection::kValue;
+    blas::Result<blas::ResultCursor> cursor = sys->Open(q, options);
+    if (!cursor.ok()) {
+      std::printf("  error: %s\n\n", cursor.status().ToString().c_str());
+      continue;
+    }
+    while (std::optional<blas::Match> match = cursor->Next()) {
+      std::printf("   @%u: \"%s\"\n", match->start, match->content.c_str());
+    }
+    std::printf("   (%llu elements visited for the preview%s)\n\n",
+                static_cast<unsigned long long>(cursor->stats().elements),
+                cursor->streaming() ? ", streamed" : "");
   }
   return 0;
 }

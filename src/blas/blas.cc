@@ -163,6 +163,16 @@ Result<BlasSystem> BlasSystem::FromIndexFile(const std::string& path,
   return sys;
 }
 
+ResultCursor::Env BlasSystem::cursor_env() const {
+  ResultCursor::Env env;
+  env.store = store_.get();
+  env.dict = dict_.get();
+  env.tags = tags_.get();
+  env.codec = codec_.get();
+  env.summary = summary_.get();
+  return env;
+}
+
 TranslateContext BlasSystem::translate_context() const {
   TranslateContext ctx;
   ctx.tags = tags_.get();
@@ -182,49 +192,79 @@ Result<ExecPlan> BlasSystem::Plan(const Query& query,
   return Translate(query, translator, translate_context());
 }
 
+Result<ResultCursor> BlasSystem::Open(std::string_view xpath,
+                                      const QueryOptions& options) const {
+  BLAS_ASSIGN_OR_RETURN(Query query, ParseXPath(xpath));
+  return Open(query, options);
+}
+
+Result<ResultCursor> BlasSystem::Open(const Query& query,
+                                      const QueryOptions& options) const {
+  BLAS_ASSIGN_OR_RETURN(ExecPlan plan, Plan(query, options.translator));
+  if (options.exec.optimize_join_order) {
+    CostModel model(summary_.get(), dict_.get());
+    plan = OptimizeJoinOrder(plan, model);
+  }
+  return OpenPlan(std::make_shared<const ExecPlan>(std::move(plan)),
+                  options.engine, options);
+}
+
+Result<ResultCursor> BlasSystem::OpenPlan(std::shared_ptr<const ExecPlan> plan,
+                                          Engine engine,
+                                          const QueryOptions& options,
+                                          const StreamPlanInfo* stream_info)
+    const {
+  if (engine == Engine::kAuto && plan != nullptr) {
+    CostModel model(summary_.get(), dict_.get());
+    engine = ChooseEngine(*plan, model);
+  }
+  return ResultCursor::Open(cursor_env(), std::move(plan), engine, options,
+                            stream_info);
+}
+
+StreamPlanInfo BlasSystem::AnalyzeStreamability(const ExecPlan& plan) const {
+  return ResultCursor::AnalyzePlan(plan, cursor_env());
+}
+
+Result<QueryResult> BlasSystem::Execute(std::string_view xpath,
+                                        const QueryOptions& options) const {
+  BLAS_ASSIGN_OR_RETURN(ResultCursor cursor, Open(xpath, options));
+  return cursor.Drain();
+}
+
+Result<QueryResult> BlasSystem::Execute(const Query& query,
+                                        const QueryOptions& options) const {
+  BLAS_ASSIGN_OR_RETURN(ResultCursor cursor, Open(query, options));
+  return cursor.Drain();
+}
+
 Result<QueryResult> BlasSystem::Execute(std::string_view xpath,
                                         Translator translator, Engine engine,
                                         const ExecOptions& options) const {
-  BLAS_ASSIGN_OR_RETURN(Query query, ParseXPath(xpath));
-  return Execute(query, translator, engine, options);
+  QueryOptions unified;
+  unified.translator = translator;
+  unified.engine = engine;
+  unified.exec = options;
+  return Execute(xpath, unified);
 }
 
 Result<QueryResult> BlasSystem::Execute(const Query& query,
                                         Translator translator, Engine engine,
                                         const ExecOptions& options) const {
-  BLAS_ASSIGN_OR_RETURN(ExecPlan plan, Plan(query, translator));
-  if (options.optimize_join_order) {
-    CostModel model(summary_.get(), dict_.get());
-    plan = OptimizeJoinOrder(plan, model);
-  }
-  return ExecutePlan(plan, engine);
+  QueryOptions unified;
+  unified.translator = translator;
+  unified.engine = engine;
+  unified.exec = options;
+  return Execute(query, unified);
 }
 
 Result<QueryResult> BlasSystem::ExecutePlan(const ExecPlan& plan,
                                             Engine engine) const {
-  if (engine == Engine::kAuto) {
-    CostModel model(summary_.get(), dict_.get());
-    engine = ChooseEngine(plan, model);
-  }
-  QueryResult result;
-  result.shape = plan.AnalyzeShape();
-  Stopwatch watch;
-  switch (engine) {
-    case Engine::kRelational: {
-      RelationalExecutor exec(store_.get(), dict_.get());
-      BLAS_ASSIGN_OR_RETURN(result.starts, exec.Execute(plan, &result.stats));
-      break;
-    }
-    case Engine::kTwig: {
-      TwigEngine exec(store_.get(), dict_.get());
-      BLAS_ASSIGN_OR_RETURN(result.starts, exec.Execute(plan, &result.stats));
-      break;
-    }
-    case Engine::kAuto:
-      return Status::Internal("Engine::kAuto not resolved");
-  }
-  result.millis = watch.ElapsedMillis();
-  return result;
+  // The cursor only borrows the plan for the duration of the drain.
+  std::shared_ptr<const ExecPlan> borrowed(&plan, [](const ExecPlan*) {});
+  BLAS_ASSIGN_OR_RETURN(ResultCursor cursor,
+                        OpenPlan(std::move(borrowed), engine, {}));
+  return cursor.Drain();
 }
 
 Result<std::string> BlasSystem::ExplainSql(std::string_view xpath,

@@ -8,6 +8,8 @@
 #include <string_view>
 #include <vector>
 
+#include "blas/cursor.h"
+#include "blas/query_options.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "exec/executor.h"
@@ -24,15 +26,6 @@
 #include "xpath/ast.h"
 
 namespace blas {
-
-/// Query engine selector (the paper evaluates both, sections 5.2/5.3).
-enum class Engine {
-  kRelational,  // RDBMS-style executor with materialized D-joins
-  kTwig,        // holistic twig join over element streams
-  kAuto,        // cost-based choice per plan (ChooseEngine)
-};
-
-const char* EngineName(Engine e);
 
 class CostModel;
 
@@ -58,32 +51,15 @@ struct BlasOptions {
   bool keep_dom = false;
 };
 
-/// Per-query execution options.
-struct ExecOptions {
-  /// Reorder D-joins by estimated input cardinality (statistics from the
-  /// path summary) before execution. Off by default: the paper executes
-  /// plans in decomposition order, and the ablation benchmark measures
-  /// the difference.
-  bool optimize_join_order = false;
-};
-
-/// One answered query: result node start positions plus all measurements.
-struct QueryResult {
-  std::vector<uint32_t> starts;
-  ExecStats stats;
-  ExecPlan::Shape shape;
-  double millis = 0.0;
-};
-
 /// \brief The BLAS system facade (figure 6): index generator + query
 /// translator + query engines over one XML document.
 ///
 /// Typical use:
 /// \code
 ///   auto sys = BlasSystem::FromXml(xml);
-///   auto res = sys->Execute("/site/regions//item/description",
-///                           Translator::kPushUp, Engine::kRelational);
-///   for (uint32_t start : res->starts) { ... }
+///   auto cursor = sys->Open("/site/regions//item/description",
+///                           {.limit = 10, .projection = Projection::kValue});
+///   while (auto match = cursor->Next()) { use(match->content); }
 /// \endcode
 class BlasSystem {
  public:
@@ -111,7 +87,39 @@ class BlasSystem {
   BlasSystem(BlasSystem&&) = default;
   BlasSystem& operator=(BlasSystem&&) = default;
 
-  /// Parses, translates and runs an XPath query.
+  /// Opens a pull-based cursor over the query's answers: parse, translate
+  /// and (for bounded cursors) start the incremental producers. All knobs
+  /// — translator, engine, join-order optimization, limit/offset,
+  /// projection — come in through QueryOptions. The system must outlive
+  /// the cursor.
+  Result<ResultCursor> Open(std::string_view xpath,
+                            const QueryOptions& options = {}) const;
+  Result<ResultCursor> Open(const Query& query,
+                            const QueryOptions& options = {}) const;
+
+  /// Opens a cursor over an already-translated plan (no parse / translate
+  /// / optimize) — the query service's plan-cache-hit path. The plan is
+  /// kept alive through the shared_ptr; Engine::kAuto is resolved via
+  /// ChooseEngine. Pass a cached AnalyzeStreamability result to skip the
+  /// per-open streamability analysis.
+  Result<ResultCursor> OpenPlan(std::shared_ptr<const ExecPlan> plan,
+                                Engine engine,
+                                const QueryOptions& options = {},
+                                const StreamPlanInfo* stream_info =
+                                    nullptr) const;
+
+  /// Precomputes the bounded-cursor streaming-gate inputs for a plan
+  /// (cacheable alongside the plan; see StreamPlanInfo).
+  StreamPlanInfo AnalyzeStreamability(const ExecPlan& plan) const;
+
+  /// One-shot execution: Open + Drain.
+  Result<QueryResult> Execute(std::string_view xpath,
+                              const QueryOptions& options) const;
+  Result<QueryResult> Execute(const Query& query,
+                              const QueryOptions& options) const;
+
+  /// Legacy positional forms; thin shims over the cursor API (an
+  /// unbounded cursor's Drain() reproduces them exactly).
   Result<QueryResult> Execute(std::string_view xpath, Translator translator,
                               Engine engine,
                               const ExecOptions& options = {}) const;
@@ -119,9 +127,8 @@ class BlasSystem {
                               Engine engine,
                               const ExecOptions& options = {}) const;
 
-  /// Runs an already-translated plan (no parse / translate / optimize) —
-  /// the execution half of Execute, also used by the query service for
-  /// plan-cache hits. Engine::kAuto is resolved via ChooseEngine.
+  /// Runs an already-translated plan to completion. Engine::kAuto is
+  /// resolved via ChooseEngine.
   Result<QueryResult> ExecutePlan(const ExecPlan& plan, Engine engine) const;
 
   /// Translation only (no execution).
@@ -160,6 +167,7 @@ class BlasSystem {
   BlasSystem() = default;
 
   TranslateContext translate_context() const;
+  ResultCursor::Env cursor_env() const;
 
   std::unique_ptr<TagRegistry> tags_;
   std::unique_ptr<PLabelCodec> codec_;

@@ -1,5 +1,6 @@
 #include "blas/collection.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "xpath/parser.h"
@@ -62,20 +63,41 @@ const BlasSystem* BlasCollection::Find(const std::string& name) const {
 }
 
 Result<BlasCollection::CollectionResult> BlasCollection::Execute(
-    std::string_view xpath, Translator translator, Engine engine) const {
+    std::string_view xpath, const QueryOptions& options) const {
   // Parse once; translation is per document (codecs differ).
   BLAS_ASSIGN_OR_RETURN(Query query, ParseXPath(xpath));
   CollectionResult result;
+  // Collection-wide offset/limit over the name-ordered concatenation;
+  // each document sees only the budget still outstanding. The per-
+  // document cursor does the skipping itself (before projecting, so
+  // offset matches never pay for content materialization) and reports how
+  // much of the offset it consumed.
+  uint64_t to_skip = options.offset;
+  uint64_t remaining = options.limit;  // 0 = unlimited
   for (const auto& [name, sys] : docs_) {
-    BLAS_ASSIGN_OR_RETURN(QueryResult r,
-                          sys->Execute(query, translator, engine));
+    if (options.limit > 0 && remaining == 0) break;
+    QueryOptions doc_options = options;
+    doc_options.offset = to_skip;
+    doc_options.limit = remaining;
+    BLAS_ASSIGN_OR_RETURN(QueryResult r, sys->Execute(query, doc_options));
     result.stats += r.stats;
+    to_skip -= r.offset_skipped;
+    if (options.limit > 0) remaining -= r.starts.size();
     result.total_matches += r.starts.size();
     if (!r.starts.empty()) {
-      result.docs.push_back(DocMatches{name, std::move(r.starts)});
+      result.docs.push_back(
+          DocMatches{name, std::move(r.starts), std::move(r.matches)});
     }
   }
   return result;
+}
+
+Result<BlasCollection::CollectionResult> BlasCollection::Execute(
+    std::string_view xpath, Translator translator, Engine engine) const {
+  QueryOptions options;
+  options.translator = translator;
+  options.engine = engine;
+  return Execute(xpath, options);
 }
 
 }  // namespace blas

@@ -49,16 +49,35 @@ class BlasCollection {
   struct DocMatches {
     std::string name;
     std::vector<uint32_t> starts;
+    /// Projected content, parallel to `starts`; filled only when the
+    /// query's projection != kDLabel.
+    std::vector<Match> matches;
   };
   struct CollectionResult {
     std::vector<DocMatches> docs;  // only documents with >= 1 match
     ExecStats stats;               // summed across documents
+    /// Matches delivered across all documents — i.e. after `offset` and
+    /// `limit` are applied. A bounded query stops enumerating once the
+    /// budget is spent, so the number of answers that exist beyond it is
+    /// unknown (that is the point of early termination); run unbounded to
+    /// count everything.
     size_t total_matches = 0;
   };
 
-  /// Runs `xpath` over every document. A per-document translation failure
-  /// other than Unsupported aborts the query; Unsupported (e.g. wildcards
-  /// under Split) aborts too — pick Unfold or DLabel for wildcard queries.
+  /// Runs `xpath` over every document (in name order) with the unified
+  /// per-query knobs: translator, engine (kAuto resolves per document —
+  /// plans legitimately differ), join-order optimization, projection, and
+  /// collection-wide `limit`/`offset` over the concatenated name-ordered
+  /// match sequence — enumeration stops (documents are not even opened)
+  /// once offset + limit matches have been produced.
+  ///
+  /// A per-document translation failure aborts the query; that includes
+  /// Unsupported (e.g. wildcards under Split) — pick Unfold or DLabel for
+  /// wildcard queries.
+  Result<CollectionResult> Execute(std::string_view xpath,
+                                   const QueryOptions& options = {}) const;
+
+  /// Legacy positional form; shim over the QueryOptions overload.
   Result<CollectionResult> Execute(std::string_view xpath,
                                    Translator translator,
                                    Engine engine) const;

@@ -1,0 +1,364 @@
+#include "blas/cursor.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/stopwatch.h"
+#include "exec/optimizer.h"
+#include "labeling/plabel.h"
+#include "twig/twig.h"
+
+namespace blas {
+
+namespace {
+
+/// Streaming gate: the limit-k producer needs the return part to be a leaf
+/// of the part tree (nothing anchors into it) whose matches all carry one
+/// known tag, so they can be pulled from the tag-clustered SD index in
+/// document order. Returns the tag, or nullopt for the materialized
+/// fallback.
+std::optional<TagId> StreamableReturnTag(const ExecPlan& plan,
+                                         const PLabelCodec& codec) {
+  const int r = plan.return_part;
+  for (size_t i = 0; i < plan.parts.size(); ++i) {
+    if (static_cast<int>(i) != r && plan.parts[i].anchor == r) {
+      return std::nullopt;
+    }
+  }
+  const PlanPart& part = plan.parts[r];
+  switch (part.scan) {
+    case PlanPart::Scan::kTag:
+      return part.tag;
+    case PlanPart::Scan::kAllTags:
+      return std::nullopt;  // wildcard: no single SD run to stream
+    case PlanPart::Scan::kPlabelAlts:
+      break;
+  }
+  if (part.alts.empty()) return std::nullopt;  // provably-empty scan
+  std::optional<TagId> leaf;
+  for (const PlanAlt& alt : part.alts) {
+    // Every label in a suffix interval shares its most significant digit —
+    // the node's own tag — so the lower bound decodes it.
+    std::vector<TagId> path = codec.DecodePath(alt.range.lo);
+    if (path.empty()) return std::nullopt;
+    if (leaf.has_value() && *leaf != path.back()) return std::nullopt;
+    leaf = path.back();
+  }
+  return leaf;
+}
+
+}  // namespace
+
+StreamPlanInfo ResultCursor::AnalyzePlan(const ExecPlan& plan,
+                                         const Env& env) {
+  StreamPlanInfo info;
+  info.tag = StreamableReturnTag(plan, *env.codec);
+  if (info.tag.has_value() && env.summary != nullptr) {
+    CostModel model(env.summary, env.dict);
+    info.cardinality =
+        model.EstimateCardinality(plan.parts[plan.return_part]);
+    PlanPart run;
+    run.scan = PlanPart::Scan::kTag;
+    run.tag = *info.tag;
+    info.run_size = model.EstimateCardinality(run);
+  }
+  return info;
+}
+
+ResultCursor::ResultCursor(const Env& env, std::shared_ptr<const ExecPlan> plan,
+                           Engine engine, const QueryOptions& options)
+    : env_(env),
+      plan_(std::move(plan)),
+      engine_(engine),
+      options_(options),
+      projector_(env.store, env.dict, env.tags, env.codec) {}
+
+Result<ResultCursor> ResultCursor::Open(const Env& env,
+                                        std::shared_ptr<const ExecPlan> plan,
+                                        Engine engine,
+                                        const QueryOptions& options,
+                                        const StreamPlanInfo* stream_info) {
+  if (engine == Engine::kAuto) {
+    return Status::Internal("Engine::kAuto not resolved");
+  }
+  if (plan == nullptr || plan->parts.empty()) {
+    return Status::InvalidArgument("empty plan");
+  }
+
+  Stopwatch watch;
+  ResultCursor cursor(env, std::move(plan), engine, options);
+  if (stream_info != nullptr) cursor.plan_info_ = *stream_info;
+  cursor.shape_ = cursor.plan_->AnalyzeShape();
+  ReadCounters counters;
+  Status status;
+  {
+    // Attribute setup-phase accesses outside the engines' own scopes
+    // (scan positioning, dictionary probes) to this cursor too.
+    ReadCounterScope scope(&counters);
+    status = cursor.Init();
+  }
+  cursor.stats_.elements += counters.elements;
+  cursor.stats_.page_fetches += counters.fetches;
+  cursor.stats_.page_misses += counters.misses;
+  cursor.millis_ = watch.ElapsedMillis();
+  if (!status.ok()) return status;
+  return cursor;
+}
+
+Status ResultCursor::Init() {
+  const ExecPlan& p = *plan_;
+  std::optional<TagId> stream_tag;
+  if (options_.limit > 0) {
+    const StreamPlanInfo info =
+        plan_info_.has_value() ? *plan_info_ : AnalyzePlan(p, env_);
+    stream_tag = info.tag;
+    // Cost gate: streaming scans the tag's SD run at a match rate of
+    // (cardinality / run size) and stops after `wanted` matches, so it
+    // expects to visit ~wanted * run / card elements; the materialized
+    // path's return-part scan visits ~card. Stream only when the former
+    // is smaller — otherwise a selective absolute path (e.g.
+    // /PLAYS/PLAY/TITLE, whose SP range touches only matches) would be
+    // pessimized by filtering the much larger tag run.
+    if (stream_tag.has_value() && env_.summary != nullptr) {
+      const uint64_t wanted =
+          options_.limit > UINT64_MAX - options_.offset
+              ? UINT64_MAX
+              : options_.offset + options_.limit;
+      const double card = static_cast<double>(info.cardinality);
+      if (card <= 0 || static_cast<double>(wanted) *
+                               static_cast<double>(info.run_size) >=
+                           card * card) {
+        stream_tag.reset();
+      }
+    }
+  }
+
+  if (!stream_tag.has_value()) {
+    // Materialized: run the full engine once, serve from the binding
+    // list. Unbounded cursors always take this path, so Drain() matches
+    // the legacy Execute results and measurements exactly.
+    Result<std::vector<DLabel>> bindings =
+        engine_ == Engine::kRelational
+            ? RelationalExecutor(env_.store, env_.dict)
+                  .ExecuteBindings(p, &stats_)
+            : TwigEngine(env_.store, env_.dict).ExecuteBindings(p, &stats_);
+    if (!bindings.ok()) return std::move(bindings).status();
+    bindings_ = std::move(bindings).value();
+    if (options_.limit > 0 || options_.offset > 0) {
+      // A truncating cursor reports matches delivered, like the streaming
+      // producer, not the engine's untruncated count.
+      stats_.output_rows = 0;
+    }
+    return Status::OK();
+  }
+
+  // Streaming: evaluate the pattern minus the return part, then pull
+  // return candidates incrementally from the SD index.
+  const PlanPart& ret = p.parts[p.return_part];
+  std::vector<DLabel> anchors;
+  const bool need_anchor = p.parts.size() > 1;
+  if (need_anchor) {
+    Result<std::vector<DLabel>> matched =
+        engine_ == Engine::kRelational
+            ? RelationalExecutor(env_.store, env_.dict)
+                  .MatchedAnchors(p, p.return_part, &stats_)
+            : TwigEngine(env_.store, env_.dict)
+                  .MatchedAnchors(p, p.return_part, &stats_);
+    if (!matched.ok()) return std::move(matched).status();
+    anchors = std::move(matched).value();
+    // The pipelined final D-join counts as executed once streaming begins.
+    ++stats_.d_joins;
+    if (anchors.empty()) {
+      exhausted_ = true;  // nothing to stream against
+      return Status::OK();
+    }
+  }
+
+  std::optional<uint32_t> data_eq;
+  bool value_residual = false;
+  if (ret.value.has_value()) {
+    if (ret.value->op == ValueOp::kEq && !ret.value->literal.empty()) {
+      data_eq = env_.dict->Find(ret.value->literal);
+      if (!data_eq.has_value()) {
+        // The literal never occurs: the scan would be empty.
+        exhausted_ = true;
+        return Status::OK();
+      }
+    } else {
+      value_residual = true;
+    }
+  }
+
+  StreamState state(NodeStore::TagScan(env_.store, *stream_tag));
+  state.sweep = AnchorSweep(std::move(anchors));
+  state.need_anchor = need_anchor;
+  state.pred.kind = ret.join;
+  state.pred.delta = ret.delta;
+  if (ret.join == PlanPart::Join::kContainPerAlt) {
+    state.per_alt = BuildPerAltDeltas(ret);
+  }
+  state.part = &ret;
+  state.data_eq = data_eq;
+  state.value_residual = value_residual;
+  stream_.emplace(std::move(state));
+  return Status::OK();
+}
+
+bool ResultCursor::StreamCandidatePasses(const NodeRecord& rec) {
+  const PlanPart& part = *stream_->part;
+  if (part.scan == PlanPart::Scan::kPlabelAlts) {
+    bool in_range = false;
+    for (const PlanAlt& alt : part.alts) {
+      if (alt.range.Contains(rec.plabel)) {
+        in_range = true;
+        break;
+      }
+    }
+    if (!in_range) return false;
+  }
+  if (part.level_eq.has_value() && rec.level != *part.level_eq) return false;
+  if (stream_->data_eq.has_value() && rec.data != *stream_->data_eq) {
+    return false;
+  }
+  if (stream_->value_residual) {
+    std::string_view text =
+        rec.data == kNullData ? std::string_view() : env_.dict->Get(rec.data);
+    if (!part.value->Matches(text)) return false;
+  }
+  return true;
+}
+
+std::optional<NodeRecord> ResultCursor::NextStreamMatch() {
+  StreamState& s = *stream_;
+  if (s.pred.kind == PlanPart::Join::kContainPerAlt) {
+    s.pred.per_alt = &s.per_alt;  // rebind: the cursor may have moved
+  }
+  while (const NodeRecord* rec = s.scan.Next()) {
+    if (!StreamCandidatePasses(*rec)) continue;
+    // SD scans candidates in ascending start order — the sweep's input
+    // contract.
+    if (s.need_anchor && !s.sweep.Matches(*rec, s.pred)) continue;
+    return *rec;
+  }
+  return std::nullopt;
+}
+
+std::optional<Match> ResultCursor::Next() {
+  if (exhausted_) return std::nullopt;
+  Stopwatch watch;
+  ReadCounters counters;
+  std::optional<Match> out;
+
+  {
+    ReadCounterScope scope(&counters);
+    if (stream_.has_value()) {
+      while (std::optional<NodeRecord> rec = NextStreamMatch()) {
+        if (skipped_ < options_.offset) {
+          ++skipped_;
+          continue;
+        }
+        ++delivered_;
+        ++stats_.output_rows;
+        out = projector_.Project(*rec, options_.projection);
+        break;
+      }
+      if (!out.has_value()) exhausted_ = true;
+    } else {
+      while (pos_ < bindings_.size()) {
+        const DLabel& binding = bindings_[pos_++];
+        if (skipped_ < options_.offset) {
+          ++skipped_;
+          continue;
+        }
+        ++delivered_;
+        if (options_.limit > 0 || options_.offset > 0) {
+          ++stats_.output_rows;  // see Init: truncating cursors count
+                                 // deliveries
+        }
+        if (options_.projection == Projection::kDLabel) {
+          // The binding already carries the full D-label: no lookup.
+          Match match;
+          match.start = binding.start;
+          match.end = binding.end;
+          match.level = binding.level;
+          out = std::move(match);
+        } else {
+          out = projector_.ProjectStart(binding.start, options_.projection);
+        }
+        break;
+      }
+      if (!out.has_value()) exhausted_ = true;
+    }
+  }
+
+  if (options_.limit > 0 && delivered_ >= options_.limit) exhausted_ = true;
+  stats_.elements += counters.elements;
+  stats_.page_fetches += counters.fetches;
+  stats_.page_misses += counters.misses;
+  millis_ += watch.ElapsedMillis();
+  return out;
+}
+
+QueryResult ResultCursor::Drain() {
+  QueryResult result;
+
+  if (stream_.has_value()) {
+    // One delivery loop: Next() owns the offset/limit/projection and
+    // accounting semantics.
+    while (std::optional<Match> match = Next()) {
+      result.starts.push_back(match->start);
+      if (options_.projection != Projection::kDLabel) {
+        result.matches.push_back(std::move(*match));
+      }
+    }
+  } else if (!exhausted_) {
+    // Materialized bulk path: consume any remaining offset, then take up
+    // to the limit. With the default kDLabel projection no per-match
+    // lookups happen (the legacy Execute path).
+    Stopwatch watch;
+    ReadCounters counters;
+    {
+      ReadCounterScope scope(&counters);
+      uint64_t skip = options_.offset - skipped_;
+      uint64_t advance =
+          std::min<uint64_t>(skip, bindings_.size() - pos_);
+      pos_ += advance;
+      skipped_ += advance;
+      size_t end = bindings_.size();
+      if (options_.limit > 0) {
+        end = pos_ + std::min<uint64_t>(options_.limit - delivered_,
+                                        end - pos_);
+      }
+      result.starts.reserve(end - pos_);
+      for (size_t i = pos_; i < end; ++i) {
+        result.starts.push_back(bindings_[i].start);
+      }
+      if (options_.projection != Projection::kDLabel) {
+        result.matches.reserve(end - pos_);
+        for (size_t i = pos_; i < end; ++i) {
+          result.matches.push_back(projector_.ProjectStart(
+              bindings_[i].start, options_.projection));
+        }
+      }
+      delivered_ += end - pos_;
+      pos_ = end;
+    }
+    if (options_.limit > 0 || options_.offset > 0) {
+      // See Next(): delivered count, not the engine's untruncated count.
+      stats_.output_rows = delivered_;
+    }
+    stats_.elements += counters.elements;
+    stats_.page_fetches += counters.fetches;
+    stats_.page_misses += counters.misses;
+    millis_ += watch.ElapsedMillis();
+  }
+
+  exhausted_ = true;
+  result.stats = stats_;
+  result.shape = shape_;
+  result.millis = millis_;
+  result.offset_skipped = skipped_;
+  return result;
+}
+
+}  // namespace blas

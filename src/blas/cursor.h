@@ -1,0 +1,179 @@
+#ifndef BLAS_BLAS_CURSOR_H_
+#define BLAS_BLAS_CURSOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "blas/projection.h"
+#include "blas/query_options.h"
+#include "common/result.h"
+#include "exec/executor.h"
+#include "exec/operators.h"
+#include "exec/plan.h"
+#include "storage/node_store.h"
+#include "storage/string_dict.h"
+
+namespace blas {
+
+class PathSummary;
+
+/// One fully materialized answer: result node start positions plus all
+/// measurements (the legacy Execute form; `ResultCursor::Drain` produces
+/// it, and `matches` carries projected content when requested).
+struct QueryResult {
+  std::vector<uint32_t> starts;
+  /// Filled only when the producing cursor's projection != kDLabel;
+  /// parallel to `starts`.
+  std::vector<Match> matches;
+  ExecStats stats;
+  ExecPlan::Shape shape;
+  double millis = 0.0;
+  /// Matches consumed by the cursor's `offset` before the first delivered
+  /// one (the collection uses this to carry an offset across documents).
+  uint64_t offset_skipped = 0;
+};
+
+/// Plan-derived inputs of the bounded-cursor streaming decision. Computing
+/// them walks the path summary and decodes P-labels, so the query service
+/// caches this alongside the translated plan; only the offset+limit
+/// comparison is per-request.
+struct StreamPlanInfo {
+  /// The return part's single SD tag when the plan shape allows streaming
+  /// (the part is a leaf of the part tree with one known leaf tag).
+  std::optional<TagId> tag;
+  /// Estimated cardinality of the return part's own access path.
+  uint64_t cardinality = 0;
+  /// Estimated size of the tag's SD run.
+  uint64_t run_size = 0;
+};
+
+/// \brief Pull-based enumeration of one query's answers.
+///
+/// A cursor delivers matches in document order, one `Next()` at a time,
+/// paying per answer delivered rather than per answer that exists:
+///
+///   * Unbounded cursors (`limit == 0`) run the full engine once and serve
+///     from the materialized position list — `Drain()` is byte-identical
+///     (results and stats) to the legacy `Execute` path.
+///   * Bounded cursors (`limit > 0`) use the engines' incremental
+///     producers when the plan allows it: the pattern minus the return
+///     part is evaluated first (the relational executor's pipelined final
+///     D-join / the twig engine's arc-consistency passes), then return
+///     candidates stream from the tag-clustered SD index in document
+///     order, and all scanning stops after `offset + limit` matches.
+///
+/// Projection (`QueryOptions::projection`) materializes per-match content
+/// from the store and dictionary; no retained DOM is needed.
+///
+/// Thread-compatibility: a cursor may be handed between threads but must
+/// be pulled by one thread at a time; the underlying system must outlive
+/// it.
+class ResultCursor {
+ public:
+  /// Everything a cursor borrows from the owning system. All pointers must
+  /// outlive the cursor.
+  struct Env {
+    const NodeStore* store = nullptr;
+    const StringDict* dict = nullptr;
+    const TagRegistry* tags = nullptr;
+    const PLabelCodec* codec = nullptr;
+    /// Optional: enables the cost gate that rejects streaming when the
+    /// tag's SD run is expected to cost more than full materialization.
+    const PathSummary* summary = nullptr;
+  };
+
+  /// Opens a cursor over an already-translated plan. `engine` must be
+  /// resolved (not kAuto). Execution errors (e.g. an empty plan) surface
+  /// here; `Next` itself cannot fail. Pass a cached `stream_info` to skip
+  /// the per-open streamability analysis (nullptr recomputes it).
+  static Result<ResultCursor> Open(const Env& env,
+                                   std::shared_ptr<const ExecPlan> plan,
+                                   Engine engine, const QueryOptions& options,
+                                   const StreamPlanInfo* stream_info = nullptr);
+
+  /// Computes the streaming-gate inputs for a plan once (see
+  /// StreamPlanInfo).
+  static StreamPlanInfo AnalyzePlan(const ExecPlan& plan, const Env& env);
+
+  ResultCursor(ResultCursor&&) = default;
+  ResultCursor& operator=(ResultCursor&&) = default;
+
+  /// The next match in document order, or nullopt once the cursor is
+  /// exhausted (end of results, or `limit` matches delivered).
+  std::optional<Match> Next();
+
+  /// Delivers every remaining match as a QueryResult. With the default
+  /// kDLabel projection this moves positions through without per-match
+  /// record lookups.
+  QueryResult Drain();
+
+  bool exhausted() const { return exhausted_; }
+  /// Matches delivered so far (after `offset`, counted toward `limit`).
+  uint64_t delivered() const { return delivered_; }
+  /// Execution counters accumulated so far; grows as the cursor advances.
+  const ExecStats& stats() const { return stats_; }
+  const ExecPlan::Shape& shape() const { return shape_; }
+  /// Wall time spent producing (setup + pulls) so far.
+  double millis() const { return millis_; }
+  /// The resolved engine this cursor executes with.
+  Engine engine() const { return engine_; }
+  /// True when the limit-k incremental producer is active (the plan's
+  /// return part is a single-tag leaf of the part tree).
+  bool streaming() const { return stream_.has_value(); }
+
+ private:
+  struct StreamState {
+    explicit StreamState(NodeStore::TagScan scan_in)
+        : scan(std::move(scan_in)) {}
+
+    NodeStore::TagScan scan;
+    /// Sweep over the anchor bindings matching the rest of the pattern.
+    /// Unused when the plan has a single part.
+    AnchorSweep sweep;
+    bool need_anchor = false;
+    JoinPred pred;
+    PerAltDeltas per_alt;
+    /// Residual filters of the return part's access path.
+    const PlanPart* part = nullptr;
+    std::optional<uint32_t> data_eq;
+    bool value_residual = false;
+  };
+
+  ResultCursor(const Env& env, std::shared_ptr<const ExecPlan> plan,
+               Engine engine, const QueryOptions& options);
+
+  /// Runs the setup phase (engine execution or the streaming prefix plus
+  /// scan positioning). Called once from Open under a counter scope.
+  Status Init();
+  bool StreamCandidatePasses(const NodeRecord& rec);
+  std::optional<NodeRecord> NextStreamMatch();
+
+  Env env_;
+  std::shared_ptr<const ExecPlan> plan_;
+  Engine engine_ = Engine::kRelational;
+  QueryOptions options_;
+  ContentProjector projector_;
+  std::optional<StreamPlanInfo> plan_info_;
+
+  ExecStats stats_;
+  ExecPlan::Shape shape_;
+  double millis_ = 0.0;
+  uint64_t delivered_ = 0;
+  uint64_t skipped_ = 0;
+  bool exhausted_ = false;
+
+  /// Materialized mode: the full engine result (D-label bindings), served
+  /// incrementally without further lookups.
+  std::vector<DLabel> bindings_;
+  size_t pos_ = 0;
+
+  /// Streaming mode.
+  std::optional<StreamState> stream_;
+};
+
+}  // namespace blas
+
+#endif  // BLAS_BLAS_CURSOR_H_

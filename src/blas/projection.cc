@@ -1,0 +1,130 @@
+#include "blas/projection.h"
+
+#include <vector>
+
+#include "xml/xml_writer.h"
+
+namespace blas {
+
+const char* ProjectionName(Projection p) {
+  switch (p) {
+    case Projection::kDLabel:
+      return "dlabel";
+    case Projection::kTag:
+      return "tag";
+    case Projection::kPath:
+      return "path";
+    case Projection::kValue:
+      return "value";
+    case Projection::kSubtree:
+      return "subtree";
+  }
+  return "?";
+}
+
+Match ContentProjector::Project(const NodeRecord& rec, Projection mode) const {
+  Match match;
+  match.start = rec.start;
+  match.end = rec.end;
+  match.level = rec.level;
+  switch (mode) {
+    case Projection::kDLabel:
+      break;
+    case Projection::kTag:
+      match.content = tags_->Name(rec.tag);
+      break;
+    case Projection::kPath:
+      match.content = PathOf(rec);
+      break;
+    case Projection::kValue:
+      if (rec.data != kNullData) match.content = dict_->Get(rec.data);
+      break;
+    case Projection::kSubtree:
+      match.content = SerializeSubtree(rec);
+      break;
+  }
+  return match;
+}
+
+Match ContentProjector::ProjectStart(uint32_t start, Projection mode) const {
+  std::optional<NodeRecord> rec = store_->FindByStart(start);
+  if (!rec.has_value()) {
+    Match match;
+    match.start = start;
+    return match;
+  }
+  return Project(*rec, mode);
+}
+
+std::string ContentProjector::PathOf(const NodeRecord& rec) const {
+  std::string path;
+  for (TagId tag : codec_->DecodePath(rec.plabel)) {
+    path.push_back('/');
+    path.append(tags_->Name(tag));
+  }
+  return path;
+}
+
+std::string ContentProjector::SerializeSubtree(const NodeRecord& rec) const {
+  // An attribute node has no subtree; serialize it in attribute syntax.
+  const std::string& root_name = tags_->Name(rec.tag);
+  if (!root_name.empty() && root_name[0] == '@') {
+    std::string out(root_name, 1);
+    out.append("=\"");
+    if (rec.data != kNullData) out.append(EscapeAttribute(dict_->Get(rec.data)));
+    out.push_back('"');
+    return out;
+  }
+
+  struct OpenElement {
+    uint32_t end;
+    const std::string* tag;
+    uint32_t data;
+    bool tag_open;  // '>' of the start tag not yet emitted
+  };
+
+  std::string out;
+  std::vector<OpenElement> stack;
+  auto close_start_tag = [&](OpenElement* elem) {
+    if (!elem->tag_open) return;
+    out.push_back('>');
+    // Character data precedes child elements (canonical form; matches
+    // WriteXml over the DOM).
+    if (elem->data != kNullData) out.append(EscapeText(dict_->Get(elem->data)));
+    elem->tag_open = false;
+  };
+  auto close_element = [&] {
+    close_start_tag(&stack.back());
+    out.append("</");
+    out.append(*stack.back().tag);
+    out.push_back('>');
+    stack.pop_back();
+  };
+
+  NodeStore::DocScan scan(store_, rec.start, rec.end);
+  for (const NodeRecord* node = scan.Next(); node != nullptr;
+       node = scan.Next()) {
+    while (!stack.empty() && stack.back().end < node->start) close_element();
+    const std::string& name = tags_->Name(node->tag);
+    if (!name.empty() && name[0] == '@') {
+      // Attribute of the innermost element; its start tag is still open
+      // (attribute positions directly follow the owner's start tag).
+      out.push_back(' ');
+      out.append(name, 1, std::string::npos);
+      out.append("=\"");
+      if (node->data != kNullData) {
+        out.append(EscapeAttribute(dict_->Get(node->data)));
+      }
+      out.push_back('"');
+    } else {
+      if (!stack.empty()) close_start_tag(&stack.back());
+      out.push_back('<');
+      out.append(name);
+      stack.push_back(OpenElement{node->end, &name, node->data, true});
+    }
+  }
+  while (!stack.empty()) close_element();
+  return out;
+}
+
+}  // namespace blas

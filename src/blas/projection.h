@@ -1,0 +1,53 @@
+#ifndef BLAS_BLAS_PROJECTION_H_
+#define BLAS_BLAS_PROJECTION_H_
+
+#include <string>
+
+#include "blas/query_options.h"
+#include "labeling/node_record.h"
+#include "labeling/plabel.h"
+#include "labeling/tag_registry.h"
+#include "storage/node_store.h"
+#include "storage/string_dict.h"
+
+namespace blas {
+
+/// \brief Materializes per-match content directly from the NodeStore and
+/// StringDict — no retained DOM required.
+///
+/// Tag names come from the registry, root-to-node paths from decoding the
+/// match's P-label, text values from the dictionary, and serialized
+/// subtrees from a document-order index scan over the match's [start, end]
+/// interval. Subtree output is canonical XML (attributes inline, character
+/// data before child elements), byte-identical to serializing the
+/// corresponding DOM subtree.
+class ContentProjector {
+ public:
+  ContentProjector(const NodeStore* store, const StringDict* dict,
+                   const TagRegistry* tags, const PLabelCodec* codec)
+      : store_(store), dict_(dict), tags_(tags), codec_(codec) {}
+
+  /// Fills a Match from a record already in hand (streaming cursors).
+  Match Project(const NodeRecord& rec, Projection mode) const;
+
+  /// Resolves `start` through the document-order index first (cursors over
+  /// materialized position lists). Returns a position-only Match if the
+  /// record is somehow absent (cannot happen for engine-produced starts).
+  Match ProjectStart(uint32_t start, Projection mode) const;
+
+  /// "/t1/t2/.../tk" decoded from the record's P-label.
+  std::string PathOf(const NodeRecord& rec) const;
+
+  /// Canonical XML text of the record's subtree.
+  std::string SerializeSubtree(const NodeRecord& rec) const;
+
+ private:
+  const NodeStore* store_;
+  const StringDict* dict_;
+  const TagRegistry* tags_;
+  const PLabelCodec* codec_;
+};
+
+}  // namespace blas
+
+#endif  // BLAS_BLAS_PROJECTION_H_

@@ -109,7 +109,66 @@ std::vector<NodeRecord> FetchPartTuples(const PlanPart& part,
   return tuples;
 }
 
+namespace {
+
+/// Materializes part 0, then folds every other (non-skipped) part in with
+/// one D-join. `skip` < 0 processes the whole plan; otherwise the (leaf)
+/// part `skip` is left out and row columns follow processing order (part
+/// index minus one past the skip) — see ColOf. Once the intermediate
+/// result empties, remaining inputs are still fetched (they are part of
+/// the plan's cost) but no further join work happens.
+int ColOf(int part, int skip) {
+  return skip >= 0 && part > skip ? part - 1 : part;
+}
+
+std::vector<Row> FoldJoins(const ExecPlan& plan, int skip,
+                           const NodeStore& store, const StringDict& dict,
+                           ExecStats* local) {
+  std::vector<Row> rows;
+  {
+    std::vector<NodeRecord> tuples = FetchPartTuples(plan.parts[0], store,
+                                                     dict);
+    rows.reserve(tuples.size());
+    for (const NodeRecord& rec : tuples) rows.push_back(Row{rec.dlabel()});
+  }
+
+  std::vector<PerAltDeltas> alt_tables(plan.parts.size());
+  bool dead = false;
+  for (size_t i = 1; i < plan.parts.size(); ++i) {
+    if (static_cast<int>(i) == skip) continue;
+    const PlanPart& part = plan.parts[i];
+    // The scan happens regardless of the intermediate result (a relational
+    // engine materializes each base input of the join).
+    std::vector<NodeRecord> tuples = FetchPartTuples(part, store, dict);
+    ++local->d_joins;
+    if (dead) continue;
+    JoinPred pred;
+    pred.kind = part.join;
+    pred.delta = part.delta;
+    if (part.join == PlanPart::Join::kContainPerAlt) {
+      alt_tables[i] = BuildPerAltDeltas(part);
+      pred.per_alt = &alt_tables[i];
+    }
+    rows = StructuralJoinRows(rows, ColOf(part.anchor, skip), tuples, pred);
+    local->intermediate_rows += rows.size();
+    if (rows.empty()) dead = true;
+  }
+  return rows;
+}
+
+}  // namespace
+
 Result<std::vector<uint32_t>> RelationalExecutor::Execute(
+    const ExecPlan& plan, ExecStats* stats) const {
+  BLAS_ASSIGN_OR_RETURN(std::vector<DLabel> bindings,
+                        ExecuteBindings(plan, stats));
+  std::vector<uint32_t> result;
+  result.reserve(bindings.size());
+  for (const DLabel& binding : bindings) result.push_back(binding.start);
+  return result;
+}
+
+Result<std::vector<DLabel>> RelationalExecutor::ExecuteBindings(
     const ExecPlan& plan, ExecStats* stats) const {
   if (plan.parts.empty()) {
     return Status::InvalidArgument("empty plan");
@@ -121,49 +180,13 @@ Result<std::vector<uint32_t>> RelationalExecutor::Execute(
   ReadCounterScope scope(&counters);
   ExecStats local;
 
-  // Materialize part 0, then fold in every other part with one D-join.
-  std::vector<Row> rows;
-  {
-    std::vector<NodeRecord> tuples =
-        FetchPartTuples(plan.parts[0], *store_, *dict_);
-    rows.reserve(tuples.size());
-    for (const NodeRecord& rec : tuples) rows.push_back(Row{rec.dlabel()});
-  }
+  std::vector<Row> rows = FoldJoins(plan, /*skip=*/-1, *store_, *dict_,
+                                    &local);
 
-  std::vector<PerAltDeltas> alt_tables(plan.parts.size());
-  for (size_t i = 1; i < plan.parts.size(); ++i) {
-    const PlanPart& part = plan.parts[i];
-    // The scan happens regardless of the intermediate result (a relational
-    // engine materializes each base input of the join).
-    std::vector<NodeRecord> tuples = FetchPartTuples(part, *store_, *dict_);
-    JoinPred pred;
-    pred.kind = part.join;
-    pred.delta = part.delta;
-    if (part.join == PlanPart::Join::kContainPerAlt) {
-      alt_tables[i] = BuildPerAltDeltas(part);
-      pred.per_alt = &alt_tables[i];
-    }
-    rows = StructuralJoinRows(rows, part.anchor, tuples, pred);
-    ++local.d_joins;
-    local.intermediate_rows += rows.size();
-    if (rows.empty() && i + 1 < plan.parts.size()) {
-      // Keep fetching remaining inputs (they are part of the plan's cost)
-      // but no further join work is needed.
-      for (size_t j = i + 1; j < plan.parts.size(); ++j) {
-        (void)FetchPartTuples(plan.parts[j], *store_, *dict_);
-        ++local.d_joins;
-      }
-      break;
-    }
-  }
-
-  std::vector<uint32_t> result;
+  std::vector<DLabel> result;
   result.reserve(rows.size());
-  for (const Row& row : rows) {
-    result.push_back(row[plan.return_part].start);
-  }
-  std::sort(result.begin(), result.end());
-  result.erase(std::unique(result.begin(), result.end()), result.end());
+  for (const Row& row : rows) result.push_back(row[plan.return_part]);
+  SortUniqueByStart(&result);
 
   if (stats != nullptr) {
     local.elements = counters.elements;
@@ -173,6 +196,34 @@ Result<std::vector<uint32_t>> RelationalExecutor::Execute(
     *stats += local;
   }
   return result;
+}
+
+Result<std::vector<DLabel>> RelationalExecutor::MatchedAnchors(
+    const ExecPlan& plan, size_t skip, ExecStats* stats) const {
+  if (plan.parts.size() < 2 || skip == 0 || skip >= plan.parts.size()) {
+    return Status::InvalidArgument("MatchedAnchors needs an anchored part");
+  }
+  ReadCounters counters;
+  ReadCounterScope scope(&counters);
+  ExecStats local;
+
+  std::vector<Row> rows = FoldJoins(plan, static_cast<int>(skip), *store_,
+                                    *dict_, &local);
+
+  const int anchor_col = ColOf(plan.parts[skip].anchor,
+                               static_cast<int>(skip));
+  std::vector<DLabel> anchors;
+  anchors.reserve(rows.size());
+  for (const Row& row : rows) anchors.push_back(row[anchor_col]);
+  SortUniqueByStart(&anchors);
+
+  if (stats != nullptr) {
+    local.elements = counters.elements;
+    local.page_fetches = counters.fetches;
+    local.page_misses = counters.misses;
+    *stats += local;
+  }
+  return anchors;
 }
 
 }  // namespace blas

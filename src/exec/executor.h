@@ -18,8 +18,9 @@ struct ExecStats {
   /// Logical page reads / simulated disk accesses.
   uint64_t page_fetches = 0;
   uint64_t page_misses = 0;
-  /// Number of D-joins actually executed.
-  int d_joins = 0;
+  /// Number of D-joins actually executed. Wide enough to aggregate over a
+  /// service lifetime, not just one query.
+  uint64_t d_joins = 0;
   /// Total tuples materialized in intermediate join results.
   uint64_t intermediate_rows = 0;
   /// Distinct return bindings produced.
@@ -49,6 +50,25 @@ class RelationalExecutor {
   /// Returns the distinct, sorted start positions of the return part.
   Result<std::vector<uint32_t>> Execute(const ExecPlan& plan,
                                         ExecStats* stats) const;
+
+  /// Same execution, but returns the return part's full D-label bindings
+  /// (distinct by start, sorted) — cursors enumerate these without
+  /// per-match point lookups.
+  Result<std::vector<DLabel>> ExecuteBindings(const ExecPlan& plan,
+                                              ExecStats* stats) const;
+
+  /// \brief The prefix of a pipelined execution: evaluates the plan with
+  /// part `skip` (a leaf of the part tree) left out and returns the
+  /// distinct D-label bindings of `skip`'s anchor part that participate in
+  /// a match of the remaining pattern, sorted by start.
+  ///
+  /// The final D-join (anchor contains `skip`-part element) is then
+  /// streamed by the caller against these bindings — the cursor's limit-k
+  /// early-termination path. Requires plan.parts.size() >= 2, skip >= 1,
+  /// and that no other part anchors into `skip`.
+  Result<std::vector<DLabel>> MatchedAnchors(const ExecPlan& plan,
+                                             size_t skip,
+                                             ExecStats* stats) const;
 
  private:
   const NodeStore* store_;

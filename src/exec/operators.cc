@@ -18,6 +18,36 @@ PerAltDeltas BuildPerAltDeltas(const PlanPart& part) {
   return table;
 }
 
+bool AnchorSweep::Matches(const NodeRecord& desc, const JoinPred& pred) {
+  // Bring in anchors that start before this candidate; drop finished
+  // ones (cf. SemiMarkDescs).
+  while (next_ < anchors_.size() && anchors_[next_].start < desc.start) {
+    while (!stack_.empty() &&
+           anchors_[stack_.back()].end < anchors_[next_].start) {
+      stack_.pop_back();
+    }
+    stack_.push_back(next_);
+    ++next_;
+  }
+  while (!stack_.empty() && anchors_[stack_.back()].end < desc.start) {
+    stack_.pop_back();
+  }
+  for (size_t idx : stack_) {
+    if (pred.LevelOk(anchors_[idx], desc)) return true;
+  }
+  return false;
+}
+
+void SortUniqueByStart(std::vector<DLabel>* labels) {
+  std::sort(labels->begin(), labels->end(),
+            [](const DLabel& a, const DLabel& b) { return a.start < b.start; });
+  labels->erase(std::unique(labels->begin(), labels->end(),
+                            [](const DLabel& a, const DLabel& b) {
+                              return a.start == b.start;
+                            }),
+                labels->end());
+}
+
 bool JoinPred::LevelOk(const DLabel& anc, const NodeRecord& desc) const {
   switch (kind) {
     case PlanPart::Join::kNone:

@@ -14,6 +14,11 @@ namespace blas {
 /// Sorted (plabel -> valid anchor level distances) table for Unfold parts.
 using PerAltDeltas = std::vector<std::pair<PLabel, std::vector<int32_t>>>;
 
+/// Restores document order and drops duplicate bindings (equal starts name
+/// the same element) — the projection step shared by both engines' result
+/// and anchor lists.
+void SortUniqueByStart(std::vector<DLabel>* labels);
+
 /// Builds the per-alternative delta table of an Unfold plan part.
 PerAltDeltas BuildPerAltDeltas(const PlanPart& part);
 
@@ -59,6 +64,31 @@ std::vector<char> SemiMarkDescs(const std::vector<NodeRecord>& anchors,
                                 const std::vector<char>& anchor_alive,
                                 const std::vector<NodeRecord>& descs,
                                 const JoinPred& pred);
+
+/// \brief Incremental form of the sweep the batch operators above run:
+/// anchors sorted by start, candidates fed in ascending start order, a
+/// stack of the anchors containing the current position (intervals of a
+/// well-formed document either nest or are disjoint). The streaming
+/// cursor probes one candidate at a time instead of marking a whole
+/// stream.
+class AnchorSweep {
+ public:
+  AnchorSweep() = default;
+  /// `anchors` must be sorted by start.
+  explicit AnchorSweep(std::vector<DLabel> anchors)
+      : anchors_(std::move(anchors)) {}
+
+  bool empty() const { return anchors_.empty(); }
+
+  /// True iff some anchor strictly contains `desc` and satisfies `pred`.
+  /// Successive calls must not decrease desc.start.
+  bool Matches(const NodeRecord& desc, const JoinPred& pred);
+
+ private:
+  std::vector<DLabel> anchors_;
+  size_t next_ = 0;
+  std::vector<size_t> stack_;
+};
 
 }  // namespace blas
 

@@ -14,12 +14,15 @@
 
 namespace blas {
 
-/// A translated plan plus the cost-based engine choice for Engine::kAuto
-/// (cardinality estimation walks the path summary, so the service caches
-/// the verdict alongside the plan). Immutable once cached.
+/// A translated plan plus the plan-derived verdicts whose computation
+/// walks the path summary: the cost-based engine choice for Engine::kAuto
+/// and the bounded-cursor streaming-gate inputs. Caching them alongside
+/// the plan keeps warm queries free of per-request summary walks.
+/// Immutable once cached.
 struct CachedPlan {
   ExecPlan plan;
   Engine auto_engine = Engine::kRelational;
+  StreamPlanInfo stream_info;
 };
 
 /// \brief Thread-safe LRU cache of translated query plans.

@@ -32,18 +32,65 @@ QueryService::~QueryService() { Shutdown(); }
 
 void QueryService::Shutdown() { pool_.Shutdown(); }
 
-std::future<Result<QueryResult>> QueryService::Submit(QueryRequest request) {
+template <typename T>
+std::future<Result<T>> QueryService::SubmitTask(
+    std::function<Result<T>()> work) {
   submitted_.fetch_add(1, std::memory_order_relaxed);
-  auto task = std::make_shared<std::packaged_task<Result<QueryResult>()>>(
-      [this, request = std::move(request)]() { return Run(request); });
-  std::future<Result<QueryResult>> future = task->get_future();
+  auto task = std::make_shared<std::packaged_task<Result<T>()>>(
+      std::move(work));
+  std::future<Result<T>> future = task->get_future();
   if (!pool_.Submit([task] { (*task)(); })) {
     rejected_.fetch_add(1, std::memory_order_relaxed);
-    std::promise<Result<QueryResult>> refused;
+    std::promise<Result<T>> refused;
     refused.set_value(Status::Unsupported("service is shut down"));
     return refused.get_future();
   }
   return future;
+}
+
+std::future<Result<QueryResult>> QueryService::Submit(QueryRequest request) {
+  return SubmitTask<QueryResult>(
+      [this, request = std::move(request)]() { return Run(request); });
+}
+
+std::future<Result<StreamSummary>> QueryService::Submit(
+    QueryRequest request, MatchCallback on_match) {
+  return SubmitTask<StreamSummary>(
+      [this, request = std::move(request),
+       on_match = std::move(on_match)]() -> Result<StreamSummary> {
+        Result<ResultCursor> cursor = MakeCursor(request);
+        if (!cursor.ok()) {
+          failed_.fetch_add(1, std::memory_order_relaxed);
+          return std::move(cursor).status();
+        }
+        StreamSummary summary;
+        while (std::optional<Match> match = cursor->Next()) {
+          ++summary.delivered;
+          if (!on_match(*match)) {
+            summary.cancelled = true;
+            break;
+          }
+        }
+        summary.stats = cursor->stats();
+        summary.shape = cursor->shape();
+        summary.millis = cursor->millis();
+        if (summary.cancelled) {
+          // An abandoned scan's truncated stats would skew the
+          // per-completed-query roll-up.
+          cancelled_.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          completed_.fetch_add(1, std::memory_order_relaxed);
+          RollUp(summary.stats);
+        }
+        return summary;
+      });
+}
+
+std::future<Result<ResultCursor>> QueryService::SubmitCursor(
+    QueryRequest request) {
+  return SubmitTask<ResultCursor>([this, request = std::move(request)]() {
+    return RunOpenCursor(request);
+  });
 }
 
 std::vector<std::future<Result<QueryResult>>> QueryService::SubmitBatch(
@@ -61,55 +108,86 @@ Result<QueryResult> QueryService::Execute(const QueryRequest& request) {
   return Run(request);
 }
 
-Result<QueryResult> QueryService::Run(const QueryRequest& request) {
+Result<ResultCursor> QueryService::OpenCursor(const QueryRequest& request) {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  return RunOpenCursor(request);
+}
+
+Result<ResultCursor> QueryService::RunOpenCursor(const QueryRequest& request) {
+  // The cursor escapes the service and executes on the client's thread,
+  // so it is tallied as an opened cursor, not a completed query, and its
+  // ExecStats stay out of the exec roll-up.
+  Result<ResultCursor> cursor = MakeCursor(request);
+  if (cursor.ok()) {
+    cursors_opened_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    failed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return cursor;
+}
+
+Result<ResultCursor> QueryService::MakeCursor(const QueryRequest& request) {
   std::shared_ptr<const CachedPlan> plan;
   std::string key;
+  const QueryOptions& options = request.options;
   const bool use_cache =
       !request.bypass_plan_cache && plan_cache_.capacity() > 0;
   if (use_cache) {
-    key = PlanCacheKey(request.xpath, request.translator,
-                       request.exec.optimize_join_order);
+    key = PlanCacheKey(request.xpath, options.translator,
+                       options.exec.optimize_join_order);
     plan = plan_cache_.Get(key);
   }
   if (plan == nullptr) {
-    Result<ExecPlan> planned = system_->Plan(request.xpath, request.translator);
-    if (!planned.ok()) {
-      failed_.fetch_add(1, std::memory_order_relaxed);
-      return std::move(planned).status();
-    }
+    Result<ExecPlan> planned = system_->Plan(request.xpath, options.translator);
+    if (!planned.ok()) return std::move(planned).status();
     CachedPlan fresh;
     fresh.plan = std::move(planned).value();
     CostModel model(&system_->summary(), &system_->dict());
-    if (request.exec.optimize_join_order) {
+    if (options.exec.optimize_join_order) {
       fresh.plan = OptimizeJoinOrder(fresh.plan, model);
     }
-    if (use_cache || request.engine == Engine::kAuto) {
+    if (use_cache || options.engine == Engine::kAuto) {
       // Skippable when the engine is pinned and the plan won't be cached
       // (cardinality estimation walks the path summary per part).
       fresh.auto_engine = ChooseEngine(fresh.plan, model);
+    }
+    if (use_cache || options.limit > 0) {
+      // Same reasoning as auto_engine: skip the summary walks when the
+      // verdict can neither be cached nor used (unbounded request).
+      fresh.stream_info = system_->AnalyzeStreamability(fresh.plan);
     }
     plan = std::make_shared<const CachedPlan>(std::move(fresh));
     if (use_cache) plan_cache_.Put(key, plan);
   }
 
   Engine engine =
-      request.engine == Engine::kAuto ? plan->auto_engine : request.engine;
-  Result<QueryResult> result = system_->ExecutePlan(plan->plan, engine);
-  if (!result.ok()) {
-    failed_.fetch_add(1, std::memory_order_relaxed);
-    return result;
-  }
+      options.engine == Engine::kAuto ? plan->auto_engine : options.engine;
+  // Alias the cached entry so the plan outlives any eviction while this
+  // cursor is still streaming.
+  std::shared_ptr<const ExecPlan> shared_plan(plan, &plan->plan);
+  return system_->OpenPlan(std::move(shared_plan), engine, options,
+                           &plan->stream_info);
+}
 
-  completed_.fetch_add(1, std::memory_order_relaxed);
-  const ExecStats& stats = result->stats;
+void QueryService::RollUp(const ExecStats& stats) {
   elements_.fetch_add(stats.elements, std::memory_order_relaxed);
   page_fetches_.fetch_add(stats.page_fetches, std::memory_order_relaxed);
   page_misses_.fetch_add(stats.page_misses, std::memory_order_relaxed);
-  d_joins_.fetch_add(static_cast<uint64_t>(stats.d_joins),
-                     std::memory_order_relaxed);
+  d_joins_.fetch_add(stats.d_joins, std::memory_order_relaxed);
   intermediate_rows_.fetch_add(stats.intermediate_rows,
                                std::memory_order_relaxed);
   output_rows_.fetch_add(stats.output_rows, std::memory_order_relaxed);
+}
+
+Result<QueryResult> QueryService::Run(const QueryRequest& request) {
+  Result<ResultCursor> cursor = MakeCursor(request);
+  if (!cursor.ok()) {
+    failed_.fetch_add(1, std::memory_order_relaxed);
+    return std::move(cursor).status();
+  }
+  QueryResult result = cursor->Drain();
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  RollUp(result.stats);
   return result;
 }
 
@@ -119,6 +197,8 @@ ServiceStats QueryService::stats() const {
   s.completed = completed_.load(std::memory_order_relaxed);
   s.failed = failed_.load(std::memory_order_relaxed);
   s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.cursors_opened = cursors_opened_.load(std::memory_order_relaxed);
+  s.cancelled = cancelled_.load(std::memory_order_relaxed);
   PlanCache::Stats cache = plan_cache_.stats();
   s.plan_cache_hits = cache.hits;
   s.plan_cache_misses = cache.misses;

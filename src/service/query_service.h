@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <memory>
 #include <string>
@@ -24,15 +25,24 @@ struct ServiceOptions {
   size_t plan_cache_capacity = 256;
 };
 
-/// One client request: an XPath query plus per-query knobs.
+/// One client request: an XPath query plus the unified per-query knobs
+/// (translator, engine, exec, limit/offset, projection).
 struct QueryRequest {
   std::string xpath;
-  Translator translator = Translator::kPushUp;
-  /// kAuto lets the optimizer pick relational vs. twig per plan.
-  Engine engine = Engine::kAuto;
-  ExecOptions exec;
+  QueryOptions options;
   /// Skip the plan cache for this request (both lookup and insert).
   bool bypass_plan_cache = false;
+};
+
+/// Final measurements of a streamed (callback) query.
+struct StreamSummary {
+  ExecStats stats;
+  ExecPlan::Shape shape;
+  double millis = 0.0;
+  /// Matches handed to the callback.
+  uint64_t delivered = 0;
+  /// True when the callback stopped the stream early.
+  bool cancelled = false;
 };
 
 /// Service-wide counters. Values are monotonically increasing since
@@ -40,16 +50,23 @@ struct QueryRequest {
 /// field is read atomically, the set is not fenced).
 struct ServiceStats {
   uint64_t submitted = 0;
-  uint64_t completed = 0;  // successful queries
+  uint64_t completed = 0;  // queries run to completion by the service
   uint64_t failed = 0;     // parse/translate/execute errors
   uint64_t rejected = 0;   // submissions refused after Shutdown
+  /// Cursors handed out via SubmitCursor/OpenCursor. Counted separately
+  /// from `completed`: an escaped cursor executes on the client's thread,
+  /// so its ExecStats never enter the `exec` roll-up below and must not
+  /// dilute per-completed-query averages.
+  uint64_t cursors_opened = 0;
+  /// Streaming submissions whose callback cancelled mid-stream. Counted
+  /// separately from `completed` for the same reason: their truncated
+  /// ExecStats stay out of the exec roll-up.
+  uint64_t cancelled = 0;
   // Plan-cache accounting (mirrors PlanCache::stats()).
   uint64_t plan_cache_hits = 0;
   uint64_t plan_cache_misses = 0;
   uint64_t plan_cache_evictions = 0;
-  // Roll-up of every completed query's ExecStats. All fields widened to
-  // uint64 (ExecStats::d_joins is an int sized for one query, not for a
-  // service lifetime).
+  // Roll-up of every completed query's ExecStats.
   struct ExecRollup {
     uint64_t elements = 0;
     uint64_t page_fetches = 0;
@@ -95,9 +112,30 @@ class QueryService {
   QueryService(const QueryService&) = delete;
   QueryService& operator=(const QueryService&) = delete;
 
+  /// Per-match delivery callback of the streaming Submit overload. Return
+  /// false to cancel the stream. For bounded requests (limit > 0) the
+  /// incremental producer then abandons its remaining scans; an unbounded
+  /// request has already materialized the full result by the time the
+  /// first match is delivered, so cancelling only stops delivery.
+  using MatchCallback = std::function<bool(const Match&)>;
+
   /// Enqueues one query; blocks only when the submission queue is full.
   /// After Shutdown the returned future holds a kUnsupported error.
   std::future<Result<QueryResult>> Submit(QueryRequest request);
+
+  /// Streaming overload: a worker opens a cursor and pushes each match
+  /// into `on_match` as it is produced (bounded requests terminate their
+  /// scans early); the future completes with the final measurements. The
+  /// callback runs on the worker thread and must be thread-compatible
+  /// with the caller.
+  std::future<Result<StreamSummary>> Submit(QueryRequest request,
+                                            MatchCallback on_match);
+
+  /// Cursor overload: the worker runs the setup phase (parse / plan cache
+  /// / translate / streaming prefix) and hands the cursor back through the
+  /// future; the caller then pulls matches on its own thread. The cursor
+  /// borrows the service's system and must not outlive it.
+  std::future<Result<ResultCursor>> SubmitCursor(QueryRequest request);
 
   /// Enqueues a batch; futures are in request order.
   std::vector<std::future<Result<QueryResult>>> SubmitBatch(
@@ -105,6 +143,9 @@ class QueryService {
 
   /// Runs one query on the calling thread (same plan cache and stats).
   Result<QueryResult> Execute(const QueryRequest& request);
+
+  /// Opens a cursor on the calling thread (same plan cache and stats).
+  Result<ResultCursor> OpenCursor(const QueryRequest& request);
 
   /// Stops accepting work, drains queued queries, joins the workers.
   void Shutdown();
@@ -116,6 +157,17 @@ class QueryService {
 
  private:
   Result<QueryResult> Run(const QueryRequest& request);
+  /// OpenCursor without the submission count (SubmitCursor counts in
+  /// SubmitTask).
+  Result<ResultCursor> RunOpenCursor(const QueryRequest& request);
+  /// Shared front half of every path: plan-cache lookup / translation,
+  /// engine resolution, cursor creation.
+  Result<ResultCursor> MakeCursor(const QueryRequest& request);
+  void RollUp(const ExecStats& stats);
+
+  template <typename T>
+  std::future<Result<T>> SubmitTask(
+      std::function<Result<T>()> work);
 
   std::shared_ptr<const BlasSystem> owned_system_;
   const BlasSystem* system_;
@@ -126,6 +178,8 @@ class QueryService {
   std::atomic<uint64_t> completed_{0};
   std::atomic<uint64_t> failed_{0};
   std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> cursors_opened_{0};
+  std::atomic<uint64_t> cancelled_{0};
   std::atomic<uint64_t> elements_{0};
   std::atomic<uint64_t> page_fetches_{0};
   std::atomic<uint64_t> page_misses_{0};

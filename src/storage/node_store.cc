@@ -38,6 +38,11 @@ NodeStore::NodeStore(const std::vector<NodeRecord>& records,
               return ValKeyOf::Get(a) < ValKeyOf::Get(b);
             });
   vindex_.Build(&pool_, sorted);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const NodeRecord& a, const NodeRecord& b) {
+              return StartKeyOf::Get(a) < StartKeyOf::Get(b);
+            });
+  doc_.Build(&pool_, sorted);
 }
 
 std::vector<NodeRecord> NodeStore::ScanPlabelRange(
@@ -98,6 +103,29 @@ std::vector<NodeRecord> NodeStore::ScanValue(uint32_t data) const {
   }
   CountVisited(&elements_, visited);
   return out;
+}
+
+std::optional<NodeRecord> NodeStore::FindByStart(uint32_t start) const {
+  auto it = doc_.Seek(start);
+  if (it.at_end() || it->start != start) return std::nullopt;
+  CountVisited(&elements_, 1);
+  return *it;
+}
+
+NodeStore::TagScan::TagScan(const NodeStore* store, TagId tag)
+    : ScanBase(store, store->sd_.Seek(SdKey{tag, 0})), tag_(tag) {}
+
+const NodeRecord* NodeStore::TagScan::Next() {
+  if (it_.at_end() || it_->tag != tag_) return nullptr;
+  return Step();
+}
+
+NodeStore::DocScan::DocScan(const NodeStore* store, uint32_t lo, uint32_t hi)
+    : ScanBase(store, store->doc_.Seek(lo)), hi_(hi) {}
+
+const NodeRecord* NodeStore::DocScan::Next() {
+  if (it_.at_end() || it_->start > hi_) return nullptr;
+  return Step();
 }
 
 std::vector<NodeRecord> NodeStore::ExportRecords() const {

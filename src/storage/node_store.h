@@ -53,6 +53,9 @@ struct SdKeyOf {
 struct ValKeyOf {
   static ValKey Get(const NodeRecord& r) { return ValKey{r.data, r.start}; }
 };
+struct StartKeyOf {
+  static uint32_t Get(const NodeRecord& r) { return r.start; }
+};
 
 /// Per-query storage access counters. `elements` is the paper's "visited
 /// elements"; page counters come from the buffer pool.
@@ -74,7 +77,9 @@ struct StorageStats {
 /// Holds both physical designs the paper compares over one buffer pool:
 ///   * SP — clustered by {plabel, start} (BLAS),
 ///   * SD — clustered by {tag, start}   (D-labeling baseline),
-/// plus a secondary value index clustered by {data, start}.
+/// plus a secondary value index clustered by {data, start} and a
+/// document-order index clustered by {start} (point lookups and subtree
+/// reconstruction for the cursor projection layer).
 ///
 /// All scans count every record they touch (including records later
 /// rejected by a residual data/level filter), matching how the paper counts
@@ -115,6 +120,99 @@ class NodeStore {
   /// Records with the given data id via the secondary value index.
   std::vector<NodeRecord> ScanValue(uint32_t data) const;
 
+  /// The record at exactly `start` via the document-order index, or
+  /// nullopt. Counts one visited element plus the tree descent's pages.
+  std::optional<NodeRecord> FindByStart(uint32_t start) const;
+
+  /// \brief Shared machinery of the incremental scans: a leaf iterator
+  /// plus visited-element accounting.
+  ///
+  /// Pages are fetched as the scan advances, so an abandoned scan pays
+  /// only for the prefix it consumed. Each advanced record counts as one
+  /// visited element: added to the calling thread's ReadCounterScope as
+  /// it happens (per-query attribution) and flushed to the store-wide
+  /// counter in one batch on destruction.
+  template <typename Key, typename KeyOf>
+  class ScanBase {
+   public:
+    ScanBase(ScanBase&& o) noexcept
+        : it_(o.it_), store_(o.store_), visited_(o.visited_) {
+      o.store_ = nullptr;
+      o.visited_ = 0;
+    }
+    ScanBase& operator=(ScanBase&& o) noexcept {
+      if (this != &o) {
+        Flush();
+        store_ = o.store_;
+        it_ = o.it_;
+        visited_ = o.visited_;
+        o.store_ = nullptr;
+        o.visited_ = 0;
+      }
+      return *this;
+    }
+    ~ScanBase() { Flush(); }
+
+    uint64_t visited() const { return visited_; }
+
+   protected:
+    using Iterator =
+        typename BPlusTree<NodeRecord, Key, KeyOf>::Iterator;
+
+    ScanBase(const NodeStore* store, Iterator it) : it_(it), store_(store) {}
+
+    /// Counts and returns the current record, then advances. The pointer
+    /// stays valid until the next call (pages are never evicted from
+    /// memory, only from the cache).
+    const NodeRecord* Step() {
+      const NodeRecord* rec = &*it_;
+      ++visited_;
+      if (ReadCounters* counters = ReadCounterScope::Current()) {
+        ++counters->elements;
+      }
+      ++it_;
+      return rec;
+    }
+
+    Iterator it_;
+
+   private:
+    void Flush() {
+      if (store_ != nullptr && visited_ > 0) {
+        store_->elements_.fetch_add(visited_, std::memory_order_relaxed);
+      }
+    }
+
+    const NodeStore* store_;
+    uint64_t visited_ = 0;
+  };
+
+  /// Incremental start-ordered scan of one tag's SD run — the streaming
+  /// access path of limit-k cursors.
+  class TagScan : public ScanBase<SdKey, SdKeyOf> {
+   public:
+    TagScan(const NodeStore* store, TagId tag);
+
+    /// The next record with the scanned tag in start order, or nullptr at
+    /// the end of the run.
+    const NodeRecord* Next();
+
+   private:
+    TagId tag_;
+  };
+
+  /// Incremental scan of records with start in [lo, hi], in document
+  /// order (subtree reconstruction).
+  class DocScan : public ScanBase<uint32_t, StartKeyOf> {
+   public:
+    DocScan(const NodeStore* store, uint32_t lo, uint32_t hi);
+
+    const NodeRecord* Next();
+
+   private:
+    uint32_t hi_;
+  };
+
   size_t record_count() const { return count_; }
   size_t page_count() const { return pool_.page_count(); }
 
@@ -133,6 +231,7 @@ class NodeStore {
   BPlusTree<NodeRecord, SpKey, SpKeyOf> sp_;
   BPlusTree<NodeRecord, SdKey, SdKeyOf> sd_;
   BPlusTree<NodeRecord, ValKey, ValKeyOf> vindex_;
+  BPlusTree<NodeRecord, uint32_t, StartKeyOf> doc_;
   size_t count_ = 0;
   mutable std::atomic<uint64_t> elements_{0};
 };

@@ -6,21 +6,31 @@
 
 namespace blas {
 
-Result<std::vector<uint32_t>> TwigEngine::Execute(const ExecPlan& plan,
-                                                  ExecStats* stats) const {
-  if (plan.parts.empty()) {
-    return Status::InvalidArgument("empty plan");
-  }
-  // Per-thread attribution; see RelationalExecutor::Execute.
-  ReadCounters counters;
-  ReadCounterScope scope(&counters);
-  ExecStats local;
-  const size_t n = plan.parts.size();
+namespace {
 
-  // Load all streams (each stream is read exactly once).
-  std::vector<std::vector<NodeRecord>> streams(n);
+/// Output of the two arc-consistency passes: per part, the element
+/// stream and the marks of elements participating in a full match of the
+/// evaluated pattern.
+struct TwigPasses {
+  std::vector<std::vector<NodeRecord>> streams;
+  /// matched[i][e] <=> streams[i][e] is in at least one full match
+  /// (alive ∧ reachable).
+  std::vector<std::vector<char>> matched;
+};
+
+/// Loads the streams and runs the bottom-up and top-down passes over the
+/// plan's part tree. `skip` < 0 evaluates the whole pattern; otherwise the
+/// (leaf) part `skip` is left out — the cursor's streaming prefix.
+TwigPasses RunPasses(const ExecPlan& plan, int skip, const NodeStore& store,
+                     const StringDict& dict, ExecStats* local) {
+  const size_t n = plan.parts.size();
+  TwigPasses out;
+
+  // Load all evaluated streams (each stream is read exactly once).
+  out.streams.resize(n);
   for (size_t i = 0; i < n; ++i) {
-    streams[i] = FetchPartTuples(plan.parts[i], *store_, *dict_);
+    if (static_cast<int>(i) == skip) continue;
+    out.streams[i] = FetchPartTuples(plan.parts[i], store, dict);
   }
 
   std::vector<PerAltDeltas> alt_tables(n);
@@ -41,12 +51,13 @@ Result<std::vector<uint32_t>> TwigEngine::Execute(const ExecPlan& plan,
   // be embedded with e as part i's binding. Children have larger indices,
   // so a reverse scan finalizes each part before it is used as a child.
   std::vector<std::vector<char>> alive(n);
-  for (size_t i = 0; i < n; ++i) alive[i].assign(streams[i].size(), 1);
+  for (size_t i = 0; i < n; ++i) alive[i].assign(out.streams[i].size(), 1);
   for (size_t i = n; i-- > 1;) {
+    if (static_cast<int>(i) == skip) continue;
     int anchor = plan.parts[i].anchor;
     std::vector<char> support = SemiMarkAnchors(
-        streams[anchor], streams[i], alive[i], pred_of(i));
-    ++local.d_joins;
+        out.streams[anchor], out.streams[i], alive[i], pred_of(i));
+    ++local->d_joins;
     for (size_t e = 0; e < alive[anchor].size(); ++e) {
       alive[anchor][e] = alive[anchor][e] && support[e];
     }
@@ -54,27 +65,53 @@ Result<std::vector<uint32_t>> TwigEngine::Execute(const ExecPlan& plan,
 
   // Top-down pass: reachable[i][e] <=> e additionally extends to a match
   // of everything outside part i's subtree.
-  std::vector<std::vector<char>> reachable(n);
-  reachable[0] = alive[0];
+  out.matched.resize(n);
+  out.matched[0] = alive[0];
   for (size_t i = 1; i < n; ++i) {
+    if (static_cast<int>(i) == skip) continue;
     int anchor = plan.parts[i].anchor;
-    std::vector<char> down = SemiMarkDescs(streams[anchor],
-                                           reachable[anchor], streams[i],
-                                           pred_of(i));
-    reachable[i].assign(streams[i].size(), 0);
+    std::vector<char> down = SemiMarkDescs(out.streams[anchor],
+                                           out.matched[anchor],
+                                           out.streams[i], pred_of(i));
+    out.matched[i].assign(out.streams[i].size(), 0);
     for (size_t e = 0; e < down.size(); ++e) {
-      reachable[i][e] = down[e] && alive[i][e];
+      out.matched[i][e] = down[e] && alive[i][e];
     }
   }
+  return out;
+}
 
+}  // namespace
+
+Result<std::vector<uint32_t>> TwigEngine::Execute(const ExecPlan& plan,
+                                                  ExecStats* stats) const {
+  BLAS_ASSIGN_OR_RETURN(std::vector<DLabel> bindings,
+                        ExecuteBindings(plan, stats));
   std::vector<uint32_t> result;
-  const auto& ret_stream = streams[plan.return_part];
-  const auto& ret_alive = reachable[plan.return_part];
-  for (size_t e = 0; e < ret_stream.size(); ++e) {
-    if (ret_alive[e]) result.push_back(ret_stream[e].start);
+  result.reserve(bindings.size());
+  for (const DLabel& binding : bindings) result.push_back(binding.start);
+  return result;
+}
+
+Result<std::vector<DLabel>> TwigEngine::ExecuteBindings(
+    const ExecPlan& plan, ExecStats* stats) const {
+  if (plan.parts.empty()) {
+    return Status::InvalidArgument("empty plan");
   }
-  std::sort(result.begin(), result.end());
-  result.erase(std::unique(result.begin(), result.end()), result.end());
+  // Per-thread attribution; see RelationalExecutor::Execute.
+  ReadCounters counters;
+  ReadCounterScope scope(&counters);
+  ExecStats local;
+
+  TwigPasses passes = RunPasses(plan, /*skip=*/-1, *store_, *dict_, &local);
+
+  std::vector<DLabel> result;
+  const auto& ret_stream = passes.streams[plan.return_part];
+  const auto& ret_matched = passes.matched[plan.return_part];
+  for (size_t e = 0; e < ret_stream.size(); ++e) {
+    if (ret_matched[e]) result.push_back(ret_stream[e].dlabel());
+  }
+  SortUniqueByStart(&result);
 
   if (stats != nullptr) {
     local.elements = counters.elements;
@@ -84,6 +121,35 @@ Result<std::vector<uint32_t>> TwigEngine::Execute(const ExecPlan& plan,
     *stats += local;
   }
   return result;
+}
+
+Result<std::vector<DLabel>> TwigEngine::MatchedAnchors(const ExecPlan& plan,
+                                                       size_t skip,
+                                                       ExecStats* stats) const {
+  if (plan.parts.size() < 2 || skip == 0 || skip >= plan.parts.size()) {
+    return Status::InvalidArgument("MatchedAnchors needs an anchored part");
+  }
+  ReadCounters counters;
+  ReadCounterScope scope(&counters);
+  ExecStats local;
+
+  TwigPasses passes =
+      RunPasses(plan, static_cast<int>(skip), *store_, *dict_, &local);
+
+  const int a = plan.parts[skip].anchor;
+  std::vector<DLabel> anchors;
+  for (size_t e = 0; e < passes.streams[a].size(); ++e) {
+    if (passes.matched[a][e]) anchors.push_back(passes.streams[a][e].dlabel());
+  }
+  SortUniqueByStart(&anchors);
+
+  if (stats != nullptr) {
+    local.elements = counters.elements;
+    local.page_fetches = counters.fetches;
+    local.page_misses = counters.misses;
+    *stats += local;
+  }
+  return anchors;
 }
 
 }  // namespace blas

@@ -34,6 +34,25 @@ class TwigEngine {
   Result<std::vector<uint32_t>> Execute(const ExecPlan& plan,
                                         ExecStats* stats) const;
 
+  /// Same execution, but returns the return part's full D-label bindings
+  /// (distinct by start, sorted) — cursors enumerate these without
+  /// per-match point lookups.
+  Result<std::vector<DLabel>> ExecuteBindings(const ExecPlan& plan,
+                                              ExecStats* stats) const;
+
+  /// \brief Streaming prefix: runs both arc-consistency passes with part
+  /// `skip` (a leaf of the part tree) left out and returns the D-labels of
+  /// `skip`'s anchor-part elements that participate in a match of the
+  /// remaining pattern, sorted by start.
+  ///
+  /// The caller then emits `skip`-part matches as its stream advances
+  /// against these bindings (limit-k early termination). Requires
+  /// plan.parts.size() >= 2, skip >= 1, and that no other part anchors
+  /// into `skip`.
+  Result<std::vector<DLabel>> MatchedAnchors(const ExecPlan& plan,
+                                             size_t skip,
+                                             ExecStats* stats) const;
+
  private:
   const NodeStore* store_;
   const StringDict* dict_;

@@ -80,6 +80,12 @@ std::string WriteXml(const DomTree& tree) {
   return out;
 }
 
+std::string WriteXml(const DomNode& node) {
+  std::string out;
+  WriteNode(&node, &out);
+  return out;
+}
+
 void XmlTextSink::OnStartElement(std::string_view name,
                                  const std::vector<XmlAttribute>& attributes) {
   out_.push_back('<');

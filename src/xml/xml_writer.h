@@ -18,6 +18,10 @@ std::string EscapeAttribute(std::string_view text);
 /// before child elements). Round-trips through SaxParser/DomBuilder.
 std::string WriteXml(const DomTree& tree);
 
+/// Serializes one element subtree in the same canonical form (ground truth
+/// for the DOM-free Projection::kSubtree reconstruction).
+std::string WriteXml(const DomNode& node);
+
 /// \brief SAX handler that renders events back into XML text.
 ///
 /// The synthetic data generators drive this to produce on-disk corpora and

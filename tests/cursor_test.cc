@@ -1,0 +1,539 @@
+// Cursor semantics: Drain() reproduces the legacy full materialization on
+// the figure-11 / figure-10 queries under every translator and engine;
+// limit/offset agree with truncated full results; bounded cursors on an
+// XMark-scale document fetch strictly fewer pages than unlimited runs;
+// projection output matches DOM-derived ground truth; and cursors behave
+// under N concurrent QueryService clients (run under TSan in CI).
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "blas/collection.h"
+#include "gen/generator.h"
+#include "gen/queries.h"
+#include "service/query_service.h"
+#include "tests/test_util.h"
+#include "xml/xml_writer.h"
+
+namespace blas {
+namespace {
+
+constexpr char kQS3[] =
+    "/PLAYS/PLAY/ACT/SCENE[TITLE ='SCENE III. A public place.']//LINE";
+
+const BlasSystem& Shakespeare() {
+  static const BlasSystem* sys = [] {
+    Result<BlasSystem> s = BlasSystem::FromEvents(
+        [](SaxHandler* h) { GenerateShakespeare(GenOptions{}, h); });
+    EXPECT_TRUE(s.ok()) << s.status().ToString();
+    return new BlasSystem(std::move(s).value());
+  }();
+  return *sys;
+}
+
+const BlasSystem& Auction() {
+  static const BlasSystem* sys = [] {
+    Result<BlasSystem> s = BlasSystem::FromEvents(
+        [](SaxHandler* h) { GenerateAuction(GenOptions{}, h); });
+    EXPECT_TRUE(s.ok()) << s.status().ToString();
+    return new BlasSystem(std::move(s).value());
+  }();
+  return *sys;
+}
+
+/// The figure-11 query under all four translators plus the figure-10
+/// Shakespeare workload: every plan shape the paper evaluates.
+std::vector<std::string> EquivalenceQueries() {
+  std::vector<std::string> queries{kQS3};
+  for (const BenchQuery& q : Figure10Queries('S')) queries.push_back(q.xpath);
+  return queries;
+}
+
+constexpr Translator kTranslators[] = {Translator::kDLabel, Translator::kSplit,
+                                       Translator::kPushUp,
+                                       Translator::kUnfold};
+constexpr Engine kEngines[] = {Engine::kRelational, Engine::kTwig};
+
+/// Runs the engine directly (no cursor involved): the independent baseline
+/// the cursor paths are compared against.
+std::optional<std::vector<uint32_t>> RunDirect(const BlasSystem& sys,
+                                               const std::string& xpath,
+                                               Translator translator,
+                                               Engine engine,
+                                               ExecStats* stats = nullptr) {
+  Result<ExecPlan> plan = sys.Plan(xpath, translator);
+  if (!plan.ok()) return std::nullopt;  // translator refused (Unsupported)
+  ExecStats local;
+  Result<std::vector<uint32_t>> starts =
+      engine == Engine::kRelational
+          ? RelationalExecutor(&sys.store(), &sys.dict())
+                .Execute(*plan, &local)
+          : TwigEngine(&sys.store(), &sys.dict()).Execute(*plan, &local);
+  EXPECT_TRUE(starts.ok()) << starts.status().ToString();
+  if (stats != nullptr) *stats = local;
+  return std::move(starts).value();
+}
+
+TEST(CursorTest, UnboundedDrainIsByteIdenticalToDirectExecution) {
+  const BlasSystem& sys = Shakespeare();
+  for (const std::string& xpath : EquivalenceQueries()) {
+    for (Translator translator : kTranslators) {
+      for (Engine engine : kEngines) {
+        std::optional<std::vector<uint32_t>> expected =
+            RunDirect(sys, xpath, translator, engine);
+        if (!expected.has_value()) continue;
+        QueryOptions options;
+        options.translator = translator;
+        options.engine = engine;
+        Result<ResultCursor> cursor = sys.Open(xpath, options);
+        ASSERT_TRUE(cursor.ok()) << cursor.status().ToString();
+        EXPECT_FALSE(cursor->streaming());  // unbounded: legacy producer
+        QueryResult drained = cursor->Drain();
+        EXPECT_EQ(drained.starts, *expected)
+            << xpath << " [" << TranslatorName(translator) << "/"
+            << EngineName(engine) << "]";
+        EXPECT_EQ(drained.stats.output_rows, expected->size());
+        EXPECT_TRUE(cursor->exhausted());
+      }
+    }
+  }
+}
+
+TEST(CursorTest, StreamingProducerMatchesDirectExecution) {
+  const BlasSystem& sys = Shakespeare();
+  for (const std::string& xpath : EquivalenceQueries()) {
+    for (Translator translator : kTranslators) {
+      for (Engine engine : kEngines) {
+        std::optional<std::vector<uint32_t>> expected =
+            RunDirect(sys, xpath, translator, engine);
+        if (!expected.has_value()) continue;
+        // A limit at least the full result size forces the streaming
+        // producer (where the plan allows it) without truncating, so the
+        // full sequences must agree.
+        QueryOptions options;
+        options.translator = translator;
+        options.engine = engine;
+        options.limit = expected->size() + 1000;
+        Result<ResultCursor> cursor = sys.Open(xpath, options);
+        ASSERT_TRUE(cursor.ok()) << cursor.status().ToString();
+        QueryResult drained = cursor->Drain();
+        EXPECT_EQ(drained.starts, *expected)
+            << xpath << " [" << TranslatorName(translator) << "/"
+            << EngineName(engine)
+            << (cursor->streaming() ? ", streaming]" : ", materialized]");
+      }
+    }
+  }
+}
+
+TEST(CursorTest, Figure11QueryUsesStreamingProducerUnderEveryTranslator) {
+  const BlasSystem& sys = Shakespeare();
+  // QS3's return part (//LINE) is a single-tag leaf of the part tree under
+  // all four translators, so every bounded cursor should stream.
+  for (Translator translator : kTranslators) {
+    QueryOptions options;
+    options.translator = translator;
+    options.engine = Engine::kRelational;
+    options.limit = 5;
+    Result<ResultCursor> cursor = sys.Open(kQS3, options);
+    ASSERT_TRUE(cursor.ok()) << cursor.status().ToString();
+    EXPECT_TRUE(cursor->streaming()) << TranslatorName(translator);
+  }
+}
+
+TEST(CursorTest, LimitAndOffsetAgreeWithTruncatedFullResults) {
+  const BlasSystem& sys = Shakespeare();
+  for (const std::string& xpath : EquivalenceQueries()) {
+    for (Translator translator : {Translator::kPushUp, Translator::kDLabel}) {
+      for (Engine engine : kEngines) {
+        std::optional<std::vector<uint32_t>> full =
+            RunDirect(sys, xpath, translator, engine);
+        if (!full.has_value()) continue;
+        for (uint64_t offset : {uint64_t{0}, uint64_t{2}, uint64_t{100000}}) {
+          for (uint64_t limit : {uint64_t{1}, uint64_t{7}, uint64_t{50}}) {
+            QueryOptions options;
+            options.translator = translator;
+            options.engine = engine;
+            options.limit = limit;
+            options.offset = offset;
+            Result<ResultCursor> cursor = sys.Open(xpath, options);
+            ASSERT_TRUE(cursor.ok()) << cursor.status().ToString();
+            QueryResult got = cursor->Drain();
+            std::vector<uint32_t> expected;
+            for (size_t i = offset;
+                 i < full->size() && expected.size() < limit; ++i) {
+              expected.push_back((*full)[i]);
+            }
+            EXPECT_EQ(got.starts, expected)
+                << xpath << " [" << TranslatorName(translator) << "/"
+                << EngineName(engine) << "] offset=" << offset
+                << " limit=" << limit;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(CursorTest, NextEnumerationMatchesDrain) {
+  const BlasSystem& sys = Shakespeare();
+  std::optional<std::vector<uint32_t>> full =
+      RunDirect(sys, kQS3, Translator::kPushUp, Engine::kRelational);
+  ASSERT_TRUE(full.has_value());
+  ASSERT_GT(full->size(), 3u);
+
+  for (uint64_t limit : {uint64_t{0}, uint64_t{3}, full->size() + 7}) {
+    QueryOptions options;
+    options.engine = Engine::kRelational;
+    options.limit = limit;
+    Result<ResultCursor> cursor = sys.Open(kQS3, options);
+    ASSERT_TRUE(cursor.ok()) << cursor.status().ToString();
+    std::vector<uint32_t> pulled;
+    while (std::optional<Match> match = cursor->Next()) {
+      pulled.push_back(match->start);
+    }
+    EXPECT_TRUE(cursor->exhausted());
+    EXPECT_EQ(cursor->delivered(), pulled.size());
+    std::vector<uint32_t> expected = *full;
+    if (limit > 0 && expected.size() > limit) expected.resize(limit);
+    EXPECT_EQ(pulled, expected) << "limit=" << limit;
+    // A drained-after-exhaustion cursor has nothing left.
+    EXPECT_TRUE(cursor->Drain().starts.empty());
+  }
+}
+
+TEST(CursorTest, CostGateRejectsStreamingWhenTheTagRunWouldCostMore) {
+  const BlasSystem& sys = Shakespeare();
+  QueryOptions options;
+  options.engine = Engine::kRelational;
+  options.limit = 3;
+  // /PLAYS/PLAY/TITLE: the part's SP range touches only the 37 matches,
+  // while the TITLE SD run interleaves every ACT/SCENE/PLAY title in the
+  // document — filtering the run would visit more than the full query.
+  Result<ResultCursor> selective = sys.Open("/PLAYS/PLAY/TITLE", options);
+  ASSERT_TRUE(selective.ok());
+  EXPECT_FALSE(selective->streaming());
+  // A broad suffix pattern's range is the whole run: streaming wins.
+  Result<ResultCursor> broad = sys.Open("//LINE", options);
+  ASSERT_TRUE(broad.ok());
+  EXPECT_TRUE(broad->streaming());
+  // Either way the answers agree with the truncated full results.
+  std::optional<std::vector<uint32_t>> full =
+      RunDirect(sys, "/PLAYS/PLAY/TITLE", Translator::kPushUp,
+                Engine::kRelational);
+  full->resize(3);
+  EXPECT_EQ(selective->Drain().starts, *full);
+}
+
+TEST(CursorTest, BoundedWildcardQueryFallsBackAndTruncates) {
+  const BlasSystem& sys = Shakespeare();
+  // kAllTags return scans have no single SD run to stream from.
+  std::optional<std::vector<uint32_t>> full =
+      RunDirect(sys, "//SPEECH/*", Translator::kDLabel, Engine::kRelational);
+  ASSERT_TRUE(full.has_value());
+  QueryOptions options;
+  options.translator = Translator::kDLabel;
+  options.engine = Engine::kRelational;
+  options.limit = 9;
+  Result<ResultCursor> cursor = sys.Open("//SPEECH/*", options);
+  ASSERT_TRUE(cursor.ok()) << cursor.status().ToString();
+  EXPECT_FALSE(cursor->streaming());
+  QueryResult got = cursor->Drain();
+  full->resize(9);
+  EXPECT_EQ(got.starts, *full);
+}
+
+// ---- Acceptance: limit-k early termination fetches fewer pages. --------
+
+TEST(CursorTest, LimitTenOnXMarkScaleDocumentFetchesStrictlyFewerPages) {
+  const BlasSystem& sys = Auction();
+  const std::string xpath = "//item/description";
+  for (Translator translator : {Translator::kPushUp, Translator::kDLabel}) {
+    for (Engine engine : kEngines) {
+      ExecStats full_stats;
+      std::optional<std::vector<uint32_t>> full =
+          RunDirect(sys, xpath, translator, engine, &full_stats);
+      ASSERT_TRUE(full.has_value());
+      ASSERT_GT(full->size(), 100u) << "corpus too small for the claim";
+
+      QueryOptions options;
+      options.translator = translator;
+      options.engine = engine;
+      options.limit = 10;
+      Result<ResultCursor> cursor = sys.Open(xpath, options);
+      ASSERT_TRUE(cursor.ok()) << cursor.status().ToString();
+      ASSERT_TRUE(cursor->streaming());
+      QueryResult got = cursor->Drain();
+
+      std::vector<uint32_t> expected(full->begin(), full->begin() + 10);
+      EXPECT_EQ(got.starts, expected);
+      EXPECT_LT(got.stats.page_fetches, full_stats.page_fetches)
+          << TranslatorName(translator) << "/" << EngineName(engine);
+      EXPECT_LT(got.stats.elements, full_stats.elements)
+          << TranslatorName(translator) << "/" << EngineName(engine);
+    }
+  }
+}
+
+// ---- Projection: DOM-free content vs. DOM-derived ground truth. --------
+
+constexpr char kLibraryXml[] =
+    "<library>"
+    "<book genre=\"databases\" year=\"1992\">"
+    "<title>Transaction Processing</title>"
+    "<author>Gray &amp; Reuter</author>"
+    "</book>"
+    "<book genre=\"systems\">"
+    "<title>The UNIX Time-Sharing System</title>"
+    "<note>classic <em>paper</em> scan</note>"
+    "</book>"
+    "<journal><title>TODS</title><volume empty=\"\"/></journal>"
+    "</library>";
+
+std::map<uint32_t, const DomNode*> DomByStart(const DomTree& dom) {
+  std::map<uint32_t, const DomNode*> by_start;
+  dom.ForEach([&](const DomNode* node) { by_start[node->start] = node; });
+  return by_start;
+}
+
+TEST(CursorTest, ProjectionMatchesDomGroundTruth) {
+  BlasSystem sys = MustBuild(kLibraryXml);
+  std::map<uint32_t, const DomNode*> dom = DomByStart(*sys.dom());
+  const std::vector<std::string> queries = {
+      "//book",  "//title", "//book/@genre", "/library/book[@genre"
+      " =\"databases\"]/title", "//note", "//em"};
+  for (const std::string& xpath : queries) {
+    for (Translator translator : {Translator::kPushUp, Translator::kDLabel}) {
+      for (Engine engine : kEngines) {
+        for (Projection projection :
+             {Projection::kDLabel, Projection::kTag, Projection::kPath,
+              Projection::kValue, Projection::kSubtree}) {
+          QueryOptions options;
+          options.translator = translator;
+          options.engine = engine;
+          options.projection = projection;
+          Result<ResultCursor> cursor = sys.Open(xpath, options);
+          ASSERT_TRUE(cursor.ok()) << cursor.status().ToString();
+          size_t seen = 0;
+          while (std::optional<Match> match = cursor->Next()) {
+            ++seen;
+            auto it = dom.find(match->start);
+            ASSERT_NE(it, dom.end()) << xpath;
+            const DomNode* node = it->second;
+            EXPECT_EQ(match->end, node->end);
+            EXPECT_EQ(match->level, node->level);
+            switch (projection) {
+              case Projection::kDLabel:
+                EXPECT_TRUE(match->content.empty());
+                break;
+              case Projection::kTag:
+                EXPECT_EQ(match->content, node->tag);
+                break;
+              case Projection::kPath:
+                EXPECT_EQ(match->content, DomTree::SourcePath(node));
+                break;
+              case Projection::kValue:
+                EXPECT_EQ(match->content, node->text);
+                break;
+              case Projection::kSubtree: {
+                std::string expected =
+                    node->is_attribute()
+                        ? node->tag.substr(1) + "=\"" +
+                              EscapeAttribute(node->text) + "\""
+                        : WriteXml(*node);
+                EXPECT_EQ(match->content, expected)
+                    << xpath << " @" << match->start;
+                break;
+              }
+            }
+          }
+          EXPECT_GT(seen, 0u) << xpath << " found nothing";
+        }
+      }
+    }
+  }
+}
+
+TEST(CursorTest, DrainCarriesProjectedMatches) {
+  BlasSystem sys = MustBuild(kLibraryXml);
+  QueryOptions options;
+  options.projection = Projection::kValue;
+  Result<QueryResult> r = sys.Execute("//book/title", options);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->starts.size(), 2u);
+  ASSERT_EQ(r->matches.size(), 2u);
+  EXPECT_EQ(r->matches[0].content, "Transaction Processing");
+  EXPECT_EQ(r->matches[1].content, "The UNIX Time-Sharing System");
+  // Subtree reconstruction round-trips through the parser.
+  options.projection = Projection::kSubtree;
+  Result<QueryResult> sub = sys.Execute("//book", options);
+  ASSERT_TRUE(sub.ok());
+  ASSERT_EQ(sub->matches.size(), 2u);
+  EXPECT_EQ(sub->matches[0].content,
+            "<book genre=\"databases\" year=\"1992\">"
+            "<title>Transaction Processing</title>"
+            "<author>Gray &amp; Reuter</author></book>");
+  // Canonical form: an element's concatenated direct text precedes its
+  // child elements ("classic " + " scan", then <em>).
+  EXPECT_EQ(sub->matches[1].content,
+            "<book genre=\"systems\"><title>The UNIX Time-Sharing System"
+            "</title><note>classic  scan<em>paper</em></note></book>");
+}
+
+// ---- QueryService: cursors, streaming callbacks, N concurrent clients. --
+
+TEST(CursorServiceTest, SubmitCursorDeliversThroughFuture) {
+  const BlasSystem& sys = Shakespeare();
+  QueryService service(&sys, ServiceOptions{.worker_threads = 2});
+  QueryRequest request;
+  request.xpath = "/PLAYS/PLAY/TITLE";
+  request.options.limit = 4;
+  request.options.projection = Projection::kValue;
+  std::future<Result<ResultCursor>> future =
+      service.SubmitCursor(std::move(request));
+  Result<ResultCursor> cursor = future.get();
+  ASSERT_TRUE(cursor.ok()) << cursor.status().ToString();
+  size_t count = 0;
+  while (std::optional<Match> match = cursor->Next()) {
+    EXPECT_FALSE(match->content.empty());
+    ++count;
+  }
+  EXPECT_EQ(count, 4u);
+}
+
+TEST(CursorServiceTest, StreamingCallbackDeliversAndCancels) {
+  const BlasSystem& sys = Shakespeare();
+  QueryService service(&sys, ServiceOptions{.worker_threads = 2});
+
+  QueryRequest request;
+  request.xpath = kQS3;
+  std::vector<uint32_t> streamed;
+  auto future = service.Submit(request, [&](const Match& match) {
+    streamed.push_back(match.start);
+    return true;
+  });
+  Result<StreamSummary> summary = future.get();
+  ASSERT_TRUE(summary.ok()) << summary.status().ToString();
+  EXPECT_FALSE(summary->cancelled);
+  EXPECT_EQ(summary->delivered, streamed.size());
+  std::optional<std::vector<uint32_t>> expected =
+      RunDirect(sys, kQS3, Translator::kPushUp, Engine::kTwig);
+  // kAuto may pick either engine; compare sets via the relational run too.
+  std::optional<std::vector<uint32_t>> expected_rel =
+      RunDirect(sys, kQS3, Translator::kPushUp, Engine::kRelational);
+  EXPECT_TRUE(streamed == *expected || streamed == *expected_rel);
+
+  // Cancellation stops the stream early.
+  size_t delivered_before_cancel = 0;
+  auto cancelled = service.Submit(request, [&](const Match&) {
+    return ++delivered_before_cancel < 3;
+  });
+  Result<StreamSummary> cancel_summary = cancelled.get();
+  ASSERT_TRUE(cancel_summary.ok());
+  EXPECT_TRUE(cancel_summary->cancelled);
+  EXPECT_EQ(cancel_summary->delivered, 3u);
+}
+
+TEST(CursorServiceTest, ConcurrentClientsPullIndependentCursors) {
+  const BlasSystem& sys = Shakespeare();
+  QueryService service(&sys, ServiceOptions{.worker_threads = 4});
+
+  const std::vector<std::string> queries = {
+      "/PLAYS/PLAY/TITLE", "//SPEECH/SPEAKER", kQS3, "//LINE/STAGEDIR"};
+  std::vector<std::vector<uint32_t>> baselines;
+  for (const std::string& q : queries) {
+    std::optional<std::vector<uint32_t>> full =
+        RunDirect(sys, q, Translator::kPushUp, Engine::kRelational);
+    ASSERT_TRUE(full.has_value());
+    if (full->size() > 20) full->resize(20);
+    baselines.push_back(std::move(*full));
+  }
+
+  constexpr int kClients = 8;
+  constexpr int kRounds = 6;
+  std::vector<std::thread> clients;
+  std::vector<int> failures(kClients, 0);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int round = 0; round < kRounds; ++round) {
+        size_t qi = (c + round) % queries.size();
+        QueryRequest request;
+        request.xpath = queries[qi];
+        request.options.engine = Engine::kRelational;
+        request.options.limit = 20;
+        auto future = service.SubmitCursor(request);
+        Result<ResultCursor> cursor = future.get();
+        if (!cursor.ok()) {
+          ++failures[c];
+          continue;
+        }
+        std::vector<uint32_t> pulled;
+        while (std::optional<Match> match = cursor->Next()) {
+          pulled.push_back(match->start);
+        }
+        if (pulled != baselines[qi]) ++failures[c];
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  for (int c = 0; c < kClients; ++c) EXPECT_EQ(failures[c], 0) << c;
+}
+
+// ---- BlasCollection: unified options, kAuto, collection-wide limits. ----
+
+TEST(CursorCollectionTest, OptionsDriveCollectionExecution) {
+  BlasCollection coll;
+  ASSERT_TRUE(coll.AddXml("a", "<r><x>1</x><x>2</x></r>").ok());
+  ASSERT_TRUE(coll.AddXml("b", "<r><x>3</x></r>").ok());
+  ASSERT_TRUE(coll.AddXml("c", "<r><x>4</x><x>5</x></r>").ok());
+
+  QueryOptions options;
+  options.engine = Engine::kAuto;
+  options.exec.optimize_join_order = true;  // previously silently ignored
+  Result<BlasCollection::CollectionResult> all = coll.Execute("//x", options);
+  ASSERT_TRUE(all.ok()) << all.status().ToString();
+  EXPECT_EQ(all->total_matches, 5u);
+  EXPECT_EQ(all->docs.size(), 3u);
+
+  // Collection-wide limit stops mid-collection (name order: a, b, c).
+  options.limit = 3;
+  Result<BlasCollection::CollectionResult> limited =
+      coll.Execute("//x", options);
+  ASSERT_TRUE(limited.ok());
+  EXPECT_EQ(limited->total_matches, 3u);
+  ASSERT_EQ(limited->docs.size(), 2u);
+  EXPECT_EQ(limited->docs[0].name, "a");
+  EXPECT_EQ(limited->docs[0].starts.size(), 2u);
+  EXPECT_EQ(limited->docs[1].name, "b");
+  EXPECT_EQ(limited->docs[1].starts.size(), 1u);
+
+  // Offset skips across document boundaries; projection rides along.
+  options.limit = 2;
+  options.offset = 2;
+  options.projection = Projection::kValue;
+  Result<BlasCollection::CollectionResult> sliced =
+      coll.Execute("//x", options);
+  ASSERT_TRUE(sliced.ok());
+  EXPECT_EQ(sliced->total_matches, 2u);
+  ASSERT_EQ(sliced->docs.size(), 2u);
+  EXPECT_EQ(sliced->docs[0].name, "b");
+  ASSERT_EQ(sliced->docs[0].matches.size(), 1u);
+  EXPECT_EQ(sliced->docs[0].matches[0].content, "3");
+  EXPECT_EQ(sliced->docs[1].name, "c");
+  ASSERT_EQ(sliced->docs[1].matches.size(), 1u);
+  EXPECT_EQ(sliced->docs[1].matches[0].content, "4");
+}
+
+// ---- Satellite: ExecStats::d_joins is 64-bit at the source. -------------
+
+static_assert(std::is_same_v<decltype(ExecStats::d_joins), uint64_t>,
+              "d_joins must be wide enough for service-lifetime roll-ups");
+
+}  // namespace
+}  // namespace blas

@@ -99,7 +99,8 @@ TEST_P(PaperClaims, SuffixPathSelectionsVisitOnlyMatches) {
 /// the document — each node costs one fixed-width record.
 TEST_P(PaperClaims, StorageStaysProportionalToNodes) {
   BlasSystem::DocStats s = sys_->doc_stats();
-  // 3 clustered trees * 48-byte records + internal nodes: < 200 bytes/node.
+  // 4 clustered trees (SP, SD, value, doc-order) * 48-byte records +
+  // internal nodes: < 200 bytes/node.
   EXPECT_LT(s.pages * kPageSize, s.nodes * 200) << "storage blow-up";
 }
 
