@@ -1,8 +1,12 @@
 #include "blas/collection.h"
 
 #include <algorithm>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
 #include <utility>
 
+#include "service/thread_pool.h"
 #include "xpath/parser.h"
 
 namespace blas {
@@ -62,34 +66,174 @@ const BlasSystem* BlasCollection::Find(const std::string& name) const {
   return it == docs_.end() ? nullptr : it->second.get();
 }
 
-Result<BlasCollection::CollectionResult> BlasCollection::Execute(
-    std::string_view xpath, const QueryOptions& options) const {
-  // Parse once; translation is per document (codecs differ).
-  BLAS_ASSIGN_OR_RETURN(Query query, ParseXPath(xpath));
-  CollectionResult result;
-  // Collection-wide offset/limit over the name-ordered concatenation;
-  // each document sees only the budget still outstanding. The per-
-  // document cursor does the skipping itself (before projecting, so
-  // offset matches never pay for content materialization) and reports how
-  // much of the offset it consumed.
-  uint64_t to_skip = options.offset;
-  uint64_t remaining = options.limit;  // 0 = unlimited
-  for (const auto& [name, sys] : docs_) {
-    if (options.limit > 0 && remaining == 0) break;
-    QueryOptions doc_options = options;
-    doc_options.offset = to_skip;
-    doc_options.limit = remaining;
-    BLAS_ASSIGN_OR_RETURN(QueryResult r, sys->Execute(query, doc_options));
-    result.stats += r.stats;
-    to_skip -= r.offset_skipped;
-    if (options.limit > 0) remaining -= r.starts.size();
-    result.total_matches += r.starts.size();
-    if (!r.starts.empty()) {
-      result.docs.push_back(
-          DocMatches{name, std::move(r.starts), std::move(r.matches)});
+// ------------------------------------------------- scatter-gather state ---
+
+/// Everything the merge side and the per-document producers share. Kept
+/// alive by shared_ptr: producer tasks still queued on the pool when the
+/// cursor dies hold their own reference and exit via the cancel flag.
+struct CollectionCursor::Shared {
+  enum class DocState {
+    kPending,    // not started; a pool task may be queued for it
+    kRunning,    // a producer (worker or inline claim) is executing it
+    kDone,       // finished: status/stats are final, queue may hold matches
+    kCancelled,  // cancelled before execution started
+  };
+
+  struct Doc {
+    std::string name;
+    const BlasSystem* sys = nullptr;
+    DocState state = DocState::kPending;
+    /// Bounded producer -> merge queue (capacity `queue_capacity`).
+    std::deque<Match> queue;
+    /// A per-document cursor was opened (the early-termination counters).
+    bool executed = false;
+    Status status = Status::OK();
+    ExecStats stats;
+  };
+
+  Query query;  // parsed once; translated per document
+  QueryOptions base;
+  BlasCollection::DocCursorOpener opener;
+  size_t queue_capacity = 256;
+  bool parallel = false;
+
+  std::mutex mu;
+  std::condition_variable items;  // merge waits: matches or completion
+  std::condition_variable space;  // producers wait: queue space or cancel
+  bool cancelled = false;
+  std::vector<Doc> docs;  // name order == merge order
+
+  /// Producer body: claims the document, opens its cursor with the
+  /// per-document budget, and streams matches into the bounded queue.
+  /// `bounded` is false when the merge runs a document inline on its own
+  /// thread (nobody would drain the queue meanwhile).
+  void RunDoc(size_t index, bool bounded);
+};
+
+void CollectionCursor::Shared::RunDoc(size_t index, bool bounded) {
+  Doc& doc = docs[index];
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    if (cancelled || doc.state != DocState::kPending) {
+      if (doc.state == DocState::kPending) {
+        doc.state = DocState::kCancelled;
+        items.notify_all();
+      }
+      return;
+    }
+    doc.state = DocState::kRunning;
+  }
+
+  QueryOptions doc_options = base;
+  doc_options.offset = 0;
+  doc_options.limit = 0;
+  if (base.limit > 0) {
+    // Whatever earlier documents produce, no single document contributes
+    // more than offset + limit answers to the merged window — so each
+    // document runs with that cap and the per-document limit-k machinery
+    // terminates its scans early.
+    doc_options.limit = base.offset > UINT64_MAX - base.limit
+                            ? UINT64_MAX
+                            : base.offset + base.limit;
+  }
+
+  Result<ResultCursor> cursor =
+      opener(doc.name, *doc.sys, query, doc_options);
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    doc.executed = true;
+    if (!cursor.ok()) {
+      doc.status = std::move(cursor).status();
+      doc.state = DocState::kDone;
+      items.notify_all();
+      return;
     }
   }
-  return result;
+
+  // Matches move through the queue a batch at a time: one lock per
+  // kPushBatch answers instead of per answer. The queue may overshoot
+  // its capacity by one batch (the wait is on `size < capacity` before
+  // appending a whole batch) — capacity bounds memory softly, exactness
+  // is not needed.
+  constexpr size_t kPushBatch = 64;
+  std::vector<Match> batch;
+  batch.reserve(kPushBatch);
+  bool stop = false;
+  auto flush = [&]() -> bool {  // false = cancelled
+    if (batch.empty()) return true;
+    std::unique_lock<std::mutex> lock(mu);
+    space.wait(lock, [&] {
+      return cancelled || !bounded || doc.queue.size() < queue_capacity;
+    });
+    if (cancelled) return false;
+    for (Match& m : batch) doc.queue.push_back(std::move(m));
+    batch.clear();
+    items.notify_one();
+    return true;
+  };
+  while (!stop) {
+    std::optional<Match> match = cursor->Next();
+    if (!match.has_value()) break;
+    batch.push_back(std::move(*match));
+    if (batch.size() >= kPushBatch && !flush()) stop = true;
+  }
+  if (!stop) flush();
+
+  std::lock_guard<std::mutex> lock(mu);
+  doc.stats = cursor->stats();
+  doc.state = DocState::kDone;
+  items.notify_all();
+}
+
+// ------------------------------------------------------ collection API ---
+
+Result<CollectionCursor> BlasCollection::OpenCursor(
+    std::string_view xpath, const QueryOptions& options,
+    const ScatterOptions& scatter) const {
+  BLAS_ASSIGN_OR_RETURN(Query query, ParseXPath(xpath));
+  return OpenCursor(query, options, scatter, nullptr);
+}
+
+Result<CollectionCursor> BlasCollection::OpenCursor(
+    const Query& query, const QueryOptions& options,
+    const ScatterOptions& scatter, DocCursorOpener opener) const {
+  auto shared = std::make_shared<CollectionCursor::Shared>();
+  shared->query = query.Clone();
+  shared->base = options;
+  shared->opener =
+      opener != nullptr
+          ? std::move(opener)
+          : [](const std::string&, const BlasSystem& sys, const Query& q,
+               const QueryOptions& doc_options) {
+              return sys.Open(q, doc_options);
+            };
+  shared->queue_capacity =
+      scatter.queue_capacity == 0 ? 1 : scatter.queue_capacity;
+  shared->parallel = scatter.pool != nullptr;
+  shared->docs.reserve(docs_.size());
+  for (const auto& [name, sys] : docs_) {
+    CollectionCursor::Shared::Doc doc;
+    doc.name = name;
+    doc.sys = sys.get();
+    shared->docs.push_back(std::move(doc));
+  }
+
+  CollectionCursor cursor(shared);
+  if (shared->parallel) {
+    for (size_t i = 0; i < shared->docs.size(); ++i) {
+      // Never block the opener on a full pool: a rejected document stays
+      // kPending and the merge claims it inline when reached.
+      (void)scatter.pool->TrySubmit(
+          [shared, i] { shared->RunDoc(i, /*bounded=*/true); });
+    }
+  }
+  return cursor;
+}
+
+Result<BlasCollection::CollectionResult> BlasCollection::Execute(
+    std::string_view xpath, const QueryOptions& options) const {
+  BLAS_ASSIGN_OR_RETURN(CollectionCursor cursor, OpenCursor(xpath, options));
+  return cursor.Drain();
 }
 
 Result<BlasCollection::CollectionResult> BlasCollection::Execute(
@@ -98,6 +242,264 @@ Result<BlasCollection::CollectionResult> BlasCollection::Execute(
   options.translator = translator;
   options.engine = engine;
   return Execute(xpath, options);
+}
+
+// --------------------------------------------------- collection cursor ---
+
+CollectionCursor::CollectionCursor(std::shared_ptr<Shared> shared)
+    : shared_(std::move(shared)),
+      seq_to_skip_(shared_->base.offset),
+      seq_remaining_(shared_->base.limit) {}
+
+CollectionCursor& CollectionCursor::operator=(CollectionCursor&& other) {
+  if (this != &other) {
+    if (shared_ != nullptr) Cancel();
+    shared_ = std::move(other.shared_);
+    status_ = std::move(other.status_);
+    exhausted_ = other.exhausted_;
+    doc_index_ = other.doc_index_;
+    local_ = std::move(other.local_);
+    delivered_ = other.delivered_;
+    skipped_ = other.skipped_;
+    seq_cursor_ = std::move(other.seq_cursor_);
+    seq_to_skip_ = other.seq_to_skip_;
+    seq_remaining_ = other.seq_remaining_;
+    seq_skipped_ = other.seq_skipped_;
+    other.shared_.reset();
+    other.seq_cursor_.reset();
+  }
+  return *this;
+}
+
+CollectionCursor::~CollectionCursor() {
+  if (shared_ != nullptr) Cancel();
+}
+
+void CollectionCursor::Cancel() {
+  if (shared_ == nullptr) return;
+  Shared& s = *shared_;
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.cancelled = true;
+  for (Shared::Doc& doc : s.docs) {
+    if (doc.state == Shared::DocState::kPending) {
+      doc.state = Shared::DocState::kCancelled;
+    }
+  }
+  s.space.notify_all();
+  s.items.notify_all();
+}
+
+std::optional<CollectionMatch> CollectionCursor::Next() {
+  if (exhausted_ || shared_ == nullptr) return std::nullopt;
+  return shared_->parallel ? NextParallel() : NextSequential();
+}
+
+void CollectionCursor::CloseSequentialDoc() {
+  Shared& s = *shared_;
+  Shared::Doc& doc = s.docs[doc_index_];
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    doc.stats = seq_cursor_->stats();
+    doc.state = Shared::DocState::kDone;
+  }
+  // Legacy offset/limit carry: the document consumed part of the
+  // collection-wide offset inside its own cursor.
+  seq_to_skip_ -= seq_cursor_->offset_skipped();
+  seq_skipped_ += seq_cursor_->offset_skipped();
+  if (s.base.limit > 0) seq_remaining_ -= seq_cursor_->delivered();
+  seq_cursor_.reset();
+}
+
+std::optional<CollectionMatch> CollectionCursor::NextSequential() {
+  Shared& s = *shared_;
+  while (true) {
+    if (seq_cursor_.has_value()) {
+      if (std::optional<Match> match = seq_cursor_->Next()) {
+        ++delivered_;
+        return CollectionMatch{s.docs[doc_index_].name, std::move(*match)};
+      }
+      CloseSequentialDoc();
+      ++doc_index_;
+    }
+    if (doc_index_ >= s.docs.size()) {
+      exhausted_ = true;
+      return std::nullopt;
+    }
+    if (s.base.limit > 0 && seq_remaining_ == 0) {
+      exhausted_ = true;
+      Cancel();  // unvisited documents were never opened
+      return std::nullopt;
+    }
+    Shared::Doc& doc = s.docs[doc_index_];
+    {
+      std::lock_guard<std::mutex> lock(s.mu);
+      doc.state = Shared::DocState::kRunning;
+    }
+    QueryOptions doc_options = s.base;
+    doc_options.offset = seq_to_skip_;
+    doc_options.limit = s.base.limit > 0 ? seq_remaining_ : 0;
+    Result<ResultCursor> cursor =
+        s.opener(doc.name, *doc.sys, s.query, doc_options);
+    {
+      std::lock_guard<std::mutex> lock(s.mu);
+      doc.executed = true;
+      if (!cursor.ok()) {
+        doc.status = cursor.status();
+        doc.state = Shared::DocState::kDone;
+      }
+    }
+    if (!cursor.ok()) {
+      status_ = std::move(cursor).status();
+      exhausted_ = true;
+      Cancel();
+      return std::nullopt;
+    }
+    seq_cursor_.emplace(std::move(cursor).value());
+  }
+}
+
+std::optional<CollectionMatch> CollectionCursor::NextParallel() {
+  Shared& s = *shared_;
+  while (true) {
+    if (s.base.limit > 0 && delivered_ >= s.base.limit) {
+      // Budget spent: cancel still-queued documents and stop producers.
+      Cancel();
+      exhausted_ = true;
+      return std::nullopt;
+    }
+    if (!local_.empty()) {
+      Match match = std::move(local_.front());
+      local_.pop_front();
+      if (skipped_ < s.base.offset) {
+        ++skipped_;  // merge-side collection-wide offset
+        continue;
+      }
+      ++delivered_;
+      return CollectionMatch{s.docs[doc_index_].name, std::move(match)};
+    }
+    if (doc_index_ >= s.docs.size()) {
+      exhausted_ = true;
+      return std::nullopt;
+    }
+    bool run_inline = false;
+    {
+      std::unique_lock<std::mutex> lock(s.mu);
+      Shared::Doc& doc = s.docs[doc_index_];
+      if (!doc.queue.empty()) {
+        // Grab everything queued in one lock acquisition; serve from
+        // local_ without further locking. One cv serves every producer,
+        // so wake them all: notify_one could pick a producer whose own
+        // queue is still full and strand the one this grab freed.
+        local_.swap(doc.queue);
+        s.space.notify_all();
+        continue;
+      }
+      switch (doc.state) {
+        case Shared::DocState::kDone:
+          if (!doc.status.ok()) {
+            // Same abort semantics as the sequential path: the error
+            // surfaces when the merge reaches the failing document.
+            status_ = doc.status;
+            exhausted_ = true;
+            lock.unlock();
+            Cancel();
+            return std::nullopt;
+          }
+          ++doc_index_;
+          continue;
+        case Shared::DocState::kCancelled:
+          ++doc_index_;  // only reachable after Cancel; nothing queued
+          continue;
+        case Shared::DocState::kPending:
+          // The pool has not started this document (rejected submission
+          // or still queued behind other work): claim it and run inline
+          // so a saturated pool degrades to sequential, never deadlock.
+          run_inline = true;
+          break;
+        case Shared::DocState::kRunning:
+          s.items.wait(lock);
+          continue;
+      }
+    }
+    if (run_inline) s.RunDoc(doc_index_, /*bounded=*/false);
+  }
+}
+
+void CollectionCursor::WaitSettled() {
+  Shared& s = *shared_;
+  std::unique_lock<std::mutex> lock(s.mu);
+  s.items.wait(lock, [&] {
+    return std::all_of(s.docs.begin(), s.docs.end(), [](const Shared::Doc& d) {
+      return d.state == Shared::DocState::kDone ||
+             d.state == Shared::DocState::kCancelled;
+    });
+  });
+}
+
+Result<BlasCollection::CollectionResult> CollectionCursor::Drain() {
+  BlasCollection::CollectionResult result;
+  BlasCollection::DocMatches* bucket = nullptr;
+  const bool project = shared_->base.projection != Projection::kDLabel;
+  while (std::optional<CollectionMatch> cm = Next()) {
+    if (bucket == nullptr || bucket->name != cm->document) {
+      result.docs.push_back(
+          BlasCollection::DocMatches{std::string(cm->document), {}, {}});
+      bucket = &result.docs.back();
+    }
+    bucket->starts.push_back(cm->match.start);
+    if (project) bucket->matches.push_back(std::move(cm->match));
+    ++result.total_matches;
+  }
+  if (!status_.ok()) return status_;
+  // Producers cancelled mid-stream still hold partial stats until they
+  // unwind; wait for every document to settle before summing.
+  WaitSettled();
+  {
+    std::lock_guard<std::mutex> lock(shared_->mu);
+    for (const Shared::Doc& doc : shared_->docs) {
+      if (doc.executed) result.stats += doc.stats;
+    }
+  }
+  result.offset_skipped = offset_skipped();
+  return result;
+}
+
+ExecStats CollectionCursor::SettledStats() {
+  ExecStats out;
+  if (shared_ == nullptr) return out;
+  if (!exhausted_) {
+    // Sequential mode keeps the current document's cursor on this
+    // thread; fold its stats in before waiting (nobody else will).
+    if (seq_cursor_.has_value()) CloseSequentialDoc();
+    Cancel();
+    exhausted_ = true;
+  }
+  WaitSettled();
+  std::lock_guard<std::mutex> lock(shared_->mu);
+  for (const Shared::Doc& doc : shared_->docs) {
+    if (doc.executed) out += doc.stats;
+  }
+  return out;
+}
+
+uint64_t CollectionCursor::offset_skipped() const {
+  if (shared_ == nullptr) return 0;
+  return shared_->parallel ? skipped_ : seq_skipped_;
+}
+
+CollectionCursor::ScatterStats CollectionCursor::scatter_stats() const {
+  ScatterStats out;
+  if (shared_ == nullptr) return out;
+  std::lock_guard<std::mutex> lock(shared_->mu);
+  out.docs_total = shared_->docs.size();
+  for (const Shared::Doc& doc : shared_->docs) {
+    if (doc.executed) {
+      ++out.docs_executed;
+    } else if (doc.state == Shared::DocState::kCancelled) {
+      ++out.docs_cancelled;
+    }
+  }
+  return out;
 }
 
 }  // namespace blas

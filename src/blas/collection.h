@@ -1,9 +1,11 @@
 #ifndef BLAS_BLAS_COLLECTION_H_
 #define BLAS_BLAS_COLLECTION_H_
 
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -11,6 +13,32 @@
 #include "blas/blas.h"
 
 namespace blas {
+
+class ThreadPool;
+class CollectionCursor;
+
+/// One answer of a collection-wide enumeration: the owning document's
+/// name (a view into the cursor, valid for the cursor's lifetime) plus
+/// the match itself.
+struct CollectionMatch {
+  std::string_view document;
+  Match match;
+};
+
+/// How a collection cursor executes its per-document cursors.
+struct ScatterOptions {
+  /// Worker pool the per-document producers fan out onto. Null runs
+  /// every document inline on the consuming thread, lazily and in name
+  /// order — the legacy sequential execution, byte-identical to the
+  /// pre-cursor Execute loop. With a pool, producers are TrySubmit-ted
+  /// (never blocking the opener); any document whose task has not
+  /// started by the time the merge needs it is claimed and run inline,
+  /// so a saturated pool degrades to sequential instead of deadlocking.
+  ThreadPool* pool = nullptr;
+  /// Bounded per-document match queue: producers ahead of the merge
+  /// block once their queue is full, bounding memory and delay.
+  size_t queue_capacity = 256;
+};
 
 /// \brief A queryable set of independently indexed XML documents.
 ///
@@ -37,7 +65,10 @@ class BlasCollection {
   Status AddIndexFile(const std::string& name, const std::string& path,
                       const BlasOptions& options = {});
 
-  /// Removes a document. Returns NotFound if absent.
+  /// Removes a document. Returns NotFound if absent. Must not race with
+  /// open cursors or a fronting QueryService: mutation while queries run
+  /// is undefined (match the BlasSystem contract — the collection is
+  /// immutable while being served).
   Status Remove(const std::string& name);
 
   size_t size() const { return docs_.size(); }
@@ -55,21 +86,62 @@ class BlasCollection {
   };
   struct CollectionResult {
     std::vector<DocMatches> docs;  // only documents with >= 1 match
-    ExecStats stats;               // summed across documents
+    ExecStats stats;               // summed across executed documents
     /// Matches delivered across all documents — i.e. after `offset` and
     /// `limit` are applied. A bounded query stops enumerating once the
     /// budget is spent, so the number of answers that exist beyond it is
     /// unknown (that is the point of early termination); run unbounded to
     /// count everything.
     size_t total_matches = 0;
+    /// Matches consumed by the collection-wide `offset` before the first
+    /// delivered one.
+    uint64_t offset_skipped = 0;
   };
+
+  /// How a collection cursor executes its per-document cursors (see the
+  /// namespace-scope ScatterOptions).
+  using ScatterOptions = blas::ScatterOptions;
+
+  /// Service hook: opens the per-document ResultCursor for one document.
+  /// Called concurrently from scatter workers (one call per document);
+  /// the query service uses it to consult its per-document plan cache.
+  /// `doc_options` already carries the per-document offset/limit budget.
+  using DocCursorOpener = std::function<Result<ResultCursor>(
+      const std::string& name, const BlasSystem& sys, const Query& query,
+      const QueryOptions& doc_options)>;
+
+  /// Opens a streaming cursor over the collection-wide answer sequence,
+  /// ordered by (document name, document order). Per-document cursors
+  /// fan out onto `scatter.pool` and their matches merge through bounded
+  /// queues; collection-wide `options.offset`/`options.limit` apply to
+  /// the merged sequence, and a bounded cursor cancels still-queued
+  /// documents once offset + limit answers have been delivered (each
+  /// document also runs with an offset+limit cap of its own, reusing the
+  /// per-document limit-k machinery).
+  ///
+  /// A per-document translation failure surfaces when the merge reaches
+  /// that document: Next() returns nullopt with CollectionCursor::status()
+  /// set, Drain() returns the error — the same documents-in-name-order
+  /// abort semantics as the sequential path.
+  ///
+  /// The collection (and the pool, if any) must outlive the cursor.
+  Result<CollectionCursor> OpenCursor(std::string_view xpath,
+                                      const QueryOptions& options = {},
+                                      const ScatterOptions& scatter = {}) const;
+  /// As above, over an already-parsed query; `opener` overrides how each
+  /// per-document cursor is created (null = translate per document).
+  Result<CollectionCursor> OpenCursor(const Query& query,
+                                      const QueryOptions& options = {},
+                                      const ScatterOptions& scatter = {},
+                                      DocCursorOpener opener = nullptr) const;
 
   /// Runs `xpath` over every document (in name order) with the unified
   /// per-query knobs: translator, engine (kAuto resolves per document —
   /// plans legitimately differ), join-order optimization, projection, and
   /// collection-wide `limit`/`offset` over the concatenated name-ordered
   /// match sequence — enumeration stops (documents are not even opened)
-  /// once offset + limit matches have been produced.
+  /// once offset + limit matches have been produced. A shim over
+  /// OpenCursor + Drain with no pool (sequential, lazy, name order).
   ///
   /// A per-document translation failure aborts the query; that includes
   /// Unsupported (e.g. wildcards under Split) — pick Unfold or DLabel for
@@ -84,6 +156,96 @@ class BlasCollection {
 
  private:
   std::map<std::string, std::unique_ptr<BlasSystem>> docs_;
+};
+
+/// \brief Pull-based enumeration of one query's answers across a whole
+/// collection, merged in (document name, document order).
+///
+/// Obtained from BlasCollection::OpenCursor. Matches are pulled one
+/// Next() at a time (or all at once via Drain()); per-document producers
+/// run concurrently on the scatter pool and are cancelled as soon as the
+/// collection-wide budget is spent. Must be pulled by one thread at a
+/// time; abandoning the cursor cancels outstanding producers.
+class CollectionCursor {
+ public:
+  /// Scatter-side execution counters (early-termination accounting).
+  struct ScatterStats {
+    size_t docs_total = 0;
+    /// Documents whose per-document cursor was actually opened (their
+    /// ExecStats are in the result roll-up).
+    size_t docs_executed = 0;
+    /// Documents cancelled before execution started — the budget was
+    /// spent (or the query aborted) while they were still queued.
+    size_t docs_cancelled = 0;
+  };
+
+  CollectionCursor(CollectionCursor&&) = default;
+  /// Cancels the overwritten cursor's outstanding producers first (like
+  /// the destructor would) — otherwise producers blocked on their full
+  /// queues would wait forever with no consumer left to drain or cancel
+  /// them.
+  CollectionCursor& operator=(CollectionCursor&& other);
+  ~CollectionCursor();
+
+  /// The next match, or nullopt when exhausted — end of results, `limit`
+  /// delivered, or a per-document failure (check status()).
+  std::optional<CollectionMatch> Next();
+
+  /// Delivers every remaining match grouped per document, plus the
+  /// summed ExecStats of every executed document. With no pool this is
+  /// byte-identical to the legacy sequential Execute results.
+  Result<BlasCollection::CollectionResult> Drain();
+
+  /// Cancels still-queued documents and stops producers; idempotent.
+  /// Next() returns nullopt from then on.
+  void Cancel();
+
+  /// Summed ExecStats of every executed document. If the cursor is not
+  /// yet exhausted this cancels outstanding work first, then blocks until
+  /// every producer settles (their stats are final).
+  ExecStats SettledStats();
+
+  /// OK unless a per-document open/translation failed; set by the time
+  /// Next() returns nullopt for that reason.
+  const Status& status() const { return status_; }
+  bool exhausted() const { return exhausted_; }
+  /// Matches delivered so far (after the collection-wide offset).
+  uint64_t delivered() const { return delivered_; }
+  /// Matches consumed by the collection-wide offset so far.
+  uint64_t offset_skipped() const;
+  ScatterStats scatter_stats() const;
+
+ private:
+  friend class BlasCollection;
+  struct Shared;
+
+  explicit CollectionCursor(std::shared_ptr<Shared> shared);
+
+  std::optional<CollectionMatch> NextSequential();
+  std::optional<CollectionMatch> NextParallel();
+  /// Blocks until no producer is mid-execution (their stats are final).
+  void WaitSettled();
+  /// Records the finished sequential per-document cursor into its doc.
+  void CloseSequentialDoc();
+
+  std::shared_ptr<Shared> shared_;
+  Status status_;
+  bool exhausted_ = false;
+  size_t doc_index_ = 0;
+  /// Parallel mode: the current document's matches grabbed from its
+  /// producer queue a whole batch per lock acquisition.
+  std::deque<Match> local_;
+  uint64_t delivered_ = 0;
+  /// Parallel mode: matches skipped by the merge for the collection-wide
+  /// offset. Sequential mode: skipping happens inside per-document
+  /// cursors (legacy accounting) and is tallied in seq_skipped_.
+  uint64_t skipped_ = 0;
+  /// Sequential mode state: the lazily opened current document cursor
+  /// and the legacy offset/limit carry.
+  std::optional<ResultCursor> seq_cursor_;
+  uint64_t seq_to_skip_ = 0;
+  uint64_t seq_remaining_ = 0;  // meaningful only when base limit > 0
+  uint64_t seq_skipped_ = 0;
 };
 
 }  // namespace blas

@@ -113,6 +113,10 @@ class ResultCursor {
   bool exhausted() const { return exhausted_; }
   /// Matches delivered so far (after `offset`, counted toward `limit`).
   uint64_t delivered() const { return delivered_; }
+  /// Matches consumed by `offset` so far (the collection cursor uses this
+  /// to carry a collection-wide offset across documents, mirroring
+  /// QueryResult::offset_skipped).
+  uint64_t offset_skipped() const { return skipped_; }
   /// Execution counters accumulated so far; grows as the cursor advances.
   const ExecStats& stats() const { return stats_; }
   const ExecPlan::Shape& shape() const { return shape_; }

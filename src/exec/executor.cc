@@ -98,7 +98,9 @@ std::vector<NodeRecord> FetchPartTuples(const PlanPart& part,
   }
   if (residual_filter) {
     // Comparison operators decode the data column (a node without
-    // character data compares as the empty string).
+    // character data compares as the empty string — which fails every
+    // ordered comparison under the numeric XPath 1.0 semantics of
+    // ValuePred::Matches).
     std::erase_if(tuples, [&](const NodeRecord& rec) {
       std::string_view text =
           rec.data == kNullData ? std::string_view() : dict.Get(rec.data);

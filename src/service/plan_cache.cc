@@ -4,62 +4,17 @@
 
 namespace blas {
 
-PlanCache::PlanCache(size_t capacity) : capacity_(capacity) {}
-
-std::shared_ptr<const CachedPlan> PlanCache::Get(const std::string& key) {
+std::shared_ptr<const CachedPlan> CachedCollectionPlan::ForDoc(
+    const std::string& doc) const {
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = index_.find(key);
-  if (it == index_.end()) {
-    ++stats_.misses;
-    return nullptr;
-  }
-  ++stats_.hits;
-  lru_.splice(lru_.begin(), lru_, it->second);
-  return it->second->plan;
+  auto it = per_doc_.find(doc);
+  return it == per_doc_.end() ? nullptr : it->second;
 }
 
-void PlanCache::Put(const std::string& key,
-                    std::shared_ptr<const CachedPlan> plan) {
-  if (capacity_ == 0) return;
+void CachedCollectionPlan::PutDoc(
+    const std::string& doc, std::shared_ptr<const CachedPlan> plan) const {
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = index_.find(key);
-  if (it != index_.end()) {
-    it->second->plan = std::move(plan);
-    lru_.splice(lru_.begin(), lru_, it->second);
-    return;
-  }
-  lru_.push_front(Entry{key, std::move(plan)});
-  index_[key] = lru_.begin();
-  ++stats_.insertions;
-  if (lru_.size() > capacity_) {
-    index_.erase(lru_.back().key);
-    lru_.pop_back();
-    ++stats_.evictions;
-  }
-}
-
-PlanCache::Stats PlanCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
-}
-
-size_t PlanCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return lru_.size();
-}
-
-void PlanCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
-  lru_.clear();
-  index_.clear();
-}
-
-std::vector<std::string> PlanCache::KeysMruToLru() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  std::vector<std::string> keys;
-  keys.reserve(lru_.size());
-  for (const Entry& entry : lru_) keys.push_back(entry.key);
-  return keys;
+  per_doc_.try_emplace(doc, std::move(plan));
 }
 
 }  // namespace blas

@@ -7,10 +7,12 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "blas/blas.h"
 #include "exec/plan.h"
+#include "xpath/ast.h"
 
 namespace blas {
 
@@ -25,26 +27,85 @@ struct CachedPlan {
   StreamPlanInfo stream_info;
 };
 
-/// \brief Thread-safe LRU cache of translated query plans.
+/// \brief Cache entry for a collection-wide query: the query is parsed
+/// once, and the per-document translated plans (codecs legitimately
+/// differ between documents, so each document needs its own plan) fill in
+/// lazily as scatter workers first touch each document. A hot collection
+/// query therefore pays one parse total and N per-document translations
+/// total, after which every request is pure cache hits.
 ///
-/// Keyed by PlanCacheKey (normalized XPath + translator + optimizer
-/// knobs); a hit skips parsing, decomposition, translation and join-order
-/// optimization entirely. Entries are immutable and handed out as
-/// shared_ptr<const CachedPlan>, so an entry evicted while a query is
-/// still executing stays alive until that query drops its reference.
-class PlanCache {
+/// The per-document map is internally synchronized: scatter workers for
+/// different documents insert concurrently through the const handle the
+/// cache gives out.
+class CachedCollectionPlan {
+ public:
+  explicit CachedCollectionPlan(Query query) : query_(std::move(query)) {}
+
+  const Query& query() const { return query_; }
+
+  /// The cached plan for `doc`, or nullptr when not yet translated.
+  std::shared_ptr<const CachedPlan> ForDoc(const std::string& doc) const;
+
+  /// Publishes `plan` for `doc`. First writer wins: concurrent workers
+  /// translating the same document race benignly (the plans are
+  /// identical) and later callers get the first inserted entry.
+  void PutDoc(const std::string& doc,
+              std::shared_ptr<const CachedPlan> plan) const;
+
+ private:
+  const Query query_;
+  mutable std::mutex mu_;
+  mutable std::unordered_map<std::string, std::shared_ptr<const CachedPlan>>
+      per_doc_;
+};
+
+namespace internal {
+
+/// \brief Thread-safe LRU cache core shared by the single-document and
+/// collection plan caches. Values are handed out as shared_ptr<const V>,
+/// so an entry evicted while a query still uses it stays alive until the
+/// query drops its reference.
+template <typename V>
+class LruCache {
  public:
   /// `capacity` == 0 disables the cache (every Get misses, Put is a
   /// no-op) — the service uses that for its cache-bypass mode.
-  explicit PlanCache(size_t capacity = 256);
+  explicit LruCache(size_t capacity) : capacity_(capacity) {}
 
-  /// Returns the cached plan and promotes it to most-recently-used, or
+  /// Returns the cached value and promotes it to most-recently-used, or
   /// nullptr on miss. Counts one hit or one miss.
-  std::shared_ptr<const CachedPlan> Get(const std::string& key);
+  std::shared_ptr<const V> Get(const std::string& key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+      ++stats_.misses;
+      return nullptr;
+    }
+    ++stats_.hits;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->value;
+  }
 
-  /// Inserts or refreshes `plan` under `key`, evicting the
+  /// Inserts or refreshes `value` under `key`, evicting the
   /// least-recently-used entry when over capacity.
-  void Put(const std::string& key, std::shared_ptr<const CachedPlan> plan);
+  void Put(const std::string& key, std::shared_ptr<const V> value) {
+    if (capacity_ == 0) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      it->second->value = std::move(value);
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return;
+    }
+    lru_.push_front(Entry{key, std::move(value)});
+    index_[key] = lru_.begin();
+    ++stats_.insertions;
+    if (lru_.size() > capacity_) {
+      index_.erase(lru_.back().key);
+      lru_.pop_back();
+      ++stats_.evictions;
+    }
+  }
 
   struct Stats {
     uint64_t hits = 0;
@@ -52,28 +113,64 @@ class PlanCache {
     uint64_t insertions = 0;
     uint64_t evictions = 0;
   };
-  Stats stats() const;
+  Stats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
 
-  size_t size() const;
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return lru_.size();
+  }
   size_t capacity() const { return capacity_; }
 
   /// Drops all entries (stats are kept).
-  void Clear();
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    lru_.clear();
+    index_.clear();
+  }
 
   /// Keys in recency order, most recent first (tests of eviction order).
-  std::vector<std::string> KeysMruToLru() const;
+  std::vector<std::string> KeysMruToLru() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::string> keys;
+    keys.reserve(lru_.size());
+    for (const Entry& entry : lru_) keys.push_back(entry.key);
+    return keys;
+  }
 
  private:
   struct Entry {
     std::string key;
-    std::shared_ptr<const CachedPlan> plan;
+    std::shared_ptr<const V> value;
   };
 
   const size_t capacity_;
   mutable std::mutex mu_;
   std::list<Entry> lru_;  // front = most recent
-  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  std::unordered_map<std::string, typename std::list<Entry>::iterator> index_;
   Stats stats_;
+};
+
+}  // namespace internal
+
+/// \brief Thread-safe LRU cache of translated query plans.
+///
+/// Keyed by PlanCacheKey (normalized XPath + translator + optimizer
+/// knobs); a hit skips parsing, decomposition, translation and join-order
+/// optimization entirely.
+class PlanCache : public internal::LruCache<CachedPlan> {
+ public:
+  explicit PlanCache(size_t capacity = 256) : LruCache(capacity) {}
+};
+
+/// \brief Thread-safe LRU cache of collection query entries (one parsed
+/// query plus lazily filled per-document plans). Same keying as
+/// PlanCache.
+class CollectionPlanCache : public internal::LruCache<CachedCollectionPlan> {
+ public:
+  explicit CollectionPlanCache(size_t capacity = 256) : LruCache(capacity) {}
 };
 
 }  // namespace blas

@@ -2,15 +2,29 @@
 
 #include <utility>
 
+#include "common/stopwatch.h"
 #include "exec/optimizer.h"
 #include "service/normalize.h"
+#include "xpath/parser.h"
 
 namespace blas {
+
+namespace {
+
+Status WrongBackend(const char* wanted) {
+  return Status::InvalidArgument(
+      std::string("service does not front a ") + wanted +
+      "; use the matching constructor");
+}
+
+}  // namespace
 
 QueryService::QueryService(const BlasSystem* system,
                            const ServiceOptions& options)
     : system_(system),
       plan_cache_(options.plan_cache_capacity),
+      collection_plan_cache_(options.plan_cache_capacity),
+      scatter_queue_capacity_(options.scatter_queue_capacity),
       pool_(options.worker_threads, options.queue_capacity) {}
 
 QueryService::QueryService(std::shared_ptr<const BlasSystem> system,
@@ -18,6 +32,16 @@ QueryService::QueryService(std::shared_ptr<const BlasSystem> system,
     : owned_system_(std::move(system)),
       system_(owned_system_.get()),
       plan_cache_(options.plan_cache_capacity),
+      collection_plan_cache_(options.plan_cache_capacity),
+      scatter_queue_capacity_(options.scatter_queue_capacity),
+      pool_(options.worker_threads, options.queue_capacity) {}
+
+QueryService::QueryService(const BlasCollection* collection,
+                           const ServiceOptions& options)
+    : collection_(collection),
+      plan_cache_(options.plan_cache_capacity),
+      collection_plan_cache_(options.plan_cache_capacity),
+      scatter_queue_capacity_(options.scatter_queue_capacity),
       pool_(options.worker_threads, options.queue_capacity) {}
 
 Result<std::unique_ptr<QueryService>> QueryService::FromXml(
@@ -127,6 +151,7 @@ Result<ResultCursor> QueryService::RunOpenCursor(const QueryRequest& request) {
 }
 
 Result<ResultCursor> QueryService::MakeCursor(const QueryRequest& request) {
+  if (system_ == nullptr) return WrongBackend("single document");
   std::shared_ptr<const CachedPlan> plan;
   std::string key;
   const QueryOptions& options = request.options;
@@ -169,6 +194,154 @@ Result<ResultCursor> QueryService::MakeCursor(const QueryRequest& request) {
                            &plan->stream_info);
 }
 
+Result<CollectionCursor> QueryService::MakeCollectionCursor(
+    const QueryRequest& request) {
+  if (collection_ == nullptr) return WrongBackend("collection");
+  const QueryOptions& options = request.options;
+  const bool use_cache =
+      !request.bypass_plan_cache && collection_plan_cache_.capacity() > 0;
+  std::shared_ptr<const CachedCollectionPlan> entry;
+  std::string key;
+  if (use_cache) {
+    key = PlanCacheKey(request.xpath, options.translator,
+                       options.exec.optimize_join_order);
+    entry = collection_plan_cache_.Get(key);
+  }
+  if (entry == nullptr) {
+    BLAS_ASSIGN_OR_RETURN(Query parsed, ParseXPath(request.xpath));
+    entry = std::make_shared<const CachedCollectionPlan>(std::move(parsed));
+    if (use_cache) collection_plan_cache_.Put(key, entry);
+  }
+
+  // Per-document opener: the scatter workers consult the cached
+  // per-document plans and translate (then publish) on first touch.
+  BlasCollection::DocCursorOpener opener =
+      [this, entry](const std::string& name, const BlasSystem& sys,
+                    const Query& query, const QueryOptions& doc_options)
+      -> Result<ResultCursor> {
+    std::shared_ptr<const CachedPlan> plan = entry->ForDoc(name);
+    if (plan == nullptr) {
+      doc_plan_misses_.fetch_add(1, std::memory_order_relaxed);
+      Result<ExecPlan> planned = sys.Plan(query, doc_options.translator);
+      if (!planned.ok()) return std::move(planned).status();
+      CachedPlan fresh;
+      fresh.plan = std::move(planned).value();
+      CostModel model(&sys.summary(), &sys.dict());
+      if (doc_options.exec.optimize_join_order) {
+        fresh.plan = OptimizeJoinOrder(fresh.plan, model);
+      }
+      fresh.auto_engine = ChooseEngine(fresh.plan, model);
+      fresh.stream_info = sys.AnalyzeStreamability(fresh.plan);
+      plan = std::make_shared<const CachedPlan>(std::move(fresh));
+      entry->PutDoc(name, plan);
+    } else {
+      doc_plan_hits_.fetch_add(1, std::memory_order_relaxed);
+    }
+    Engine engine = doc_options.engine == Engine::kAuto ? plan->auto_engine
+                                                        : doc_options.engine;
+    std::shared_ptr<const ExecPlan> shared_plan(plan, &plan->plan);
+    return sys.OpenPlan(std::move(shared_plan), engine, doc_options,
+                        &plan->stream_info);
+  };
+
+  BlasCollection::ScatterOptions scatter;
+  scatter.pool = &pool_;
+  scatter.queue_capacity = scatter_queue_capacity_;
+  return collection_->OpenCursor(entry->query(), options, scatter,
+                                 std::move(opener));
+}
+
+Result<BlasCollection::CollectionResult> QueryService::RunCollection(
+    const QueryRequest& request) {
+  Result<CollectionCursor> cursor = MakeCollectionCursor(request);
+  if (!cursor.ok()) {
+    failed_.fetch_add(1, std::memory_order_relaxed);
+    return std::move(cursor).status();
+  }
+  Result<BlasCollection::CollectionResult> result = cursor->Drain();
+  if (!result.ok()) {
+    failed_.fetch_add(1, std::memory_order_relaxed);
+    return result;
+  }
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  RollUp(result->stats);
+  return result;
+}
+
+Result<CollectionCursor> QueryService::RunOpenCollectionCursor(
+    const QueryRequest& request) {
+  // Same accounting stance as RunOpenCursor: the merge runs on the
+  // client's thread, so this counts as an opened cursor, not a
+  // completed query.
+  Result<CollectionCursor> cursor = MakeCollectionCursor(request);
+  if (cursor.ok()) {
+    cursors_opened_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    failed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return cursor;
+}
+
+std::future<Result<BlasCollection::CollectionResult>>
+QueryService::SubmitCollection(QueryRequest request) {
+  return SubmitTask<BlasCollection::CollectionResult>(
+      [this, request = std::move(request)]() { return RunCollection(request); });
+}
+
+std::future<Result<StreamSummary>> QueryService::SubmitCollection(
+    QueryRequest request, CollectionMatchCallback on_match) {
+  return SubmitTask<StreamSummary>(
+      [this, request = std::move(request),
+       on_match = std::move(on_match)]() -> Result<StreamSummary> {
+        Stopwatch watch;
+        Result<CollectionCursor> cursor = MakeCollectionCursor(request);
+        if (!cursor.ok()) {
+          failed_.fetch_add(1, std::memory_order_relaxed);
+          return std::move(cursor).status();
+        }
+        StreamSummary summary;
+        while (std::optional<CollectionMatch> match = cursor->Next()) {
+          ++summary.delivered;
+          if (!on_match(*match)) {
+            summary.cancelled = true;
+            break;
+          }
+        }
+        if (!cursor->status().ok()) {
+          failed_.fetch_add(1, std::memory_order_relaxed);
+          return cursor->status();
+        }
+        summary.stats = cursor->SettledStats();
+        summary.millis = watch.ElapsedMillis();
+        if (summary.cancelled) {
+          cancelled_.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          completed_.fetch_add(1, std::memory_order_relaxed);
+          RollUp(summary.stats);
+        }
+        return summary;
+      });
+}
+
+std::future<Result<CollectionCursor>> QueryService::SubmitCollectionCursor(
+    QueryRequest request) {
+  return SubmitTask<CollectionCursor>([this, request = std::move(request)]() {
+    return RunOpenCollectionCursor(request);
+  });
+}
+
+Result<BlasCollection::CollectionResult> QueryService::ExecuteCollection(
+    const QueryRequest& request) {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  return RunCollection(request);
+}
+
+Result<CollectionCursor> QueryService::OpenCollectionCursor(
+    const QueryRequest& request) {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  return RunOpenCollectionCursor(request);
+}
+
 void QueryService::RollUp(const ExecStats& stats) {
   elements_.fetch_add(stats.elements, std::memory_order_relaxed);
   page_fetches_.fetch_add(stats.page_fetches, std::memory_order_relaxed);
@@ -199,10 +372,15 @@ ServiceStats QueryService::stats() const {
   s.rejected = rejected_.load(std::memory_order_relaxed);
   s.cursors_opened = cursors_opened_.load(std::memory_order_relaxed);
   s.cancelled = cancelled_.load(std::memory_order_relaxed);
+  // Only one of the two caches sees traffic (the service fronts either a
+  // system or a collection); summing keeps the report uniform.
   PlanCache::Stats cache = plan_cache_.stats();
-  s.plan_cache_hits = cache.hits;
-  s.plan_cache_misses = cache.misses;
-  s.plan_cache_evictions = cache.evictions;
+  CollectionPlanCache::Stats coll_cache = collection_plan_cache_.stats();
+  s.plan_cache_hits = cache.hits + coll_cache.hits;
+  s.plan_cache_misses = cache.misses + coll_cache.misses;
+  s.plan_cache_evictions = cache.evictions + coll_cache.evictions;
+  s.doc_plan_hits = doc_plan_hits_.load(std::memory_order_relaxed);
+  s.doc_plan_misses = doc_plan_misses_.load(std::memory_order_relaxed);
   s.exec.elements = elements_.load(std::memory_order_relaxed);
   s.exec.page_fetches = page_fetches_.load(std::memory_order_relaxed);
   s.exec.page_misses = page_misses_.load(std::memory_order_relaxed);

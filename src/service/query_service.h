@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "blas/blas.h"
+#include "blas/collection.h"
 #include "service/plan_cache.h"
 #include "service/thread_pool.h"
 
@@ -23,6 +24,9 @@ struct ServiceOptions {
   size_t queue_capacity = 1024;
   /// LRU entries of the plan cache. 0 disables caching entirely.
   size_t plan_cache_capacity = 256;
+  /// Bounded per-document match queue of collection scatter-gather
+  /// cursors (see BlasCollection::ScatterOptions::queue_capacity).
+  size_t scatter_queue_capacity = 256;
 };
 
 /// One client request: an XPath query plus the unified per-query knobs
@@ -62,10 +66,16 @@ struct ServiceStats {
   /// separately from `completed` for the same reason: their truncated
   /// ExecStats stay out of the exec roll-up.
   uint64_t cancelled = 0;
-  // Plan-cache accounting (mirrors PlanCache::stats()).
+  // Plan-cache accounting (mirrors PlanCache::stats(); for a
+  // collection-backed service these come from the collection plan cache).
   uint64_t plan_cache_hits = 0;
   uint64_t plan_cache_misses = 0;
   uint64_t plan_cache_evictions = 0;
+  /// Per-document plan reuse inside cached collection entries: a hot
+  /// collection query pays one parse plus one translation per document
+  /// (doc_plan_misses), then only doc_plan_hits.
+  uint64_t doc_plan_hits = 0;
+  uint64_t doc_plan_misses = 0;
   // Roll-up of every completed query's ExecStats.
   struct ExecRollup {
     uint64_t elements = 0;
@@ -78,14 +88,22 @@ struct ServiceStats {
   ExecRollup exec;
 };
 
-/// \brief Concurrent query front door over one indexed document.
+/// \brief Concurrent query front door over one indexed document or a
+/// whole document collection.
 ///
-/// Owns (or borrows) a BlasSystem and serves XPath queries from many
-/// clients at once: requests enter a bounded queue, a fixed pool of
-/// workers translates and executes them against the shared NodeStore
-/// (safe for concurrent readers), and results come back through futures.
-/// Repeat queries hit an LRU plan cache keyed by normalized query text
-/// and skip the whole parse/decompose/translate/optimize pipeline.
+/// Owns (or borrows) a BlasSystem — or borrows a BlasCollection — and
+/// serves XPath queries from many clients at once: requests enter a
+/// bounded queue, a fixed pool of workers translates and executes them
+/// against the shared read path (safe for concurrent readers), and
+/// results come back through futures. Repeat queries hit an LRU plan
+/// cache keyed by normalized query text and skip the whole
+/// parse/decompose/translate/optimize pipeline; collection entries cache
+/// the parsed query once plus one translated plan per document.
+///
+/// Collection submissions scatter per-document cursors across the same
+/// worker pool and gather them through a merge cursor (see
+/// BlasCollection::OpenCursor), so one collection query can occupy
+/// several workers while bounded queues cap its memory.
 ///
 /// \code
 ///   QueryService service(&sys, {.worker_threads = 4});
@@ -101,6 +119,10 @@ class QueryService {
                         const ServiceOptions& options = {});
   /// Shares ownership of the system.
   explicit QueryService(std::shared_ptr<const BlasSystem> system,
+                        const ServiceOptions& options = {});
+  /// Serves collection queries against a collection owned by the caller,
+  /// which must outlive the service and stay unmodified while served.
+  explicit QueryService(const BlasCollection* collection,
                         const ServiceOptions& options = {});
   /// Builds the system from XML text and owns it.
   static Result<std::unique_ptr<QueryService>> FromXml(
@@ -118,6 +140,9 @@ class QueryService {
   /// request has already materialized the full result by the time the
   /// first match is delivered, so cancelling only stops delivery.
   using MatchCallback = std::function<bool(const Match&)>;
+  /// Collection flavor: the match plus its owning document's name.
+  /// Cancelling additionally cancels still-queued documents.
+  using CollectionMatchCallback = std::function<bool(const CollectionMatch&)>;
 
   /// Enqueues one query; blocks only when the submission queue is full.
   /// After Shutdown the returned future holds a kUnsupported error.
@@ -147,12 +172,48 @@ class QueryService {
   /// Opens a cursor on the calling thread (same plan cache and stats).
   Result<ResultCursor> OpenCursor(const QueryRequest& request);
 
+  // ------------------------------------------ collection front door ---
+  // These require the collection constructor; on a single-document
+  // service they fail with InvalidArgument (and vice versa for the
+  // single-document methods on a collection service).
+
+  /// Enqueues one collection-wide query: a worker runs the merge while
+  /// per-document producers scatter across the same pool.
+  std::future<Result<BlasCollection::CollectionResult>> SubmitCollection(
+      QueryRequest request);
+
+  /// Streaming overload: matches arrive in (document name, doc order)
+  /// through `on_match` on a worker thread.
+  std::future<Result<StreamSummary>> SubmitCollection(
+      QueryRequest request, CollectionMatchCallback on_match);
+
+  /// Cursor overload: the worker opens the scatter-gather cursor (plan
+  /// cache, producer fan-out) and hands it back; the caller pulls the
+  /// merged stream on its own thread. The cursor borrows the service's
+  /// collection and pool and must not outlive the service.
+  std::future<Result<CollectionCursor>> SubmitCollectionCursor(
+      QueryRequest request);
+
+  /// Runs one collection query on the calling thread (the merge runs
+  /// here; producers still scatter onto the worker pool).
+  Result<BlasCollection::CollectionResult> ExecuteCollection(
+      const QueryRequest& request);
+
+  /// Opens a scatter-gather cursor on the calling thread.
+  Result<CollectionCursor> OpenCollectionCursor(const QueryRequest& request);
+
   /// Stops accepting work, drains queued queries, joins the workers.
   void Shutdown();
 
   ServiceStats stats() const;
   const PlanCache& plan_cache() const { return plan_cache_; }
-  const BlasSystem& system() const { return *system_; }
+  const CollectionPlanCache& collection_plan_cache() const {
+    return collection_plan_cache_;
+  }
+  /// Non-null only for the single-document constructors.
+  const BlasSystem* system() const { return system_; }
+  /// Non-null only for the collection constructor.
+  const BlasCollection* collection() const { return collection_; }
   size_t worker_threads() const { return pool_.thread_count(); }
 
  private:
@@ -160,9 +221,16 @@ class QueryService {
   /// OpenCursor without the submission count (SubmitCursor counts in
   /// SubmitTask).
   Result<ResultCursor> RunOpenCursor(const QueryRequest& request);
-  /// Shared front half of every path: plan-cache lookup / translation,
-  /// engine resolution, cursor creation.
+  /// Shared front half of every single-document path: plan-cache lookup /
+  /// translation, engine resolution, cursor creation.
   Result<ResultCursor> MakeCursor(const QueryRequest& request);
+  /// Collection counterpart: collection plan-cache lookup (parsed query +
+  /// per-document plans), scatter-gather cursor creation over the pool.
+  Result<CollectionCursor> MakeCollectionCursor(const QueryRequest& request);
+  Result<BlasCollection::CollectionResult> RunCollection(
+      const QueryRequest& request);
+  Result<CollectionCursor> RunOpenCollectionCursor(
+      const QueryRequest& request);
   void RollUp(const ExecStats& stats);
 
   template <typename T>
@@ -170,8 +238,11 @@ class QueryService {
       std::function<Result<T>()> work);
 
   std::shared_ptr<const BlasSystem> owned_system_;
-  const BlasSystem* system_;
+  const BlasSystem* system_ = nullptr;
+  const BlasCollection* collection_ = nullptr;
   PlanCache plan_cache_;
+  CollectionPlanCache collection_plan_cache_;
+  size_t scatter_queue_capacity_;
   ThreadPool pool_;
 
   std::atomic<uint64_t> submitted_{0};
@@ -180,6 +251,8 @@ class QueryService {
   std::atomic<uint64_t> rejected_{0};
   std::atomic<uint64_t> cursors_opened_{0};
   std::atomic<uint64_t> cancelled_{0};
+  std::atomic<uint64_t> doc_plan_hits_{0};
+  std::atomic<uint64_t> doc_plan_misses_{0};
   std::atomic<uint64_t> elements_{0};
   std::atomic<uint64_t> page_fetches_{0};
   std::atomic<uint64_t> page_misses_{0};

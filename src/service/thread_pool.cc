@@ -41,6 +41,11 @@ bool ThreadPool::TrySubmit(std::function<void()> task) {
   return true;
 }
 
+size_t ThreadPool::queue_size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
 void ThreadPool::Shutdown() {
   {
     std::lock_guard<std::mutex> lock(mu_);

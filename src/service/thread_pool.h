@@ -39,11 +39,16 @@ class ThreadPool {
   size_t thread_count() const { return workers_.size(); }
   size_t queue_capacity() const { return queue_capacity_; }
 
+  /// Tasks accepted but not yet picked up by a worker. A snapshot only —
+  /// workers dequeue concurrently — useful for backpressure diagnostics
+  /// and for tests that stage a known queue state.
+  size_t queue_size() const;
+
  private:
   void WorkerLoop();
 
   const size_t queue_capacity_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::mutex join_mu_;  // serializes concurrent Shutdown callers
   std::condition_variable work_ready_;
   std::condition_variable space_free_;

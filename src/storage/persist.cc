@@ -10,6 +10,10 @@ namespace {
 
 constexpr char kMagic[8] = {'B', 'L', 'A', 'S', 'I', 'D', 'X', '1'};
 
+/// On-disk bytes of one fixed-width node record: two 64-bit P-label
+/// halves plus five 32-bit fields (start, end, tag, level, data).
+constexpr uint64_t kRecordBytes = 8 + 8 + 5 * 4;
+
 void WriteU32(std::ostream& os, uint32_t v) {
   char buf[4];
   for (int i = 0; i < 4; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
@@ -47,11 +51,21 @@ bool ReadU64(std::istream& is, uint64_t* v) {
   return true;
 }
 
-bool ReadString(std::istream& is, std::string* s) {
+/// Bytes between the stream position and the end of the file (the size is
+/// measured once at open). Every count and length in the header is
+/// preflighted against this before anything is allocated.
+uint64_t BytesLeft(std::istream& is, uint64_t file_size) {
+  const std::streamoff pos = is.tellg();
+  if (pos < 0 || static_cast<uint64_t>(pos) > file_size) return 0;
+  return file_size - static_cast<uint64_t>(pos);
+}
+
+bool ReadString(std::istream& is, uint64_t file_size, std::string* s) {
   uint32_t len;
   if (!ReadU32(is, &len)) return false;
-  // Guard against absurd lengths from corrupt files.
-  if (len > (1u << 28)) return false;
+  // A length that overruns the file is corruption, caught before the
+  // resize allocates.
+  if (len > BytesLeft(is, file_size)) return false;
   s->resize(len);
   return static_cast<bool>(is.read(s->data(), len));
 }
@@ -90,6 +104,14 @@ Result<IndexSnapshot> LoadSnapshot(const std::string& path) {
   std::ifstream is(path, std::ios::binary);
   if (!is) return Status::NotFound("cannot open: " + path);
 
+  // Measure the file once; every untrusted count below is checked against
+  // the bytes actually present before any allocation sized by it.
+  is.seekg(0, std::ios::end);
+  const std::streamoff end_pos = is.tellg();
+  if (end_pos < 0) return Status::Corruption("unsizable file: " + path);
+  const uint64_t file_size = static_cast<uint64_t>(end_pos);
+  is.seekg(0, std::ios::beg);
+
   char magic[8];
   if (!is.read(magic, 8) || std::memcmp(magic, kMagic, 8) != 0) {
     return Status::Corruption("bad magic in " + path);
@@ -97,12 +119,16 @@ Result<IndexSnapshot> LoadSnapshot(const std::string& path) {
 
   IndexSnapshot snapshot;
   uint32_t num_tags;
-  if (!ReadU32(is, &num_tags) || num_tags > (1u << 24)) {
+  // Each tag costs at least its 4-byte length prefix.
+  if (!ReadU32(is, &num_tags) ||
+      uint64_t{num_tags} * 4 > BytesLeft(is, file_size)) {
     return Status::Corruption("bad tag count in " + path);
   }
   snapshot.tags.resize(num_tags);
   for (std::string& tag : snapshot.tags) {
-    if (!ReadString(is, &tag)) return Status::Corruption("truncated tags");
+    if (!ReadString(is, file_size, &tag)) {
+      return Status::Corruption("truncated tags");
+    }
   }
   uint32_t depth;
   if (!ReadU32(is, &depth) || depth > 100000) {
@@ -111,7 +137,10 @@ Result<IndexSnapshot> LoadSnapshot(const std::string& path) {
   snapshot.max_depth = static_cast<int>(depth);
 
   uint64_t num_records;
-  if (!ReadU64(is, &num_records) || num_records > (1ULL << 40)) {
+  // An overstated count would otherwise resize() to a multi-TB buffer; a
+  // record is fixed-width, so the exact remaining-byte bound is known.
+  if (!ReadU64(is, &num_records) ||
+      num_records > BytesLeft(is, file_size) / kRecordBytes) {
     return Status::Corruption("bad record count");
   }
   snapshot.records.resize(num_records);
@@ -128,12 +157,16 @@ Result<IndexSnapshot> LoadSnapshot(const std::string& path) {
   }
 
   uint64_t num_values;
-  if (!ReadU64(is, &num_values) || num_values > (1ULL << 32)) {
+  // Same preflight: each value costs at least its 4-byte length prefix.
+  if (!ReadU64(is, &num_values) ||
+      num_values > BytesLeft(is, file_size) / 4) {
     return Status::Corruption("bad value count");
   }
   snapshot.values.resize(num_values);
   for (std::string& value : snapshot.values) {
-    if (!ReadString(is, &value)) return Status::Corruption("truncated values");
+    if (!ReadString(is, file_size, &value)) {
+      return Status::Corruption("truncated values");
+    }
   }
   return snapshot;
 }

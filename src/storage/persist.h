@@ -30,6 +30,18 @@ Status SaveSnapshot(const IndexSnapshot& snapshot, const std::string& path);
 
 /// Reads a snapshot written by SaveSnapshot. Fails with Corruption on
 /// magic/version mismatch or truncated input.
+///
+/// Snapshot-format validation rules: every count and length in the file
+/// is untrusted until proven affordable. The loader measures the file
+/// size once (a single seek to the end), then before any allocation it
+/// checks that
+///   * the tag count and value count each fit in the remaining bytes at
+///     4 bytes minimum per entry (the length prefix),
+///   * the record count fits at the fixed 36 bytes per record,
+///   * each string's length prefix does not overrun the bytes left.
+/// A corrupt or overstated header therefore fails with Status::Corruption
+/// immediately instead of attempting a multi-terabyte resize(); truncated
+/// payloads are caught by the subsequent bounded reads.
 Result<IndexSnapshot> LoadSnapshot(const std::string& path);
 
 }  // namespace blas

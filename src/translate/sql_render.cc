@@ -1,12 +1,29 @@
 #include "translate/sql_render.h"
 
+#include <cmath>
+
+#include "common/string_util.h"
 #include "common/u128.h"
+#include "xpath/ast.h"
 
 namespace blas {
 
 namespace {
 
 std::string Alias(size_t i) { return "T" + std::to_string(i + 1); }
+
+/// SQL string literal with embedded single quotes doubled ('' escaping).
+std::string SqlLiteral(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  out.push_back('\'');
+  for (char c : text) {
+    if (c == '\'') out.push_back('\'');
+    out.push_back(c);
+  }
+  out.push_back('\'');
+  return out;
+}
 
 std::string TableOf(const PlanPart& part) {
   return part.scan == PlanPart::Scan::kPlabelAlts ? "SP" : "SD";
@@ -42,14 +59,27 @@ std::string SelectionPredicate(const PlanPart& part, const std::string& t,
       break;
     }
     case PlanPart::Scan::kTag:
-      add(t + ".tag = '" + tags.Name(part.tag) + "'");
+      add(t + ".tag = " + SqlLiteral(tags.Name(part.tag)));
       break;
     case PlanPart::Scan::kAllTags:
       break;
   }
   if (part.value.has_value()) {
-    add(t + ".data " + ValueOpText(part.value->op) + " '" +
-        part.value->literal + "'");
+    const ValuePred& value = *part.value;
+    if (value.op == ValueOp::kEq || value.op == ValueOp::kNe) {
+      add(t + ".data " + ValueOpText(value.op) + " " +
+          SqlLiteral(value.literal));
+    } else if (std::isnan(XPathNumber(value.literal))) {
+      // Ordered comparison against a non-number matches nothing
+      // (XPath 1.0 number() semantics, same as ValuePred::Matches).
+      add("FALSE /* non-numeric literal */");
+    } else {
+      // XPath: non-numeric data is NaN and never matches; dialects that
+      // CAST such text to 0 need those rows excluded by the consumer.
+      add("CAST(" + t + ".data AS REAL) " + ValueOpText(value.op) + " " +
+          std::string(Trim(value.literal)) +
+          " /* non-numeric data never matches */");
+    }
   }
   if (part.level_eq.has_value()) {
     add(t + ".level = " + std::to_string(*part.level_eq));

@@ -11,6 +11,15 @@ namespace blas {
 /// Renders a translated plan as a standard SQL statement over the SP
 /// (P-labeled, clustered by {plabel, start}) or SD (tag-labeled, clustered
 /// by {tag, start}) relation — the query translator output of section 4.1.
+///
+/// Value-predicate rendering: `=` / `!=` compare the data column as a
+/// string (embedded quotes escaped); the ordered operators render
+/// `CAST(t.data AS REAL) op n`, matching the engines' XPath 1.0 numeric
+/// semantics for numeric PCDATA. One documented divergence: XPath turns
+/// NON-numeric data into NaN (never matches), while most SQL dialects
+/// CAST it to 0 (SQLite) or error (strict engines) — rows whose data is
+/// not a number must be excluded by the consumer; the rendered clause
+/// carries an inline comment as a reminder.
 std::string RenderSql(const ExecPlan& plan, const TagRegistry& tags);
 
 /// Renders the same plan in the relational-algebra style of figure 11

@@ -1,5 +1,7 @@
 #include "xpath/ast.h"
 
+#include <limits>
+
 namespace blas {
 
 const char* ValueOpText(ValueOp op) {
@@ -20,23 +22,68 @@ const char* ValueOpText(ValueOp op) {
   return "?";
 }
 
+double XPathNumber(std::string_view text) {
+  constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+  auto is_space = [](char c) {
+    return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+  };
+  size_t begin = 0;
+  size_t end = text.size();
+  while (begin < end && is_space(text[begin])) ++begin;
+  while (end > begin && is_space(text[end - 1])) --end;
+  if (begin == end) return kNaN;
+
+  bool negative = false;
+  if (text[begin] == '-') {
+    negative = true;
+    ++begin;
+  }
+  double value = 0.0;
+  bool any_digit = false;
+  while (begin < end && text[begin] >= '0' && text[begin] <= '9') {
+    value = value * 10.0 + (text[begin] - '0');
+    any_digit = true;
+    ++begin;
+  }
+  if (begin < end && text[begin] == '.') {
+    ++begin;
+    double scale = 0.1;
+    while (begin < end && text[begin] >= '0' && text[begin] <= '9') {
+      value += (text[begin] - '0') * scale;
+      scale *= 0.1;
+      any_digit = true;
+      ++begin;
+    }
+  }
+  if (!any_digit || begin != end) return kNaN;
+  return negative ? -value : value;
+}
+
 bool ValuePred::Matches(std::string_view data) const {
-  int cmp = data.compare(literal);
   switch (op) {
     case ValueOp::kEq:
-      return cmp == 0;
+      return data == literal;
     case ValueOp::kNe:
-      return cmp != 0;
-    case ValueOp::kLt:
-      return cmp < 0;
-    case ValueOp::kLe:
-      return cmp <= 0;
-    case ValueOp::kGt:
-      return cmp > 0;
-    case ValueOp::kGe:
-      return cmp >= 0;
+      return data != literal;
+    default:
+      break;
   }
-  return false;
+  // Ordered operators are numeric; a NaN on either side (non-numeric
+  // text, or a node without character data) fails every comparison.
+  const double lhs = XPathNumber(data);
+  const double rhs = XPathNumber(literal);
+  switch (op) {
+    case ValueOp::kLt:
+      return lhs < rhs;
+    case ValueOp::kLe:
+      return lhs <= rhs;
+    case ValueOp::kGt:
+      return lhs > rhs;
+    case ValueOp::kGe:
+      return lhs >= rhs;
+    default:
+      return false;
+  }
 }
 
 std::unique_ptr<QueryNode> QueryNode::Clone() const {

@@ -19,7 +19,9 @@ inline constexpr const char* kWildcard = "*";
 
 /// Comparison operator of a value predicate. The paper's queries use
 /// equality only; the other operators are the "more complex XPath"
-/// extension (section 7) and compare lexicographically on the PCDATA.
+/// extension (section 7). Equality compares the strings; the ordered
+/// operators follow XPath 1.0 and compare numerically (see
+/// ValuePred::Matches).
 enum class ValueOp {
   kEq,  // =
   kNe,  // !=
@@ -32,12 +34,22 @@ enum class ValueOp {
 /// Spelled-out operator text ("=", "!=", ...).
 const char* ValueOpText(ValueOp op);
 
+/// XPath 1.0 number() of a string: optional whitespace, an optional minus
+/// sign, a decimal Number (`Digits ('.' Digits?)? | '.' Digits`), optional
+/// whitespace. Any other input — including signs XPath does not allow
+/// ('+'), exponents, and non-numeric text — converts to NaN.
+double XPathNumber(std::string_view text);
+
 /// A value predicate "step OP 'literal'" attached to a query node.
 struct ValuePred {
   ValueOp op = ValueOp::kEq;
   std::string literal;
 
-  /// Evaluates the predicate against a node's PCDATA.
+  /// Evaluates the predicate against a node's PCDATA with XPath 1.0
+  /// semantics: `=` / `!=` compare the strings, while the ordered
+  /// operators (`<`, `<=`, `>`, `>=`) convert both sides through
+  /// XPathNumber first — a side that is not a number becomes NaN and the
+  /// comparison is false.
   bool Matches(std::string_view data) const;
 
   bool operator==(const ValuePred&) const = default;

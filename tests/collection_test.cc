@@ -120,6 +120,51 @@ TEST(CollectionTest, AllTranslatorsAgreeAcrossDocs) {
   }
 }
 
+TEST(CollectionTest, CollectionWideOffsetAndLimit) {
+  BlasCollection coll = MakeLibraryCollection();
+  // //title matches: doc1 x1, doc2 x2, doc3 x1 (name-ordered).
+  QueryOptions options;
+  options.offset = 1;
+  options.limit = 2;
+  Result<BlasCollection::CollectionResult> r = coll.Execute("//title", options);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->total_matches, 2u);
+  EXPECT_EQ(r->offset_skipped, 1u);
+  ASSERT_EQ(r->docs.size(), 1u);  // doc1's match was skipped by the offset
+  EXPECT_EQ(r->docs[0].name, "doc2");
+  EXPECT_EQ(r->docs[0].starts.size(), 2u);
+
+  // Offset past the end: everything skipped, nothing delivered.
+  options.offset = 10;
+  options.limit = 0;
+  r = coll.Execute("//title", options);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->total_matches, 0u);
+  EXPECT_EQ(r->offset_skipped, 4u);
+  EXPECT_TRUE(r->docs.empty());
+}
+
+TEST(CollectionTest, ExecuteShimEqualsSequentialCursorDrain) {
+  BlasCollection coll = MakeLibraryCollection();
+  QueryOptions options;
+  options.projection = Projection::kValue;
+  Result<BlasCollection::CollectionResult> executed =
+      coll.Execute("//title", options);
+  ASSERT_TRUE(executed.ok());
+  Result<CollectionCursor> cursor = coll.OpenCursor("//title", options);
+  ASSERT_TRUE(cursor.ok());
+  Result<BlasCollection::CollectionResult> drained = cursor->Drain();
+  ASSERT_TRUE(drained.ok());
+  EXPECT_EQ(drained->total_matches, executed->total_matches);
+  ASSERT_EQ(drained->docs.size(), executed->docs.size());
+  for (size_t i = 0; i < drained->docs.size(); ++i) {
+    EXPECT_EQ(drained->docs[i].name, executed->docs[i].name);
+    EXPECT_EQ(drained->docs[i].starts, executed->docs[i].starts);
+  }
+  EXPECT_EQ(drained->stats.elements, executed->stats.elements);
+  EXPECT_EQ(drained->stats.page_fetches, executed->stats.page_fetches);
+}
+
 TEST(CollectionTest, AddFromIndexFile) {
   BlasSystem sys = MustBuild("<a><b>x</b></a>");
   std::string path = testing::TempDir() + "/coll.idx";

@@ -81,6 +81,111 @@ TEST(PersistTest, TruncatedFileRejected) {
   }
 }
 
+// -------------------------- corrupt / hostile header preflight cases ---
+
+void AppendU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+void WriteBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+std::string ValidHeaderNoTags() {
+  std::string bytes = "BLASIDX1";
+  AppendU32(&bytes, 0);  // no tags
+  AppendU32(&bytes, 3);  // depth
+  return bytes;
+}
+
+TEST(PersistTest, OverstatedRecordCountRejectedBeforeAllocation) {
+  // A tiny file whose header claims ~2^39 records: the preflight against
+  // the actual file size must fail with Corruption instead of attempting
+  // a multi-TB resize().
+  std::string bytes = ValidHeaderNoTags();
+  AppendU64(&bytes, uint64_t{1} << 39);
+  std::string path = TempPath("huge_records.idx");
+  WriteBytes(path, bytes);
+  Result<IndexSnapshot> r = LoadSnapshot(path);
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption) << r.status();
+}
+
+TEST(PersistTest, OverstatedValueCountRejectedBeforeAllocation) {
+  std::string bytes = ValidHeaderNoTags();
+  AppendU64(&bytes, 0);                    // no records
+  AppendU64(&bytes, uint64_t{1} << 40);    // absurd value count
+  std::string path = TempPath("huge_values.idx");
+  WriteBytes(path, bytes);
+  Result<IndexSnapshot> r = LoadSnapshot(path);
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption) << r.status();
+}
+
+TEST(PersistTest, OverstatedTagCountRejected) {
+  std::string bytes = "BLASIDX1";
+  AppendU32(&bytes, 0xFFFFFF00u);  // tag count far beyond the file size
+  std::string path = TempPath("huge_tags.idx");
+  WriteBytes(path, bytes);
+  Result<IndexSnapshot> r = LoadSnapshot(path);
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption) << r.status();
+}
+
+TEST(PersistTest, OverstatedStringLengthRejected) {
+  // One tag whose length prefix points far past the end of the file.
+  std::string bytes = "BLASIDX1";
+  AppendU32(&bytes, 1);            // one tag
+  AppendU32(&bytes, 0x40000000u);  // claimed 1 GiB name, nothing follows
+  bytes += "ab";
+  std::string path = TempPath("huge_string.idx");
+  WriteBytes(path, bytes);
+  Result<IndexSnapshot> r = LoadSnapshot(path);
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption) << r.status();
+}
+
+TEST(PersistTest, RecordCountJustOverActualPayloadRejected) {
+  // Off-by-one: the header claims one more record than the bytes hold.
+  BlasSystem sys = MustBuild("<a><b>x</b></a>");
+  std::string path = TempPath("offbyone.idx");
+  ASSERT_TRUE(sys.SaveIndex(path).ok());
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  // Locate the record-count u64: magic + tagcount + tags + depth.
+  size_t pos = 8 + 4;
+  uint32_t num_tags = 0;
+  for (int i = 3; i >= 0; --i) {
+    num_tags = (num_tags << 8) | static_cast<uint8_t>(bytes[8 + i]);
+  }
+  for (uint32_t t = 0; t < num_tags; ++t) {
+    uint32_t len = 0;
+    for (int i = 3; i >= 0; --i) {
+      len = (len << 8) | static_cast<uint8_t>(bytes[pos + i]);
+    }
+    pos += 4 + len;
+  }
+  pos += 4;  // depth
+  uint64_t num_records = 0;
+  for (int i = 7; i >= 0; --i) {
+    num_records = (num_records << 8) | static_cast<uint8_t>(bytes[pos + i]);
+  }
+  std::string patched = bytes;
+  uint64_t bumped = num_records + 1;
+  for (int i = 0; i < 8; ++i) {
+    patched[pos + i] = static_cast<char>((bumped >> (8 * i)) & 0xFF);
+  }
+  std::string bad_path = TempPath("offbyone_bad.idx");
+  WriteBytes(bad_path, patched);
+  Result<IndexSnapshot> r = LoadSnapshot(bad_path);
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption) << r.status();
+  // The unpatched original still loads.
+  EXPECT_TRUE(LoadSnapshot(path).ok());
+}
+
 TEST(PersistTest, SystemRoundTripAnswersQueriesIdentically) {
   BlasSystem original = MustBuild(
       "<site><item id=\"1\"><name>x</name><desc><par><li>t</li></par>"

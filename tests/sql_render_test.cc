@@ -79,6 +79,27 @@ TEST_F(SqlRenderTest, ValueOperatorsRendered) {
   EXPECT_NE(sql.find(".data != 'v'"), std::string::npos) << sql;
 }
 
+TEST_F(SqlRenderTest, OrderedOperatorsCastToReal) {
+  std::string sql = Sql("//x >= \"4.5\"", Translator::kSplit);
+  EXPECT_NE(sql.find("CAST(T1.data AS REAL) >= 4.5"), std::string::npos)
+      << sql;
+  // Equality never casts.
+  sql = Sql("//x = \"4.5\"", Translator::kSplit);
+  EXPECT_NE(sql.find(".data = '4.5'"), std::string::npos) << sql;
+}
+
+TEST_F(SqlRenderTest, EmbeddedQuotesAreEscaped) {
+  // A literal with an embedded single quote must not break out of the
+  // SQL string: ' doubles to ''.
+  std::string sql = Sql("//x = \"it's; DROP TABLE SD--\"",
+                        Translator::kSplit);
+  EXPECT_NE(sql.find(".data = 'it''s; DROP TABLE SD--'"), std::string::npos)
+      << sql;
+  EXPECT_EQ(sql.find("= 'it's"), std::string::npos) << sql;
+  sql = Sql("//x != \"''\"", Translator::kSplit);
+  EXPECT_NE(sql.find(".data != ''''''"), std::string::npos) << sql;
+}
+
 TEST_F(SqlRenderTest, WildcardUnderDLabelScansEverything) {
   std::string sql = Sql("//*[x]", Translator::kDLabel);
   // The wildcard part has no tag predicate at all.
