@@ -1,0 +1,154 @@
+// Demand-paged storage: cold-open latency of OpenPaged (O(1) in document
+// size) vs the materializing FromIndexFile, and query cost under a real
+// memory budget — page misses that are actual disk reads — vs the
+// in-memory store's simulated misses.
+//
+// Knobs: BLAS_BENCH_REPLICATE (corpus scale, default 4),
+//        BLAS_BENCH_FRAMES (paged frames per shard, default 16).
+
+#include <cstdio>
+#include <string>
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "storage/persist.h"
+
+namespace blas {
+namespace bench {
+namespace {
+
+struct Corpus {
+  std::shared_ptr<BlasSystem> memory;
+  std::string blas1_path;
+  std::string blas2_path;
+};
+
+/// Builds the auction corpus once and persists it in both formats.
+const Corpus& GetCorpus() {
+  static const Corpus* corpus = [] {
+    auto* c = new Corpus();
+    c->memory = GetSystem('A', EnvInt("BLAS_BENCH_REPLICATE", 4));
+    c->blas1_path = "/tmp/blas_bench_paged.idx";
+    c->blas2_path = "/tmp/blas_bench_paged.idx2";
+    Status s1 = c->memory->SaveIndex(c->blas1_path);
+    Status s2 = c->memory->SavePagedIndex(c->blas2_path);
+    if (!s1.ok() || !s2.ok()) {
+      std::fprintf(stderr, "snapshot save failed\n");
+      std::abort();
+    }
+    return c;
+  }();
+  return *corpus;
+}
+
+StorageOptions BenchStorage() {
+  StorageOptions storage;
+  storage.frames_per_shard =
+      static_cast<size_t>(EnvInt("BLAS_BENCH_FRAMES", 16));
+  storage.shards = 1;
+  return storage;
+}
+
+/// Cold open: header + schema segments only. Document size does not
+/// enter the loop body.
+void BM_ColdOpenPaged(benchmark::State& state) {
+  const Corpus& corpus = GetCorpus();
+  for (auto _ : state) {
+    Result<BlasSystem> sys = BlasSystem::OpenPaged(corpus.blas2_path,
+                                                   BenchStorage());
+    if (!sys.ok()) {
+      state.SkipWithError(sys.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(sys->doc_stats().tags);
+  }
+  state.counters["index_pages"] =
+      static_cast<double>(GetCorpus().memory->doc_stats().pages);
+}
+BENCHMARK(BM_ColdOpenPaged)->Unit(benchmark::kMillisecond);
+
+/// Cold open of the materializing path: every record is parsed and all
+/// four trees rebuilt before the first query can run.
+void BM_ColdOpenMaterialized(benchmark::State& state) {
+  const Corpus& corpus = GetCorpus();
+  for (auto _ : state) {
+    Result<BlasSystem> sys = BlasSystem::FromIndexFile(corpus.blas1_path);
+    if (!sys.ok()) {
+      state.SkipWithError(sys.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(sys->doc_stats().tags);
+  }
+}
+BENCHMARK(BM_ColdOpenMaterialized)->Unit(benchmark::kMillisecond);
+
+void RunColdQuery(benchmark::State& state, const BlasSystem& sys,
+                  const std::string& xpath) {
+  QueryResult last;
+  for (auto _ : state) {
+    state.PauseTiming();
+    const_cast<BlasSystem&>(sys).ResetCounters();
+    state.ResumeTiming();
+    Result<QueryResult> result = sys.Execute(xpath, QueryOptions{});
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    last = std::move(result).value();
+    benchmark::DoNotOptimize(last.starts.data());
+  }
+  state.counters["pages"] = static_cast<double>(last.stats.page_fetches);
+  state.counters["misses"] = static_cast<double>(last.stats.page_misses);
+  state.counters["io_reads"] = static_cast<double>(last.stats.io_reads);
+  state.counters["results"] = static_cast<double>(last.stats.output_rows);
+}
+
+/// Cold-cache query over the paged store: misses are real preads.
+void BM_ColdQueryPaged(benchmark::State& state, const std::string& xpath) {
+  const Corpus& corpus = GetCorpus();
+  Result<BlasSystem> sys = BlasSystem::OpenPaged(corpus.blas2_path,
+                                                 BenchStorage());
+  if (!sys.ok()) {
+    state.SkipWithError(sys.status().ToString().c_str());
+    return;
+  }
+  RunColdQuery(state, *sys, xpath);
+}
+
+/// Cold-cache query over the in-memory store: misses are simulated.
+void BM_ColdQueryMemory(benchmark::State& state, const std::string& xpath) {
+  RunColdQuery(state, *GetCorpus().memory, xpath);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace blas
+
+int main(int argc, char** argv) {
+  using blas::bench::BM_ColdQueryMemory;
+  using blas::bench::BM_ColdQueryPaged;
+  const char* queries[][2] = {
+      {"item_name", "//item/name"},
+      {"asia_desc", "/site/regions/asia/item[shipping]/description"},
+      {"keywords", "/site//keyword"},
+  };
+  for (const auto& q : queries) {
+    benchmark::RegisterBenchmark(
+        (std::string("ColdQuery/paged/") + q[0]).c_str(),
+        [xpath = std::string(q[1])](benchmark::State& state) {
+          BM_ColdQueryPaged(state, xpath);
+        })
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark(
+        (std::string("ColdQuery/memory/") + q[0]).c_str(),
+        [xpath = std::string(q[1])](benchmark::State& state) {
+          BM_ColdQueryMemory(state, xpath);
+        })
+        ->Unit(benchmark::kMillisecond);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

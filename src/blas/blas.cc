@@ -94,6 +94,61 @@ Result<BlasSystem> BlasSystem::FromEvents(
   return sys;
 }
 
+Status BlasSystem::SavePagedIndex(const std::string& path) const {
+  PagedSnapshotParts parts;
+  parts.store = store_.get();
+  parts.tags = tags_.get();
+  parts.dict = dict_.get();
+  parts.summary = summary_.get();
+  parts.max_depth = max_depth_;
+  return SavePagedSnapshot(parts, path);
+}
+
+Result<BlasSystem> BlasSystem::OpenPaged(const std::string& path,
+                                         const StorageOptions& storage) {
+  BLAS_ASSIGN_OR_RETURN(PagedIndex index, OpenPagedSnapshot(path));
+
+  BlasSystem sys;
+  sys.tags_ = std::make_unique<TagRegistry>();
+  for (const std::string& tag : index.tags) sys.tags_->Intern(tag);
+  sys.tags_->Freeze();
+  if (sys.tags_->size() != index.tags.size()) {
+    return Status::Corruption("duplicate tag names in " + path);
+  }
+  sys.max_depth_ = index.max_depth;
+  sys.node_count_ = index.node_count;
+
+  BLAS_ASSIGN_OR_RETURN(
+      PLabelCodec codec,
+      PLabelCodec::Create(sys.tags_->size(), index.max_depth));
+  sys.codec_ = std::make_unique<PLabelCodec>(std::move(codec));
+
+  // Replay the flattened path summary (preorder: parents first). The
+  // P-labels are not persisted — they re-derive from the codec, which is
+  // itself a pure function of the tag alphabet and depth.
+  sys.summary_ = std::make_unique<PathSummary>();
+  std::vector<SummaryNode*> nodes;
+  nodes.reserve(index.summary.size());
+  for (const PagedSummaryEntry& entry : index.summary) {
+    SummaryNode* parent = entry.parent == 0xFFFFFFFFu
+                              ? sys.summary_->mutable_root()
+                              : nodes[entry.parent];
+    PLabel plabel = entry.parent == 0xFFFFFFFFu
+                        ? sys.codec_->RootLabel(entry.tag)
+                        : sys.codec_->ChildLabel(parent->plabel, entry.tag);
+    SummaryNode* node = sys.summary_->Extend(parent, entry.tag, plabel);
+    node->count = entry.count;
+    nodes.push_back(node);
+  }
+
+  BLAS_ASSIGN_OR_RETURN(PagedFile file, index.OpenPool());
+  sys.store_ = std::make_unique<NodeStore>(std::move(file),
+                                           index.store_meta, storage);
+  sys.dict_ = std::make_unique<StringDict>();
+  sys.dict_->AttachPaged(&sys.store_->pool(), std::move(index.dict_layout));
+  return sys;
+}
+
 Status BlasSystem::SaveIndex(const std::string& path) const {
   IndexSnapshot snapshot;
   snapshot.tags.reserve(tags_->size());

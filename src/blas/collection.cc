@@ -47,6 +47,15 @@ Status BlasCollection::AddIndexFile(const std::string& name,
   return Status::OK();
 }
 
+Status BlasCollection::AddPagedIndexFile(const std::string& name,
+                                         const std::string& path,
+                                         const StorageOptions& storage) {
+  if (docs_.count(name) != 0) return DuplicateName(name);
+  BLAS_ASSIGN_OR_RETURN(BlasSystem sys, BlasSystem::OpenPaged(path, storage));
+  docs_.emplace(name, std::make_unique<BlasSystem>(std::move(sys)));
+  return Status::OK();
+}
+
 Status BlasCollection::Remove(const std::string& name) {
   if (docs_.erase(name) == 0) {
     return Status::NotFound("no such document: " + name);

@@ -64,6 +64,13 @@ class BlasCollection {
   /// Adds a document from a persisted index file.
   Status AddIndexFile(const std::string& name, const std::string& path,
                       const BlasOptions& options = {});
+  /// Adds a document from a BLASIDX2 paged snapshot, opened lazily (O(1)
+  /// in document size; pages fault in as queries touch them). Pass the
+  /// same `storage.shared_budget` for every member so the whole
+  /// collection draws on one memory allowance — a corpus larger than the
+  /// budget still answers every query, evicting as it goes.
+  Status AddPagedIndexFile(const std::string& name, const std::string& path,
+                           const StorageOptions& storage = {});
 
   /// Removes a document. Returns NotFound if absent. Must not race with
   /// open cursors or a fronting QueryService: mutation while queries run

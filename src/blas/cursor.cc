@@ -100,6 +100,7 @@ Result<ResultCursor> ResultCursor::Open(const Env& env,
   cursor.stats_.elements += counters.elements;
   cursor.stats_.page_fetches += counters.fetches;
   cursor.stats_.page_misses += counters.misses;
+  cursor.stats_.io_reads += counters.io_reads;
   cursor.millis_ = watch.ElapsedMillis();
   if (!status.ok()) return status;
   return cursor;
@@ -295,6 +296,7 @@ std::optional<Match> ResultCursor::Next() {
   stats_.elements += counters.elements;
   stats_.page_fetches += counters.fetches;
   stats_.page_misses += counters.misses;
+  stats_.io_reads += counters.io_reads;
   millis_ += watch.ElapsedMillis();
   return out;
 }
@@ -350,6 +352,7 @@ QueryResult ResultCursor::Drain() {
     stats_.elements += counters.elements;
     stats_.page_fetches += counters.fetches;
     stats_.page_misses += counters.misses;
+    stats_.io_reads += counters.io_reads;
     millis_ += watch.ElapsedMillis();
   }
 

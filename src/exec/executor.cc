@@ -194,6 +194,7 @@ Result<std::vector<DLabel>> RelationalExecutor::ExecuteBindings(
     local.elements = counters.elements;
     local.page_fetches = counters.fetches;
     local.page_misses = counters.misses;
+    local.io_reads = counters.io_reads;
     local.output_rows = result.size();
     *stats += local;
   }
@@ -223,6 +224,7 @@ Result<std::vector<DLabel>> RelationalExecutor::MatchedAnchors(
     local.elements = counters.elements;
     local.page_fetches = counters.fetches;
     local.page_misses = counters.misses;
+    local.io_reads = counters.io_reads;
     *stats += local;
   }
   return anchors;

@@ -18,6 +18,9 @@ struct ExecStats {
   /// Logical page reads / simulated disk accesses.
   uint64_t page_fetches = 0;
   uint64_t page_misses = 0;
+  /// Misses that performed a real disk read (demand-paged stores opened
+  /// via BlasSystem::OpenPaged; 0 for in-memory stores).
+  uint64_t io_reads = 0;
   /// Number of D-joins actually executed. Wide enough to aggregate over a
   /// service lifetime, not just one query.
   uint64_t d_joins = 0;
@@ -30,6 +33,7 @@ struct ExecStats {
     elements += o.elements;
     page_fetches += o.page_fetches;
     page_misses += o.page_misses;
+    io_reads += o.io_reads;
     d_joins += o.d_joins;
     intermediate_rows += o.intermediate_rows;
     output_rows += o.output_rows;

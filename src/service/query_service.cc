@@ -346,6 +346,7 @@ void QueryService::RollUp(const ExecStats& stats) {
   elements_.fetch_add(stats.elements, std::memory_order_relaxed);
   page_fetches_.fetch_add(stats.page_fetches, std::memory_order_relaxed);
   page_misses_.fetch_add(stats.page_misses, std::memory_order_relaxed);
+  io_reads_.fetch_add(stats.io_reads, std::memory_order_relaxed);
   d_joins_.fetch_add(stats.d_joins, std::memory_order_relaxed);
   intermediate_rows_.fetch_add(stats.intermediate_rows,
                                std::memory_order_relaxed);
@@ -384,6 +385,7 @@ ServiceStats QueryService::stats() const {
   s.exec.elements = elements_.load(std::memory_order_relaxed);
   s.exec.page_fetches = page_fetches_.load(std::memory_order_relaxed);
   s.exec.page_misses = page_misses_.load(std::memory_order_relaxed);
+  s.exec.io_reads = io_reads_.load(std::memory_order_relaxed);
   s.exec.d_joins = d_joins_.load(std::memory_order_relaxed);
   s.exec.intermediate_rows =
       intermediate_rows_.load(std::memory_order_relaxed);

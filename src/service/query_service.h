@@ -81,6 +81,8 @@ struct ServiceStats {
     uint64_t elements = 0;
     uint64_t page_fetches = 0;
     uint64_t page_misses = 0;
+    /// Real disk reads (demand-paged documents; 0 for in-memory).
+    uint64_t io_reads = 0;
     uint64_t d_joins = 0;
     uint64_t intermediate_rows = 0;
     uint64_t output_rows = 0;
@@ -256,6 +258,7 @@ class QueryService {
   std::atomic<uint64_t> elements_{0};
   std::atomic<uint64_t> page_fetches_{0};
   std::atomic<uint64_t> page_misses_{0};
+  std::atomic<uint64_t> io_reads_{0};
   std::atomic<uint64_t> d_joins_{0};
   std::atomic<uint64_t> intermediate_rows_{0};
   std::atomic<uint64_t> output_rows_{0};

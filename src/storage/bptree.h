@@ -5,6 +5,7 @@
 #include <cassert>
 #include <cstdint>
 #include <cstring>
+#include <utility>
 #include <vector>
 
 #include "storage/buffer_pool.h"
@@ -18,7 +19,9 @@ namespace blas {
 /// nodes store separator keys and child page ids. The tree is built once
 /// from sorted data (the BLAS index generator is build-once/query-many) and
 /// then serves point and range lookups whose page accesses are counted by
-/// the owning BufferPool.
+/// the owning BufferPool. A tree persisted in a BLASIDX2 snapshot is
+/// reattached to a paged pool via `Attach` — no page is touched until a
+/// lookup descends into it.
 ///
 /// Requirements: `Record` and `Key` are trivially copyable; `Key` has
 /// `operator<`; `KeyOf` exposes `static Key Get(const Record&)`.
@@ -119,24 +122,84 @@ class BPlusTree {
     root_ = level_pages[0];
   }
 
+  /// Reattaches a persisted tree to its (typically paged) pool: the
+  /// metadata comes from the snapshot header, the pages from the pool on
+  /// demand. No page access happens here.
+  void Attach(BufferPool* pool, PageId root, PageId first_leaf,
+              uint64_t size, int height) {
+    pool_ = pool;
+    root_ = root;
+    first_leaf_ = first_leaf;
+    size_ = size;
+    height_ = height;
+  }
+
   size_t size() const { return size_; }
   int height() const { return height_; }
   PageId root() const { return root_; }
+  PageId first_leaf() const { return first_leaf_; }
+
+  /// True when the fetched page plausibly is a leaf of this tree — the
+  /// snapshot preflight validates directories, not page payloads, so the
+  /// tag and count are untrusted until checked (an overrun count would
+  /// otherwise index far past the frame).
+  static const LeafNode* ValidLeaf(const PageRef& ref) {
+    if (!ref) return nullptr;
+    const LeafNode* leaf = LeafAt(ref.get());
+    if (leaf->is_leaf != 1 || leaf->count == 0 || leaf->count > kLeafCap) {
+      assert(false && "corrupt leaf page");
+      return nullptr;
+    }
+    return leaf;
+  }
 
   /// Forward iterator over leaf records; dereference is only valid while
-  /// the underlying pool exists. Advancing across a page boundary fetches
-  /// the next page (counted by the pool).
+  /// the underlying pool exists. The iterator pins the leaf it stands on
+  /// (the record it points at cannot be evicted under it); advancing
+  /// across a page boundary fetches — and repins to — the next page
+  /// (counted by the pool). A failed read or corrupt page ends the
+  /// iteration. Move-only: the pin travels with it.
   class Iterator {
    public:
     Iterator() = default;
     Iterator(const BufferPool* pool, PageId page, uint32_t slot)
         : pool_(pool), page_(page), slot_(slot) {
-      if (page_ != kInvalidPage) leaf_ = LeafAt(pool_->Fetch(page_));
+      if (page_ != kInvalidPage) {
+        ref_ = pool_->Fetch(page_);
+        leaf_ = ValidLeaf(ref_);
+        if (leaf_ == nullptr) page_ = kInvalidPage;  // corrupt/failed read
+      }
     }
-    /// Positions on an already-fetched leaf (no extra page access).
+    /// Positions on an already-fetched leaf (no extra page access); takes
+    /// over the caller's pin.
     Iterator(const BufferPool* pool, PageId page, uint32_t slot,
-             const LeafNode* leaf)
-        : pool_(pool), page_(page), slot_(slot), leaf_(leaf) {}
+             PageRef ref)
+        : pool_(pool), page_(page), slot_(slot), ref_(std::move(ref)) {
+      leaf_ = ValidLeaf(ref_);
+      if (leaf_ == nullptr) page_ = kInvalidPage;
+    }
+
+    Iterator(Iterator&& other) noexcept
+        : pool_(other.pool_),
+          page_(other.page_),
+          slot_(other.slot_),
+          ref_(std::move(other.ref_)),
+          leaf_(other.leaf_) {
+      other.page_ = kInvalidPage;
+      other.leaf_ = nullptr;
+    }
+    Iterator& operator=(Iterator&& other) noexcept {
+      if (this != &other) {
+        pool_ = other.pool_;
+        page_ = other.page_;
+        slot_ = other.slot_;
+        ref_ = std::move(other.ref_);
+        leaf_ = other.leaf_;
+        other.page_ = kInvalidPage;
+        other.leaf_ = nullptr;
+      }
+      return *this;
+    }
 
     bool at_end() const { return page_ == kInvalidPage; }
 
@@ -151,7 +214,14 @@ class BPlusTree {
       if (slot_ >= leaf_->count) {
         page_ = leaf_->next;
         slot_ = 0;
-        leaf_ = page_ == kInvalidPage ? nullptr : LeafAt(pool_->Fetch(page_));
+        if (page_ == kInvalidPage) {
+          ref_ = PageRef();
+          leaf_ = nullptr;
+        } else {
+          ref_ = pool_->Fetch(page_);
+          leaf_ = ValidLeaf(ref_);
+          if (leaf_ == nullptr) page_ = kInvalidPage;
+        }
       }
       return *this;
     }
@@ -160,25 +230,40 @@ class BPlusTree {
     const BufferPool* pool_ = nullptr;
     PageId page_ = kInvalidPage;
     uint32_t slot_ = 0;
+    PageRef ref_;
     const LeafNode* leaf_ = nullptr;
   };
 
   /// Iterator positioned at the first record with key >= `key`.
-  /// Touches exactly one page per tree level.
+  /// Touches exactly one page per tree level; the descent holds at most
+  /// two pins at a time (hand-over-hand parent/child). Page payloads are
+  /// untrusted (the snapshot preflight validates directories only): a
+  /// node tag other than internal/leaf, an overrun key count, or a
+  /// descent deeper than the recorded height — a corrupt child id could
+  /// otherwise cycle among internal pages forever — all end the seek.
   Iterator Seek(const Key& key) const {
     if (root_ == kInvalidPage) return Iterator();
     PageId pid = root_;
-    const Page* page = pool_->Fetch(pid);
-    while (page->As<uint32_t>()[0] == 0) {  // internal
-      const auto* node = InternalAt(page);
+    PageRef ref = pool_->Fetch(pid);
+    if (!ref) return Iterator();
+    int depth = 0;
+    while (ref->template As<uint32_t>()[0] == 0) {  // internal
+      const auto* node = InternalAt(ref.get());
+      if (node->count > kInternalCap || ++depth >= height_) {
+        assert(false && "corrupt internal page");
+        return Iterator();
+      }
       const Key* begin = node->keys;
       const Key* end = node->keys + node->count;
       size_t idx = static_cast<size_t>(
           std::upper_bound(begin, end, key) - begin);
-      pid = ChildrenArray(page)[idx];
-      page = pool_->Fetch(pid);
+      pid = ChildrenArray(ref.get())[idx];
+      PageRef child = pool_->Fetch(pid);
+      if (!child) return Iterator();
+      ref = std::move(child);
     }
-    const auto* leaf = LeafAt(page);
+    const LeafNode* leaf = ValidLeaf(ref);
+    if (leaf == nullptr) return Iterator();
     uint32_t lo = 0;
     uint32_t hi = leaf->count;
     while (lo < hi) {
@@ -193,19 +278,23 @@ class BPlusTree {
       // Key larger than everything in this leaf; step to the next one.
       return Iterator(pool_, leaf->next, 0);
     }
-    return Iterator(pool_, pid, lo, leaf);
+    return Iterator(pool_, pid, lo, std::move(ref));
   }
 
   /// Iterator at the smallest record.
   Iterator Begin() const { return Iterator(pool_, first_leaf_, 0); }
 
   /// Uncounted full traversal in key order (maintenance/export paths;
-  /// bypasses the buffer-pool statistics).
+  /// bypasses the buffer-pool statistics). A corrupt page or a leaf
+  /// chain longer than the pool (a cycle) ends the traversal.
   template <typename Fn>
   void ForEachRecord(Fn&& fn) const {
     PageId pid = first_leaf_;
-    while (pid != kInvalidPage) {
-      const LeafNode* leaf = LeafAt(pool_->Peek(pid));
+    size_t pages_walked = 0;
+    while (pid != kInvalidPage && pages_walked++ < pool_->page_count()) {
+      PageRef ref = pool_->Peek(pid);
+      const LeafNode* leaf = ValidLeaf(ref);
+      if (leaf == nullptr) break;
       for (uint32_t i = 0; i < leaf->count; ++i) fn(leaf->records[i]);
       pid = leaf->next;
     }

@@ -1,8 +1,18 @@
 #include "storage/buffer_pool.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cassert>
+#include <cerrno>
+#include <condition_variable>
+#include <thread>
+#include <cstring>
 #include <list>
-#include <mutex>
+#include <sys/stat.h>
 #include <unordered_map>
+#include <unordered_set>
+#include <utility>
 
 namespace blas {
 
@@ -30,11 +40,191 @@ ReadCounterScope::~ReadCounterScope() { tls_read_counters = prev_; }
 
 ReadCounters* ReadCounterScope::Current() { return tls_read_counters; }
 
+// ------------------------------------------------------------ PagedFile ---
+
+Result<PagedFile> PagedFile::Open(const std::string& path,
+                                  uint64_t base_offset, uint64_t page_count) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::NotFound("cannot open for paging: " + path + ": " +
+                            std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::Internal("fstat failed: " + path);
+  }
+  const uint64_t needed = base_offset + page_count * kPageSize;
+  if (static_cast<uint64_t>(st.st_size) < needed) {
+    ::close(fd);
+    return Status::Corruption("file too short for its page directory: " +
+                              path);
+  }
+  return PagedFile(fd, base_offset, page_count, path);
+}
+
+PagedFile::PagedFile(PagedFile&& other) noexcept
+    : fd_(other.fd_),
+      base_(other.base_),
+      pages_(other.pages_),
+      path_(std::move(other.path_)) {
+  other.fd_ = -1;
+}
+
+PagedFile& PagedFile::operator=(PagedFile&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    base_ = other.base_;
+    pages_ = other.pages_;
+    path_ = std::move(other.path_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+PagedFile::~PagedFile() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status PagedFile::Read(PageId id, Page* out) const {
+  if (id >= pages_) {
+    return Status::Corruption("page id out of range: " + std::to_string(id));
+  }
+  uint64_t offset = base_ + uint64_t{id} * kPageSize;
+  size_t done = 0;
+  while (done < kPageSize) {
+    ssize_t n = ::pread(fd_, out->bytes.data() + done, kPageSize - done,
+                        static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal("pread failed: " + path_ + ": " +
+                              std::strerror(errno));
+    }
+    if (n == 0) {
+      return Status::Corruption("unexpected EOF reading page " +
+                                std::to_string(id) + " of " + path_);
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------- FrameBudget ---
+
+FrameBudget::FrameBudget(size_t limit_bytes) : limit_(limit_bytes) {}
+
+bool FrameBudget::TryCharge(size_t bytes) {
+  size_t used = used_.load(std::memory_order_relaxed);
+  while (true) {
+    if (used + bytes > limit_) return false;
+    if (used_.compare_exchange_weak(used, used + bytes,
+                                    std::memory_order_relaxed)) {
+      size_t peak = peak_.load(std::memory_order_relaxed);
+      while (used + bytes > peak &&
+             !peak_.compare_exchange_weak(peak, used + bytes,
+                                          std::memory_order_relaxed)) {
+      }
+      return true;
+    }
+  }
+}
+
+void FrameBudget::ForceCharge(size_t bytes) {
+  size_t now = used_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  size_t peak = peak_.load(std::memory_order_relaxed);
+  while (now > peak && !peak_.compare_exchange_weak(
+                           peak, now, std::memory_order_relaxed)) {
+  }
+}
+
+void FrameBudget::Release(size_t bytes) {
+  used_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+bool FrameBudget::ReclaimOne(BufferPool* preferred) {
+  std::lock_guard<std::mutex> lock(pools_mu_);
+  if (preferred != nullptr && preferred->TryEvictOne()) return true;
+  for (BufferPool* pool : pools_) {
+    if (pool == preferred) continue;
+    if (pool->TryEvictOne()) return true;
+  }
+  return false;
+}
+
+void FrameBudget::Register(BufferPool* pool) {
+  std::lock_guard<std::mutex> lock(pools_mu_);
+  pools_.push_back(pool);
+}
+
+void FrameBudget::Unregister(BufferPool* pool) {
+  std::lock_guard<std::mutex> lock(pools_mu_);
+  for (auto it = pools_.begin(); it != pools_.end(); ++it) {
+    if (*it == pool) {
+      pools_.erase(it);
+      return;
+    }
+  }
+}
+
+// -------------------------------------------------------------- PageRef ---
+
+PageRef::PageRef(PageRef&& other) noexcept
+    : page_(other.page_), frame_(other.frame_), pool_(other.pool_) {
+  other.page_ = nullptr;
+  other.frame_ = nullptr;
+  other.pool_ = nullptr;
+}
+
+PageRef& PageRef::operator=(PageRef&& other) noexcept {
+  if (this != &other) {
+    Release();
+    page_ = other.page_;
+    frame_ = other.frame_;
+    pool_ = other.pool_;
+    other.page_ = nullptr;
+    other.frame_ = nullptr;
+    other.pool_ = nullptr;
+  }
+  return *this;
+}
+
+PageRef::~PageRef() { Release(); }
+
+void PageRef::Release() {
+  if (frame_ != nullptr) pool_->Unpin(frame_);
+  page_ = nullptr;
+  frame_ = nullptr;
+  pool_ = nullptr;
+}
+
+// ----------------------------------------------------------- BufferPool ---
+
+struct BufferPool::Frame {
+  Page page;
+  PageId id = kInvalidPage;
+  /// Pins are taken under the shard latch but dropped lock-free; the
+  /// release/acquire pair orders the reader's last access before any
+  /// eviction that observes the zero.
+  std::atomic<uint32_t> pins{0};
+  bool referenced = false;  // second-chance bit, under the shard latch
+};
+
 struct BufferPool::Shard {
   std::mutex mu;
+  // In-memory mode: counting LRU over resident-anyway pages.
   std::list<PageId> lru;  // front = most recent
   std::unordered_map<PageId, std::list<PageId>::iterator> cached;
+  // Paged mode: real frames plus a second-chance clock ring. Pages whose
+  // pread is in flight sit in `pending` (the disk read happens with the
+  // latch dropped, so hits on other pages proceed); concurrent fetchers
+  // of the same page wait on `ready`.
+  std::unordered_map<PageId, std::unique_ptr<Frame>> frames;
+  std::list<PageId> clock;  // front = next eviction candidate
+  std::unordered_set<PageId> pending;
+  std::condition_variable ready;
   size_t capacity = 1;
+  size_t peak = 0;
   Stats stats;
 };
 
@@ -51,39 +241,248 @@ BufferPool::BufferPool(size_t cache_capacity, size_t shards)
   }
 }
 
-BufferPool::~BufferPool() = default;
+BufferPool::BufferPool(PagedFile file, const StorageOptions& options)
+    : file_(std::move(file)), budget_(options.shared_budget) {
+  size_t total_frames;
+  size_t n;
+  if (options.frames_per_shard > 0) {
+    n = options.shards == 0 ? 1 : options.shards;
+    total_frames = options.frames_per_shard * n;
+  } else {
+    total_frames = options.memory_budget / kPageSize;
+    if (total_frames == 0) total_frames = 1;
+    n = options.shards == 0 ? PickShardCount(total_frames) : options.shards;
+    if (n > total_frames) n = total_frames;
+  }
+  if (n == 0) n = 1;
+  cache_capacity_ = total_frames;
+  shards_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->capacity = total_frames / n + (i < total_frames % n ? 1 : 0);
+    if (shard->capacity == 0) shard->capacity = 1;
+    shards_.push_back(std::move(shard));
+  }
+  if (budget_ != nullptr) budget_->Register(this);
+}
+
+BufferPool::~BufferPool() {
+  if (budget_ != nullptr) {
+    budget_->Unregister(this);
+    size_t resident = 0;
+    for (auto& shard : shards_) resident += shard->frames.size();
+    if (resident > 0) budget_->Release(resident * kPageSize);
+  }
+}
+
+size_t BufferPool::page_count() const {
+  return paged() ? file_->page_count() : pages_.size();
+}
+
+BufferPool::Shard& BufferPool::shard_for(PageId id) const {
+  return *shards_[id % shards_.size()];
+}
 
 PageId BufferPool::Allocate() {
+  assert(!paged() && "Allocate on a paged (immutable) pool");
+  if (paged()) return kInvalidPage;
   pages_.push_back(std::make_unique<Page>());
   return static_cast<PageId>(pages_.size() - 1);
 }
 
-const Page* BufferPool::Fetch(PageId id) const {
-  Shard& shard = *shards_[id % shards_.size()];
-  bool miss = false;
-  {
-    std::lock_guard<std::mutex> lock(shard.mu);
-    ++shard.stats.fetches;
-    auto it = shard.cached.find(id);
-    if (it != shard.cached.end()) {
-      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-    } else {
-      miss = true;
-      ++shard.stats.misses;
-      if (shard.cached.size() >= shard.capacity) {
-        PageId victim = shard.lru.back();
-        shard.lru.pop_back();
-        shard.cached.erase(victim);
+Page* BufferPool::MutablePage(PageId id) {
+  assert(!paged() && "MutablePage on a paged (immutable) pool");
+  // An out-of-range id (e.g. from a corrupt snapshot directory) must not
+  // index unallocated memory.
+  assert(id < pages_.size() && "MutablePage out of range");
+  if (paged() || id >= pages_.size()) return nullptr;
+  return pages_[id].get();
+}
+
+size_t BufferPool::EvictDownTo(Shard& shard, size_t target) const {
+  size_t evicted = 0;
+  // Two full rotations: the first clears referenced bits, the second can
+  // then evict; beyond that everything left is pinned.
+  size_t attempts = 2 * shard.clock.size() + 1;
+  while (shard.frames.size() > target && attempts-- > 0 &&
+         !shard.clock.empty()) {
+    PageId victim = shard.clock.front();
+    auto it = shard.frames.find(victim);
+    assert(it != shard.frames.end());
+    Frame* frame = it->second.get();
+    if (frame->pins.load(std::memory_order_acquire) > 0 ||
+        frame->referenced) {
+      frame->referenced = false;
+      shard.clock.splice(shard.clock.end(), shard.clock,
+                         shard.clock.begin());
+      continue;
+    }
+    shard.clock.pop_front();
+    shard.frames.erase(it);
+    ++shard.stats.evictions;
+    ++evicted;
+    if (budget_ != nullptr) budget_->Release(kPageSize);
+  }
+  return evicted;
+}
+
+PageRef BufferPool::Fetch(PageId id) const {
+  if (!paged()) {
+    if (id >= pages_.size()) {
+      assert(false && "Fetch out of range");
+      return PageRef();
+    }
+    Shard& shard = shard_for(id);
+    bool miss = false;
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      ++shard.stats.fetches;
+      auto it = shard.cached.find(id);
+      if (it != shard.cached.end()) {
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      } else {
+        miss = true;
+        ++shard.stats.misses;
+        if (shard.cached.size() >= shard.capacity) {
+          PageId victim = shard.lru.back();
+          shard.lru.pop_back();
+          shard.cached.erase(victim);
+        }
+        shard.lru.push_front(id);
+        shard.cached[id] = shard.lru.begin();
       }
-      shard.lru.push_front(id);
-      shard.cached[id] = shard.lru.begin();
+    }
+    if (ReadCounters* counters = ReadCounterScope::Current()) {
+      ++counters->fetches;
+      if (miss) ++counters->misses;
+    }
+    return PageRef(pages_[id].get(), nullptr, nullptr);
+  }
+
+  return FetchPaged(id, /*counted=*/true);
+}
+
+PageRef BufferPool::FetchPaged(PageId id, bool counted) const {
+  if (id >= file_->page_count()) {
+    assert(false && "Fetch out of range");
+    return PageRef();
+  }
+  Shard& shard = shard_for(id);
+  {
+    std::unique_lock<std::mutex> lock(shard.mu);
+    if (counted) ++shard.stats.fetches;
+    while (true) {
+      auto it = shard.frames.find(id);
+      if (it != shard.frames.end()) {
+        Frame* frame = it->second.get();
+        frame->referenced = true;
+        frame->pins.fetch_add(1, std::memory_order_relaxed);
+        if (counted) {
+          if (ReadCounters* counters = ReadCounterScope::Current()) {
+            ++counters->fetches;
+          }
+        }
+        return PageRef(&frame->page, frame, this);
+      }
+      if (shard.pending.count(id) == 0) break;  // this thread reads it
+      // Another thread's pread for this page is in flight; wait for it
+      // to publish (or fail — then this thread retries the read).
+      shard.ready.wait(lock);
+    }
+    shard.pending.insert(id);
+  }
+
+  // Miss. Reserve budget first (reclaim may probe other shards and
+  // pools; no latch may be held while it does), then pread with the
+  // latch dropped — a slow disk must not block hits on this shard. The
+  // pending marker keeps the read exclusive.
+  bool charged = false;
+  if (budget_ != nullptr) {
+    int failed_probes = 0;
+    while (!(charged = budget_->TryCharge(kPageSize))) {
+      if (budget_->ReclaimOne(const_cast<BufferPool*>(this))) {
+        failed_probes = 0;
+        continue;
+      }
+      // Reclaim probes shards with try-locks, so a failed round may just
+      // mean evictable frames sat behind momentarily-held latches —
+      // yield and retry before concluding the group is truly pinned.
+      if (++failed_probes < 16) {
+        std::this_thread::yield();
+        continue;
+      }
+      // Every frame in the group stayed unavailable across repeated
+      // probes (in practice: all pinned): overshoot rather than
+      // deadlock; the next eviction rebalances.
+      budget_->ForceCharge(kPageSize);
+      charged = true;
+      break;
     }
   }
-  if (ReadCounters* counters = ReadCounterScope::Current()) {
-    ++counters->fetches;
-    if (miss) ++counters->misses;
+
+  auto frame = std::make_unique<Frame>();
+  frame->id = id;
+  frame->pins.store(1, std::memory_order_relaxed);
+  Status read = file_->Read(id, &frame->page);
+
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.pending.erase(id);
+  shard.ready.notify_all();
+  if (!read.ok()) {
+    if (charged) budget_->Release(kPageSize);
+    ++shard.stats.io_errors;
+    io_error_.store(true, std::memory_order_relaxed);
+    assert(false && "paged read failed");
+    return PageRef();
   }
-  return pages_[id].get();
+  if (shard.frames.size() >= shard.capacity) {
+    EvictDownTo(shard, shard.capacity - 1);
+  }
+  if (counted) {
+    ++shard.stats.misses;
+    ++shard.stats.io_reads;
+  }
+  Frame* raw = frame.get();
+  shard.clock.push_back(id);
+  shard.frames.emplace(id, std::move(frame));
+  if (shard.frames.size() > shard.peak) shard.peak = shard.frames.size();
+  if (counted) {
+    if (ReadCounters* counters = ReadCounterScope::Current()) {
+      ++counters->fetches;
+      ++counters->misses;
+      ++counters->io_reads;
+    }
+  }
+  return PageRef(&raw->page, raw, this);
+}
+
+PageRef BufferPool::Peek(PageId id) const {
+  if (!paged()) {
+    if (id >= pages_.size()) {
+      assert(false && "Peek out of range");
+      return PageRef();
+    }
+    return PageRef(pages_[id].get(), nullptr, nullptr);
+  }
+  // Paged pools have no always-resident copy; the bytes still come
+  // through the frame table, just uncounted.
+  return FetchPaged(id, /*counted=*/false);
+}
+
+void BufferPool::Unpin(void* frame) const {
+  static_cast<Frame*>(frame)->pins.fetch_sub(1, std::memory_order_release);
+}
+
+bool BufferPool::TryEvictOne() {
+  if (!paged()) return false;
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::unique_lock<std::mutex> lock(shard.mu, std::try_to_lock);
+    if (!lock.owns_lock()) continue;
+    size_t target = shard.frames.empty() ? 0 : shard.frames.size() - 1;
+    if (EvictDownTo(shard, target) > 0) return true;
+  }
+  return false;
 }
 
 BufferPool::Stats BufferPool::stats() const {
@@ -92,6 +491,9 @@ BufferPool::Stats BufferPool::stats() const {
     std::lock_guard<std::mutex> lock(shard->mu);
     total.fetches += shard->stats.fetches;
     total.misses += shard->stats.misses;
+    total.io_reads += shard->stats.io_reads;
+    total.evictions += shard->stats.evictions;
+    total.io_errors += shard->stats.io_errors;
   }
   return total;
 }
@@ -100,6 +502,7 @@ void BufferPool::ResetStats() {
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
     shard->stats = Stats();
+    shard->peak = shard->frames.size();
   }
 }
 
@@ -108,7 +511,29 @@ void BufferPool::DropCache() {
     std::lock_guard<std::mutex> lock(shard->mu);
     shard->lru.clear();
     shard->cached.clear();
+    // Paged mode: free every unpinned frame. Pinned frames stay resident
+    // (and mapped, so their refs keep reading valid bytes); their next
+    // unpin makes them evictable again.
+    EvictDownTo(*shard, 0);
   }
+}
+
+size_t BufferPool::frames_in_use() const {
+  size_t total = 0;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->frames.size();
+  }
+  return total;
+}
+
+size_t BufferPool::peak_frames() const {
+  size_t total = 0;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->peak;
+  }
+  return total;
 }
 
 }  // namespace blas

@@ -1,13 +1,21 @@
 #ifndef BLAS_STORAGE_BUFFER_POOL_H_
 #define BLAS_STORAGE_BUFFER_POOL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
 #include <vector>
 
+#include "common/result.h"
+#include "common/status.h"
 #include "storage/page.h"
 
 namespace blas {
+
+class BufferPool;
 
 /// Per-thread storage access counters. Scans and page fetches add to the
 /// scope installed on the current thread (if any) in addition to the
@@ -19,6 +27,9 @@ struct ReadCounters {
   uint64_t elements = 0;
   uint64_t fetches = 0;
   uint64_t misses = 0;
+  /// Misses that performed a real disk read (paged pools only; an
+  /// in-memory pool's misses are simulated and cost no I/O).
+  uint64_t io_reads = 0;
 };
 
 /// RAII installer for a thread-local ReadCounters sink.
@@ -37,30 +48,166 @@ class ReadCounterScope {
   ReadCounters* prev_;
 };
 
-/// \brief Page store with an LRU cache that models disk accesses.
+/// Sizing of a paged (disk-backed) BufferPool.
+struct StorageOptions {
+  /// Total bytes of page frames this pool (or, with `shared_budget`, the
+  /// whole pool group) may keep resident. Rounded down to whole frames;
+  /// at least one frame per shard is always kept so progress is possible.
+  size_t memory_budget = size_t{64} << 20;
+  /// Explicit per-shard frame cap; 0 derives it from `memory_budget`.
+  size_t frames_per_shard = 0;
+  /// Latch shards (0 = auto-scale with the frame count, up to 16).
+  size_t shards = 0;
+  /// Optional budget shared between several pools (a collection of paged
+  /// documents drawing on one memory allowance). When set, a miss that
+  /// would exceed the group budget first evicts an unpinned frame from
+  /// some registered pool before bringing the new page in.
+  std::shared_ptr<class FrameBudget> shared_budget;
+};
+
+/// \brief Byte budget shared by a group of paged BufferPools.
 ///
-/// All pages live in memory; `Fetch` runs every access through an LRU
-/// cache so that benchmarks can report the two quantities the paper argues
-/// about: logical page reads (`fetches`) and simulated disk accesses
-/// (`misses`). Build-time access via `MutablePage` bypasses the counters
-/// (the paper measures query processing only).
+/// Each pool charges one frame on every page brought in and releases it
+/// on eviction. When a charge would exceed the limit, the charging pool
+/// asks the group to reclaim: registered pools are probed (try-lock, no
+/// nested latches) for an unpinned frame to evict, retrying with yields
+/// when a probe round loses every try-lock race. Only when frames stay
+/// unavailable across repeated rounds — in practice, everything pinned —
+/// does the group overshoot; `peak_used()` records the high-water mark
+/// so tests can assert the budget held.
+class FrameBudget {
+ public:
+  explicit FrameBudget(size_t limit_bytes);
+
+  size_t limit() const { return limit_; }
+  size_t used() const { return used_.load(std::memory_order_relaxed); }
+  size_t peak_used() const { return peak_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class BufferPool;
+
+  /// Reserves `bytes` if it fits; false when the budget is exhausted.
+  bool TryCharge(size_t bytes);
+  /// Reserves unconditionally (every evictable frame was pinned).
+  void ForceCharge(size_t bytes);
+  void Release(size_t bytes);
+  /// Evicts one unpinned frame from some registered pool (preferring
+  /// `preferred`). False when nothing in the group is evictable.
+  bool ReclaimOne(BufferPool* preferred);
+
+  void Register(BufferPool* pool);
+  void Unregister(BufferPool* pool);
+
+  const size_t limit_;
+  std::atomic<size_t> used_{0};
+  std::atomic<size_t> peak_{0};
+  std::mutex pools_mu_;
+  std::vector<BufferPool*> pools_;
+};
+
+/// \brief Read-only page file: the on-disk backing of a paged BufferPool.
 ///
-/// Concurrency: `Fetch`, `Peek`, `stats` and the counter scopes are safe
-/// to call from any number of threads once the pool is built. The LRU
-/// state is sharded by page id — small pools (< 128 frames) keep a single
-/// shard and therefore exact global-LRU semantics; larger pools split into
-/// up to 16 independently latched shards so concurrent readers do not
-/// serialize on one mutex. `Allocate` and `MutablePage` are build-time
-/// only and must not race with `Fetch`.
+/// Pages live at `base_offset + id * kPageSize`; reads go through pread,
+/// so any number of threads may read concurrently through one descriptor.
+class PagedFile {
+ public:
+  /// Opens `path` and verifies it holds `page_count` pages at
+  /// `base_offset` (fails with Corruption when the file is too short).
+  static Result<PagedFile> Open(const std::string& path,
+                                uint64_t base_offset, uint64_t page_count);
+
+  PagedFile(PagedFile&& other) noexcept;
+  PagedFile& operator=(PagedFile&& other) noexcept;
+  PagedFile(const PagedFile&) = delete;
+  PagedFile& operator=(const PagedFile&) = delete;
+  ~PagedFile();
+
+  /// Reads page `id` into `out` (one full-page pread).
+  Status Read(PageId id, Page* out) const;
+
+  uint64_t page_count() const { return pages_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  PagedFile(int fd, uint64_t base, uint64_t pages, std::string path)
+      : fd_(fd), base_(base), pages_(pages), path_(std::move(path)) {}
+
+  int fd_ = -1;
+  uint64_t base_ = 0;
+  uint64_t pages_ = 0;
+  std::string path_;
+};
+
+/// \brief RAII handle to a fetched page.
+///
+/// In a paged pool the referenced frame is pinned for the lifetime of the
+/// ref: eviction, DropCache and shard reclaim all skip pinned frames, so
+/// the pointed-to bytes stay valid and immutable until the ref dies. In
+/// an in-memory pool pages are never freed and the ref is a plain
+/// pointer. An empty ref (`!ref`) means the page id was out of range or
+/// the backing read failed — treat it as end-of-data.
+class PageRef {
+ public:
+  PageRef() = default;
+  PageRef(PageRef&& other) noexcept;
+  PageRef& operator=(PageRef&& other) noexcept;
+  PageRef(const PageRef&) = delete;
+  PageRef& operator=(const PageRef&) = delete;
+  ~PageRef();
+
+  const Page* get() const { return page_; }
+  const Page* operator->() const { return page_; }
+  const Page& operator*() const { return *page_; }
+  explicit operator bool() const { return page_ != nullptr; }
+
+ private:
+  friend class BufferPool;
+  PageRef(const Page* page, void* frame, const BufferPool* pool)
+      : page_(page), frame_(frame), pool_(pool) {}
+
+  void Release();
+
+  const Page* page_ = nullptr;
+  void* frame_ = nullptr;  // Frame* when pinned (paged pools)
+  const BufferPool* pool_ = nullptr;
+};
+
+/// \brief Page store: either an in-memory page array with a counting LRU
+/// that models disk accesses, or a real demand-paging layer over a
+/// snapshot file.
+///
+/// **In-memory mode** (the build-time pool): all pages live in memory;
+/// `Fetch` runs every access through an LRU cache so benchmarks can
+/// report the two quantities the paper argues about — logical page reads
+/// (`fetches`) and simulated disk accesses (`misses`). Nothing is ever
+/// freed, so refs never dangle and `io_reads` stays 0.
+///
+/// **Paged mode** (`BufferPool(PagedFile, StorageOptions)`): frames are
+/// backed by pread from the snapshot file, a miss costs a real disk read
+/// (counted in `io_reads`), and eviction is real — second-chance per
+/// shard, honoring the frame budget, never evicting a pinned frame.
+/// `Allocate`/`MutablePage` are unavailable (the file is immutable).
+///
+/// Concurrency: `Fetch`, `Peek`, `stats`, `DropCache`, `ResetStats` and
+/// the counter scopes are safe to call from any number of threads once
+/// the pool is built. The cache state is sharded by page id — small
+/// pools (< 128 frames) keep a single shard and therefore exact
+/// global-LRU semantics; larger pools split into up to 16 independently
+/// latched shards. `Allocate` and `MutablePage` are build-time only and
+/// must not race with `Fetch`.
 class BufferPool {
  public:
-  /// `cache_capacity` is the number of cached frames (>= 1). `shards` is
-  /// the number of independently latched LRU shards; 0 picks one shard
-  /// per 128 frames (capped at 16). Pass 1 for exact global-LRU miss
-  /// accounting (the paper's single-threaded cold-cache experiments);
-  /// sharded pools approximate it (misses can differ under capacity
-  /// pressure because each shard evicts independently).
+  /// In-memory pool. `cache_capacity` is the number of cached frames
+  /// (>= 1) of the miss-counting LRU. `shards` is the number of
+  /// independently latched shards; 0 picks one shard per 128 frames
+  /// (capped at 16). Pass 1 for exact global-LRU miss accounting.
   explicit BufferPool(size_t cache_capacity = 1024, size_t shards = 0);
+
+  /// Paged pool over `file`. Frame count derives from
+  /// `options.memory_budget` (or `frames_per_shard`); at least one frame
+  /// per shard is kept so a pinned descent can always progress.
+  BufferPool(PagedFile file, const StorageOptions& options);
+
   ~BufferPool();
 
   BufferPool(const BufferPool&) = delete;
@@ -68,40 +215,90 @@ class BufferPool {
   BufferPool(BufferPool&&) = delete;
   BufferPool& operator=(BufferPool&&) = delete;
 
-  /// Appends a zeroed page and returns its id. Build-time only.
+  bool paged() const { return file_.has_value(); }
+
+  /// Appends a zeroed page and returns its id. Build-time, in-memory
+  /// pools only (kInvalidPage otherwise).
   PageId Allocate();
 
-  /// Build-time access; does not touch the counters.
-  Page* MutablePage(PageId id) { return pages_[id].get(); }
+  /// Build-time access; does not touch the counters. Bounds-checked:
+  /// out-of-range ids (and paged pools) return nullptr instead of
+  /// indexing unallocated memory.
+  Page* MutablePage(PageId id);
 
   /// Query-time access; counts one fetch, plus one miss when `id` is not
-  /// in its shard's LRU cache (it is then brought in, possibly evicting).
-  const Page* Fetch(PageId id) const;
+  /// resident in its shard (paged pools then pread it in, possibly
+  /// evicting an unpinned frame). An out-of-range id — e.g. from a
+  /// corrupt snapshot directory — yields an empty ref, never UB.
+  PageRef Fetch(PageId id) const;
 
-  /// Maintenance access (export, verification); bypasses the counters and
-  /// the cache, like MutablePage but const.
-  const Page* Peek(PageId id) const { return pages_[id].get(); }
+  /// Maintenance access (export, verification); bypasses the counters
+  /// and, in in-memory pools, the cache. Paged pools still go through
+  /// the frame table (the bytes must come from somewhere) but without
+  /// touching the statistics. Bounds-checked like Fetch.
+  PageRef Peek(PageId id) const;
 
-  size_t page_count() const { return pages_.size(); }
+  size_t page_count() const;
   size_t shard_count() const { return shards_.size(); }
 
   struct Stats {
     uint64_t fetches = 0;
     uint64_t misses = 0;
+    /// Real disk reads (== misses for paged pools, 0 for in-memory).
+    uint64_t io_reads = 0;
+    /// Frames evicted to stay within the budget (paged pools).
+    uint64_t evictions = 0;
+    /// preads that failed (see io_error()).
+    uint64_t io_errors = 0;
   };
   /// Aggregate over all shards since the last ResetStats().
   Stats stats() const;
   void ResetStats();
 
-  /// Drops all cached frames (cold-cache experiments; the paper runs every
-  /// query on a cold cache).
+  /// Sticky: true once any pread has failed over this pool's lifetime.
+  /// A failed read surfaces to scans as end-of-data (Next() cannot fail
+  /// by contract), so results may be truncated from that point on —
+  /// callers that must distinguish "no more matches" from "the disk went
+  /// away" check this flag (it never resets).
+  bool io_error() const {
+    return io_error_.load(std::memory_order_relaxed);
+  }
+
+  /// Drops cached state (cold-cache experiments; the paper runs every
+  /// query on a cold cache). In-memory pools clear the LRU bookkeeping;
+  /// paged pools evict every unpinned frame — pinned frames survive, so
+  /// concurrent readers holding PageRefs stay valid.
   void DropCache();
 
+  /// Frames currently resident (paged pools; 0 for in-memory).
+  size_t frames_in_use() const;
+  /// Sum of the per-shard resident high-water marks since construction
+  /// or the last ResetStats() (paged pools; 0 for in-memory).
+  size_t peak_frames() const;
+
  private:
+  friend class PageRef;
+  friend class FrameBudget;
+
+  struct Frame;
   struct Shard;
 
-  std::vector<std::unique_ptr<Page>> pages_;
+  Shard& shard_for(PageId id) const;
+  void Unpin(void* frame) const;
+  /// Paged fetch; `counted` false bypasses all statistics (Peek).
+  PageRef FetchPaged(PageId id, bool counted) const;
+  /// Second-chance hand: evicts until the shard holds <= `target` frames
+  /// or only pinned frames remain. Caller holds the shard latch.
+  size_t EvictDownTo(Shard& shard, size_t target) const;
+  /// Evicts one unpinned frame from any shard (try-lock probing; used by
+  /// the shared budget's reclaim). False when everything is pinned.
+  bool TryEvictOne();
+
+  std::vector<std::unique_ptr<Page>> pages_;  // in-memory mode
+  std::optional<PagedFile> file_;             // paged mode
   size_t cache_capacity_;
+  std::shared_ptr<FrameBudget> budget_;
+  mutable std::atomic<bool> io_error_{false};
   mutable std::vector<std::unique_ptr<Shard>> shards_;
 };
 

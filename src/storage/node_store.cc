@@ -1,6 +1,7 @@
 #include "storage/node_store.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace blas {
 
@@ -22,27 +23,76 @@ void CountVisited(std::atomic<uint64_t>* total, uint64_t visited) {
 NodeStore::NodeStore(const std::vector<NodeRecord>& records,
                      size_t cache_pages, size_t cache_shards)
     : pool_(cache_pages, cache_shards), count_(records.size()) {
+  // Bulk loading allocates each tree's pages in one contiguous run, so
+  // recording the pool size around every Build captures the page range
+  // the BLASIDX2 segment directory needs.
+  auto capture = [this](const auto& tree, size_t first) {
+    BPlusTreeMeta meta;
+    meta.root = tree.root();
+    meta.first_leaf = tree.first_leaf();
+    meta.size = tree.size();
+    meta.height = tree.height();
+    meta.first_page = static_cast<PageId>(first);
+    meta.page_count = static_cast<uint32_t>(pool_.page_count() - first);
+    return meta;
+  };
   std::vector<NodeRecord> sorted = records;
   std::sort(sorted.begin(), sorted.end(),
             [](const NodeRecord& a, const NodeRecord& b) {
               return SpKeyOf::Get(a) < SpKeyOf::Get(b);
             });
+  size_t first = pool_.page_count();
   sp_.Build(&pool_, sorted);
+  tree_metas_[0] = capture(sp_, first);
   std::sort(sorted.begin(), sorted.end(),
             [](const NodeRecord& a, const NodeRecord& b) {
               return SdKeyOf::Get(a) < SdKeyOf::Get(b);
             });
+  first = pool_.page_count();
   sd_.Build(&pool_, sorted);
+  tree_metas_[1] = capture(sd_, first);
   std::sort(sorted.begin(), sorted.end(),
             [](const NodeRecord& a, const NodeRecord& b) {
               return ValKeyOf::Get(a) < ValKeyOf::Get(b);
             });
+  first = pool_.page_count();
   vindex_.Build(&pool_, sorted);
+  tree_metas_[2] = capture(vindex_, first);
   std::sort(sorted.begin(), sorted.end(),
             [](const NodeRecord& a, const NodeRecord& b) {
               return StartKeyOf::Get(a) < StartKeyOf::Get(b);
             });
+  first = pool_.page_count();
   doc_.Build(&pool_, sorted);
+  tree_metas_[3] = capture(doc_, first);
+  tree_pages_ = pool_.page_count();
+}
+
+NodeStore::NodeStore(PagedFile file, const PagedStoreMeta& meta,
+                     const StorageOptions& options)
+    : pool_(std::move(file), options),
+      tree_metas_{meta.sp, meta.sd, meta.value, meta.doc},
+      count_(meta.record_count),
+      tree_pages_(meta.tree_pages) {
+  sp_.Attach(&pool_, meta.sp.root, meta.sp.first_leaf, meta.sp.size,
+             meta.sp.height);
+  sd_.Attach(&pool_, meta.sd.root, meta.sd.first_leaf, meta.sd.size,
+             meta.sd.height);
+  vindex_.Attach(&pool_, meta.value.root, meta.value.first_leaf,
+                 meta.value.size, meta.value.height);
+  doc_.Attach(&pool_, meta.doc.root, meta.doc.first_leaf, meta.doc.size,
+              meta.doc.height);
+}
+
+PagedStoreMeta NodeStore::paged_meta() const {
+  PagedStoreMeta meta;
+  meta.sp = tree_metas_[0];
+  meta.sd = tree_metas_[1];
+  meta.value = tree_metas_[2];
+  meta.doc = tree_metas_[3];
+  meta.record_count = count_;
+  meta.tree_pages = tree_pages_;
+  return meta;
 }
 
 std::vector<NodeRecord> NodeStore::ScanPlabelRange(
@@ -141,6 +191,7 @@ StorageStats NodeStore::stats() const {
   BufferPool::Stats pool_stats = pool_.stats();
   s.page_fetches = pool_stats.fetches;
   s.page_misses = pool_stats.misses;
+  s.io_reads = pool_stats.io_reads;
   return s;
 }
 

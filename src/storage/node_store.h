@@ -1,9 +1,11 @@
 #ifndef BLAS_STORAGE_NODE_STORE_H_
 #define BLAS_STORAGE_NODE_STORE_H_
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "labeling/node_record.h"
@@ -58,18 +60,44 @@ struct StartKeyOf {
 };
 
 /// Per-query storage access counters. `elements` is the paper's "visited
-/// elements"; page counters come from the buffer pool.
+/// elements"; page counters come from the buffer pool (`io_reads` are the
+/// misses that cost a real disk read — paged stores only).
 struct StorageStats {
   uint64_t elements = 0;
   uint64_t page_fetches = 0;
   uint64_t page_misses = 0;
+  uint64_t io_reads = 0;
 
   StorageStats& operator+=(const StorageStats& o) {
     elements += o.elements;
     page_fetches += o.page_fetches;
     page_misses += o.page_misses;
+    io_reads += o.io_reads;
     return *this;
   }
+};
+
+/// Persisted placement of one clustered B+-tree inside a paged snapshot:
+/// the pool-relative page range it occupies plus the metadata needed to
+/// reattach it without reading a single page.
+struct BPlusTreeMeta {
+  PageId root = kInvalidPage;
+  PageId first_leaf = kInvalidPage;
+  uint64_t size = 0;
+  int32_t height = 0;
+  /// First pool page id of this tree; the tree's pages are contiguous
+  /// (bulk loading allocates them in one run).
+  PageId first_page = 0;
+  uint32_t page_count = 0;
+};
+
+/// Everything a paged NodeStore needs from the snapshot header.
+struct PagedStoreMeta {
+  BPlusTreeMeta sp, sd, value, doc;
+  uint64_t record_count = 0;
+  /// Pages occupied by the four trees (the pool may address further
+  /// pages — the paged value dictionary lives in the same page space).
+  uint64_t tree_pages = 0;
 };
 
 /// \brief The BLAS index store (section 4, index generator output).
@@ -81,12 +109,18 @@ struct StorageStats {
 /// document-order index clustered by {start} (point lookups and subtree
 /// reconstruction for the cursor projection layer).
 ///
+/// Two storage modes share all query paths: a build-time store keeps
+/// every page in memory behind the miss-counting LRU, while a store
+/// reopened from a BLASIDX2 snapshot (`NodeStore(PagedFile, ...)`) pages
+/// on demand — construction is O(1) in document size and each miss is a
+/// real disk read bounded by the StorageOptions memory budget.
+///
 /// All scans count every record they touch (including records later
 /// rejected by a residual data/level filter), matching how the paper counts
 /// visited elements.
 ///
 /// Concurrency: all scan methods and `stats` are safe for concurrent
-/// callers once construction finishes (the buffer pool shards its LRU
+/// callers once construction finishes (the buffer pool shards its
 /// latches; the element counter is atomic). Per-thread attribution of
 /// visited elements and page accesses goes through ReadCounterScope.
 class NodeStore {
@@ -96,6 +130,12 @@ class NodeStore {
   /// sharding (0 = auto, 1 = exact global LRU; see BufferPool).
   explicit NodeStore(const std::vector<NodeRecord>& records,
                      size_t cache_pages = 1024, size_t cache_shards = 0);
+
+  /// Reopens a persisted store against a snapshot file: the four trees
+  /// attach to a demand-paging BufferPool sized by `options`; nothing is
+  /// read until the first scan descends.
+  NodeStore(PagedFile file, const PagedStoreMeta& meta,
+            const StorageOptions& options);
 
   NodeStore(const NodeStore&) = delete;
   NodeStore& operator=(const NodeStore&) = delete;
@@ -136,7 +176,10 @@ class NodeStore {
   class ScanBase {
    public:
     ScanBase(ScanBase&& o) noexcept
-        : it_(o.it_), store_(o.store_), visited_(o.visited_) {
+        : it_(std::move(o.it_)),
+          store_(o.store_),
+          rec_(o.rec_),
+          visited_(o.visited_) {
       o.store_ = nullptr;
       o.visited_ = 0;
     }
@@ -144,7 +187,8 @@ class NodeStore {
       if (this != &o) {
         Flush();
         store_ = o.store_;
-        it_ = o.it_;
+        it_ = std::move(o.it_);
+        rec_ = o.rec_;
         visited_ = o.visited_;
         o.store_ = nullptr;
         o.visited_ = 0;
@@ -159,19 +203,21 @@ class NodeStore {
     using Iterator =
         typename BPlusTree<NodeRecord, Key, KeyOf>::Iterator;
 
-    ScanBase(const NodeStore* store, Iterator it) : it_(it), store_(store) {}
+    ScanBase(const NodeStore* store, Iterator it)
+        : it_(std::move(it)), store_(store) {}
 
-    /// Counts and returns the current record, then advances. The pointer
-    /// stays valid until the next call (pages are never evicted from
-    /// memory, only from the cache).
+    /// Counts and returns the current record, then advances. The record
+    /// is copied out first: advancing may unpin the page it came from,
+    /// and a paged store is free to evict an unpinned page. The returned
+    /// pointer stays valid until the next call.
     const NodeRecord* Step() {
-      const NodeRecord* rec = &*it_;
+      rec_ = *it_;
       ++visited_;
       if (ReadCounters* counters = ReadCounterScope::Current()) {
         ++counters->elements;
       }
       ++it_;
-      return rec;
+      return &rec_;
     }
 
     Iterator it_;
@@ -184,6 +230,7 @@ class NodeStore {
     }
 
     const NodeStore* store_;
+    NodeRecord rec_;
     uint64_t visited_ = 0;
   };
 
@@ -214,7 +261,21 @@ class NodeStore {
   };
 
   size_t record_count() const { return count_; }
-  size_t page_count() const { return pool_.page_count(); }
+  /// Pages occupied by the four trees (excludes the paged dictionary
+  /// segments sharing the pool's page space in paged mode).
+  size_t page_count() const { return tree_pages_; }
+
+  /// Placement + reattach metadata of the four trees, in snapshot order
+  /// (sp, sd, value, doc). Valid in both modes; persistence writes it
+  /// into the BLASIDX2 header.
+  PagedStoreMeta paged_meta() const;
+
+  /// The backing pool. The paged value dictionary reads its pages through
+  /// it; persistence walks it to emit the page segments.
+  const BufferPool& pool() const { return pool_; }
+
+  /// True when this store pages from a snapshot file.
+  bool paged() const { return pool_.paged(); }
 
   /// All records in (plabel, start) order, without touching the counters
   /// (index export / persistence).
@@ -223,8 +284,9 @@ class NodeStore {
   /// Snapshot of counters accumulated since the last ResetStats().
   StorageStats stats() const;
   void ResetStats();
-  /// Cold-cache experiments (the paper measures cold-cache runs).
-  void DropCache() { pool_.DropCache(); }
+  /// Cold-cache experiments (the paper measures cold-cache runs). Safe
+  /// against concurrent scans: pinned pages survive the drop.
+  void DropCache() const { pool_.DropCache(); }
 
  private:
   mutable BufferPool pool_;
@@ -232,7 +294,9 @@ class NodeStore {
   BPlusTree<NodeRecord, SdKey, SdKeyOf> sd_;
   BPlusTree<NodeRecord, ValKey, ValKeyOf> vindex_;
   BPlusTree<NodeRecord, uint32_t, StartKeyOf> doc_;
+  std::array<BPlusTreeMeta, 4> tree_metas_;  // sp, sd, value, doc
   size_t count_ = 0;
+  size_t tree_pages_ = 0;
   mutable std::atomic<uint64_t> elements_{0};
 };
 

@@ -7,6 +7,10 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "labeling/node_record.h"
+#include "labeling/tag_registry.h"
+#include "schema/path_summary.h"
+#include "storage/node_store.h"
+#include "storage/string_dict.h"
 
 namespace blas {
 
@@ -26,15 +30,22 @@ struct IndexSnapshot {
 
 /// Writes a snapshot to `path` in the BLAS1 binary format (little-endian,
 /// fixed-width lengths; P-labels stored as two 64-bit halves).
+///
+/// Crash safety (both this writer and SavePagedSnapshot): the bytes go to
+/// `path + ".tmp"`, are flushed and fsync'ed, and only then atomically
+/// renamed over `path` — a crash mid-write leaves the previous good
+/// snapshot untouched; the stale .tmp is simply overwritten next time.
 Status SaveSnapshot(const IndexSnapshot& snapshot, const std::string& path);
 
-/// Reads a snapshot written by SaveSnapshot. Fails with Corruption on
-/// magic/version mismatch or truncated input.
+/// Reads a snapshot written by SaveSnapshot — or, compatibly, fully
+/// materializes a BLASIDX2 paged snapshot (walking its page segments into
+/// an IndexSnapshot). Fails with Corruption on magic/version mismatch or
+/// truncated input.
 ///
-/// Snapshot-format validation rules: every count and length in the file
-/// is untrusted until proven affordable. The loader measures the file
-/// size once (a single seek to the end), then before any allocation it
-/// checks that
+/// BLAS1 validation rules: every count and length in the file is
+/// untrusted until proven affordable. The loader measures the file size
+/// once (a single seek to the end), then before any allocation it checks
+/// that
 ///   * the tag count and value count each fit in the remaining bytes at
 ///     4 bytes minimum per entry (the length prefix),
 ///   * the record count fits at the fixed 36 bytes per record,
@@ -43,6 +54,105 @@ Status SaveSnapshot(const IndexSnapshot& snapshot, const std::string& path);
 /// immediately instead of attempting a multi-terabyte resize(); truncated
 /// payloads are caught by the subsequent bounded reads.
 Result<IndexSnapshot> LoadSnapshot(const std::string& path);
+
+// ------------------------------------------------------------------------
+// BLASIDX2 — the page-aligned, demand-pageable snapshot format.
+//
+// Layout (all regions page-granular; any page addressable by
+// (segment, index) without reading the rest of the file):
+//
+//   file page 0          fixed-size header + segment directory
+//   file pages 1..P      the pool's page space, P = pool_pages:
+//                          [tree segment]  the four clustered B+-trees
+//                                          (sp, sd, value, doc), each a
+//                                          contiguous pool-page range
+//                                          recorded in its tree meta
+//                          [value pages]   paged string dictionary
+//                                          (see PagedDictLayout)
+//                          [perm pages]    value ids sorted by string —
+//                                          Find's binary-search index
+//   trailing file pages  eagerly-loaded byte segments, each starting on
+//                        a page boundary and padded to whole pages:
+//                          [tag table]        u32 length + bytes per tag
+//                          [path summary]     per node (preorder):
+//                                             u32 parent entry index
+//                                             (0xFFFFFFFF = root child),
+//                                             u32 tag, u64 count
+//                          [value page index] u32 first value id of each
+//                                             value page
+//
+// The header stores (little-endian): magic "BLASIDX2", version,
+// page_size, a native-endianness probe, sizeof(NodeRecord) and the three
+// composite key sizes (tree pages are stored in native layout — a
+// snapshot is rejected, not misread, on an ABI mismatch), node/tag/value
+// counts, max_depth, pool_pages, the four tree metas (root, first leaf,
+// size, height, pool page range) and the segment directory (file-page
+// first/count + exact byte length per segment).
+//
+// Validation rules (checked by OpenPagedSnapshot before anything sized by
+// the file is allocated, and before any data page is trusted):
+//   * magic/version/page_size/endian probe/record+key sizes must match
+//     this build exactly;
+//   * the file size must cover the header, all pool pages and every
+//     directory segment (ranges in bounds, byte lengths within their
+//     page ranges);
+//   * tree metas must lie inside the tree segment: page ranges in
+//     bounds, root/first_leaf inside the tree's own range (or invalid
+//     iff the tree is empty), height <= 64, size == node_count;
+//   * the value/perm segments must follow the tree segment exactly and
+//     sum (with it) to pool_pages;
+//   * tag table, summary and value-page-index entries must parse within
+//     their declared byte lengths; summary parents must precede their
+//     children; the value page index must start at 0 and ascend;
+//   * every count is bounded by its segment's bytes before any resize().
+// Violations fail with Status::Corruption. At run time, a page id that
+// still escapes range (and any short read) yields an empty PageRef,
+// which scans treat as end-of-data — never UB.
+// ------------------------------------------------------------------------
+
+/// One flattened path-summary node (preorder; parent precedes child).
+struct PagedSummaryEntry {
+  uint32_t parent = 0xFFFFFFFFu;  // entry index, 0xFFFFFFFF = root child
+  TagId tag = 0;
+  uint64_t count = 0;
+};
+
+/// Everything OpenPagedSnapshot loads eagerly — O(schema), not O(data):
+/// header metadata plus the tag table, flattened summary and value page
+/// index. The page segments stay on disk until a query faults them in.
+struct PagedIndex {
+  std::string path;
+  std::vector<std::string> tags;
+  int max_depth = 0;
+  uint64_t node_count = 0;
+  uint64_t pool_pages = 0;
+  PagedStoreMeta store_meta;
+  PagedDictLayout dict_layout;  // pool-relative page ids
+  std::vector<PagedSummaryEntry> summary;
+
+  /// Opens the pool's backing file (pages at `kPageSize * (1 + id)`).
+  Result<PagedFile> OpenPool() const;
+};
+
+/// Components of a live system that SavePagedSnapshot lays out into
+/// BLASIDX2 page segments.
+struct PagedSnapshotParts {
+  const NodeStore* store = nullptr;
+  const TagRegistry* tags = nullptr;
+  const StringDict* dict = nullptr;
+  const PathSummary* summary = nullptr;
+  int max_depth = 0;
+};
+
+/// Writes a BLASIDX2 paged snapshot (atomically, like SaveSnapshot).
+/// Fails with Unsupported if a single dictionary value exceeds one page's
+/// payload (such corpora must use the BLAS1 format).
+Status SavePagedSnapshot(const PagedSnapshotParts& parts,
+                         const std::string& path);
+
+/// Reads and validates a BLASIDX2 header and its eager segments (see the
+/// validation rules above). O(1) in document size.
+Result<PagedIndex> OpenPagedSnapshot(const std::string& path);
 
 }  // namespace blas
 

@@ -1,8 +1,42 @@
 #include "storage/string_dict.h"
 
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <utility>
+
 namespace blas {
 
+namespace {
+
+const std::string kEmptyValue;
+
+}  // namespace
+
+bool DecodeValuePage(const Page& page, uint32_t expected_first,
+                     uint64_t value_count, std::vector<std::string>* out) {
+  const auto* header = page.As<ValuePageHeader>();
+  if (header->first_id != expected_first) return false;
+  const uint64_t max_count = (kPageSize - sizeof(ValuePageHeader)) / 4 - 1;
+  if (header->count == 0 || header->count > max_count) return false;
+  if (uint64_t{header->first_id} + header->count > value_count) return false;
+  const auto* offsets = reinterpret_cast<const uint32_t*>(
+      page.bytes.data() + sizeof(ValuePageHeader));
+  uint32_t prev = static_cast<uint32_t>(sizeof(ValuePageHeader) +
+                                        (header->count + 1) * 4);
+  for (uint32_t i = 0; i <= header->count; ++i) {
+    if (offsets[i] < prev || offsets[i] > kPageSize) return false;
+    prev = offsets[i];
+  }
+  const char* base = reinterpret_cast<const char*>(page.bytes.data());
+  for (uint32_t i = 0; i < header->count; ++i) {
+    out->emplace_back(base + offsets[i], offsets[i + 1] - offsets[i]);
+  }
+  return true;
+}
+
 uint32_t StringDict::Intern(std::string_view value) {
+  assert(!paged() && "Intern on a paged (immutable) dictionary");
   auto it = ids_.find(std::string(value));
   if (it != ids_.end()) return it->second;
   uint32_t id = static_cast<uint32_t>(values_.size());
@@ -11,10 +45,86 @@ uint32_t StringDict::Intern(std::string_view value) {
   return id;
 }
 
+void StringDict::AttachPaged(const BufferPool* pool, PagedDictLayout layout) {
+  pool_ = pool;
+  layout_ = std::move(layout);
+}
+
+const std::string& StringDict::Get(uint32_t id) const {
+  if (!paged()) return values_[id];
+  return PagedGet(id);
+}
+
+const std::string& StringDict::PagedGet(uint32_t id) const {
+  if (id >= layout_.count) {
+    assert(false && "dictionary id out of range");
+    return kEmptyValue;
+  }
+  // Locate the page: page_first_ids is ascending, one entry per page.
+  auto it = std::upper_bound(layout_.page_first_ids.begin(),
+                             layout_.page_first_ids.end(), id);
+  assert(it != layout_.page_first_ids.begin());
+  uint32_t page_index =
+      static_cast<uint32_t>(it - layout_.page_first_ids.begin() - 1);
+
+  std::lock_guard<std::mutex> lock(decode_mu_);
+  auto cached = decoded_.find(page_index);
+  if (cached == decoded_.end()) {
+    PageRef ref = pool_->Fetch(layout_.first_value_page + page_index);
+    if (!ref) {
+      assert(false && "value page unreadable");
+      return kEmptyValue;
+    }
+    std::vector<std::string> page_values;
+    if (!DecodeValuePage(*ref.get(), layout_.page_first_ids[page_index],
+                         layout_.count, &page_values)) {
+      assert(false && "corrupt value page");
+      return kEmptyValue;
+    }
+    cached = decoded_.emplace(page_index, std::move(page_values)).first;
+  }
+  const std::vector<std::string>& page_values = cached->second;
+  uint32_t slot = id - layout_.page_first_ids[page_index];
+  if (slot >= page_values.size()) {
+    assert(false && "value slot out of range");
+    return kEmptyValue;
+  }
+  return page_values[slot];
+}
+
+uint32_t StringDict::PermEntry(uint64_t k) const {
+  PageId page = layout_.first_perm_page + static_cast<PageId>(k / kPermPerPage);
+  PageRef ref = pool_->Fetch(page);
+  if (!ref) {
+    assert(false && "permutation page unreadable");
+    return 0;
+  }
+  return ref->As<uint32_t>()[k % kPermPerPage];
+}
+
 std::optional<uint32_t> StringDict::Find(std::string_view value) const {
-  auto it = ids_.find(std::string(value));
-  if (it == ids_.end()) return std::nullopt;
-  return it->second;
+  if (!paged()) {
+    auto it = ids_.find(std::string(value));
+    if (it == ids_.end()) return std::nullopt;
+    return it->second;
+  }
+  // Binary search the sorted-by-string permutation; each probe costs one
+  // permutation-page read plus one value read (both through the pool, so
+  // dictionary probes show up in the page counters like index descents).
+  uint64_t lo = 0;
+  uint64_t hi = layout_.count;
+  while (lo < hi) {
+    uint64_t mid = lo + (hi - lo) / 2;
+    if (Get(PermEntry(mid)) < value) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo >= layout_.count) return std::nullopt;
+  uint32_t id = PermEntry(lo);
+  if (Get(id) != value) return std::nullopt;
+  return id;
 }
 
 }  // namespace blas

@@ -2,33 +2,145 @@
 #define BLAS_STORAGE_STRING_DICT_H_
 
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "storage/buffer_pool.h"
+#include "storage/page.h"
+
 namespace blas {
+
+/// On-page layout of the paged value dictionary (see persist.h for the
+/// surrounding BLASIDX2 segment directory):
+///
+///   * value pages — `{u32 count; u32 first_id; u32 offsets[count+1];
+///     char bytes[]}`: string i of the page spans
+///     [offsets[i], offsets[i+1]) from the page start. Values are packed
+///     in id order, one value never split across pages.
+///   * permutation pages — a flat u32 array (kPermPerPage per page) of
+///     value ids ordered by byte-wise string comparison; `Find` binary
+///     searches it with one page read per probe.
+struct PagedDictLayout {
+  uint64_t count = 0;
+  PageId first_value_page = 0;
+  uint32_t value_page_count = 0;
+  PageId first_perm_page = 0;
+  uint32_t perm_page_count = 0;
+  /// First value id of each value page, in page order (loaded eagerly
+  /// from the snapshot's value-page-index segment; 4 bytes per page).
+  std::vector<uint32_t> page_first_ids;
+};
+
+/// Header prefix of one paged value page.
+struct ValuePageHeader {
+  uint32_t count;
+  uint32_t first_id;
+  // uint32_t offsets[count + 1] follow, then the packed bytes.
+};
+
+inline constexpr size_t kPermPerPage = kPageSize / sizeof(uint32_t);
+
+/// Validates and decodes one value page, appending its strings to `out`.
+/// Page payloads are untrusted (the snapshot preflight validates the
+/// directory only): the count is capped by the page's capacity, first_id
+/// must match `expected_first`, the id range must fit `value_count`, and
+/// the offsets must ascend within the page. One shared implementation
+/// serves both read paths — the query-time paged dictionary and the
+/// materializing snapshot loader — so they accept exactly the same
+/// pages. Returns false (appending nothing) on any violation.
+bool DecodeValuePage(const Page& page, uint32_t expected_first,
+                     uint64_t value_count, std::vector<std::string>* out);
 
 /// \brief Dictionary encoding for PCDATA values.
 ///
 /// The `data` column of the node relation stores dictionary ids; equality
 /// value predicates become integer comparisons after one lookup.
+///
+/// Two modes:
+///   * **In-memory** (build time and BLAS1 snapshots): all values resident,
+///     lock-free lookups.
+///   * **Paged** (`AttachPaged`, BLASIDX2 snapshots): values live in
+///     page-granular segments of the snapshot file and are read through
+///     the store's BufferPool on demand (counted as page fetches /
+///     io_reads like any index page). Decoded pages are memoized so
+///     `Get` can keep returning stable references. Deliberate tradeoff:
+///     because callers hold those references indefinitely, the memo is
+///     never evicted and is NOT charged to the frame budget — the budget
+///     bounds raw index/dictionary pages; the decoded working set grows
+///     with the distinct values a query load actually projects or
+///     probes (worst case the whole dictionary). Lookups serialize on
+///     one latch per dictionary; value-projection-heavy concurrent
+///     workloads pay that contention, index scans never do.
+///
+/// Concurrency: both modes are safe for concurrent readers once
+/// construction/attachment finishes (`Intern` is build-time only).
 class StringDict {
  public:
-  /// Returns the id of `value`, inserting it if new.
+  StringDict() = default;
+  /// Moves are build-time only (handing the labeler's dict to the
+  /// system); the decode memo's latch is not movable and starts fresh.
+  StringDict(StringDict&& other) noexcept
+      : values_(std::move(other.values_)),
+        ids_(std::move(other.ids_)),
+        pool_(other.pool_),
+        layout_(std::move(other.layout_)),
+        decoded_(std::move(other.decoded_)) {
+    other.pool_ = nullptr;
+  }
+  StringDict& operator=(StringDict&& other) noexcept {
+    if (this != &other) {
+      values_ = std::move(other.values_);
+      ids_ = std::move(other.ids_);
+      pool_ = other.pool_;
+      layout_ = std::move(other.layout_);
+      decoded_ = std::move(other.decoded_);
+      other.pool_ = nullptr;
+    }
+    return *this;
+  }
+
+  /// Returns the id of `value`, inserting it if new. Build-time,
+  /// in-memory mode only.
   uint32_t Intern(std::string_view value);
 
   /// Returns the id of `value` if present (query-time lookup; an absent
   /// value means the predicate selects nothing).
   std::optional<uint32_t> Find(std::string_view value) const;
 
-  const std::string& Get(uint32_t id) const { return values_[id]; }
-  size_t size() const { return values_.size(); }
+  /// The value with id `id`. The reference stays valid for the dict's
+  /// lifetime in both modes.
+  const std::string& Get(uint32_t id) const;
+
+  size_t size() const { return paged() ? layout_.count : values_.size(); }
+
+  /// Switches this dict to paged mode: values resolve through `pool`
+  /// (which must outlive the dict) according to `layout`.
+  void AttachPaged(const BufferPool* pool, PagedDictLayout layout);
+
+  bool paged() const { return pool_ != nullptr; }
 
  private:
+  const std::string& PagedGet(uint32_t id) const;
+  /// Entry `k` of the sorted-by-string id permutation.
+  uint32_t PermEntry(uint64_t k) const;
+
+  // In-memory mode.
   std::vector<std::string> values_;
   std::unordered_map<std::string, uint32_t> ids_;
+
+  // Paged mode.
+  const BufferPool* pool_ = nullptr;
+  PagedDictLayout layout_;
+  /// Decoded value pages, keyed by page index within the value segment.
+  /// References returned by Get point into these vectors; entries are
+  /// never removed, so they stay valid. (A rehash moves the vectors, not
+  /// their heap buffers.)
+  mutable std::mutex decode_mu_;
+  mutable std::unordered_map<uint32_t, std::vector<std::string>> decoded_;
 };
 
 }  // namespace blas

@@ -117,6 +117,7 @@ Result<std::vector<DLabel>> TwigEngine::ExecuteBindings(
     local.elements = counters.elements;
     local.page_fetches = counters.fetches;
     local.page_misses = counters.misses;
+    local.io_reads = counters.io_reads;
     local.output_rows = result.size();
     *stats += local;
   }
@@ -147,6 +148,7 @@ Result<std::vector<DLabel>> TwigEngine::MatchedAnchors(const ExecPlan& plan,
     local.elements = counters.elements;
     local.page_fetches = counters.fetches;
     local.page_misses = counters.misses;
+    local.io_reads = counters.io_reads;
     *stats += local;
   }
   return anchors;

@@ -1,0 +1,602 @@
+// Demand-paged storage: BLASIDX2 round trips (byte-identical answers under
+// a 4-frame budget vs unlimited memory, across translators and engines),
+// real-I/O accounting, eviction bounds, BLAS1 <-> BLASIDX2 equivalence,
+// corrupt-directory preflight rejection, atomic snapshot replacement, and
+// DropCache/ResetStats vs concurrent readers (runs under the TSan CI job).
+//
+// The cache-pressure CI job re-runs this binary with BLAS_PAGED_FRAMES=2
+// to shrink every paged pool to the minimum that still makes progress.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "blas/collection.h"
+#include "gen/generator.h"
+#include "service/query_service.h"
+#include "service/thread_pool.h"
+#include "storage/persist.h"
+#include "tests/test_util.h"
+
+namespace blas {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+/// Frames per shard for pressure tests; the CI cache-pressure job
+/// overrides the default via BLAS_PAGED_FRAMES.
+size_t PressureFrames(size_t def) {
+  const char* env = std::getenv("BLAS_PAGED_FRAMES");
+  if (env == nullptr) return def;
+  int v = std::atoi(env);
+  return v < 2 ? 2 : static_cast<size_t>(v);
+}
+
+StorageOptions TinyBudget(size_t frames = 4) {
+  StorageOptions storage;
+  storage.frames_per_shard = PressureFrames(frames);
+  storage.shards = 1;
+  return storage;
+}
+
+BlasSystem BuildAuction(int scale = 1) {
+  Result<BlasSystem> sys = BlasSystem::FromEvents(
+      [scale](SaxHandler* h) {
+        GenOptions gen;
+        gen.scale = scale;
+        GenerateAuction(gen, h);
+      },
+      BlasOptions{});
+  EXPECT_TRUE(sys.ok()) << sys.status();
+  if (!sys.ok()) std::abort();
+  return std::move(sys).value();
+}
+
+BlasSystem BuildRandom(uint64_t seed) {
+  Result<BlasSystem> sys = BlasSystem::FromEvents(
+      [seed](SaxHandler* h) {
+        GenerateRandomDoc(seed, /*approx_nodes=*/1500, /*num_tags=*/10,
+                          /*max_depth=*/6, /*num_values=*/40, h);
+      },
+      BlasOptions{});
+  EXPECT_TRUE(sys.ok()) << sys.status();
+  if (!sys.ok()) std::abort();
+  return std::move(sys).value();
+}
+
+const char* kAuctionQueries[] = {
+    "//item/name",
+    "/site/regions/asia/item[shipping]/description",
+    "/site//keyword",
+    "//parlist/listitem",
+    "/site/people/person/name",
+    "//nosuchtag",
+};
+
+// ----------------------------------------------- answers are identical ---
+
+TEST(PagedStorageTest, RoundTripAnswersIdenticallyUnderTinyBudget) {
+  BlasSystem original = BuildAuction();
+  std::string path = TempPath("paged_auction.idx2");
+  ASSERT_TRUE(original.SavePagedIndex(path).ok());
+
+  for (const StorageOptions& storage :
+       {TinyBudget(4), StorageOptions{}}) {
+    Result<BlasSystem> paged = BlasSystem::OpenPaged(path, storage);
+    ASSERT_TRUE(paged.ok()) << paged.status();
+    for (const char* q : kAuctionQueries) {
+      for (Translator t : {Translator::kDLabel, Translator::kSplit,
+                           Translator::kPushUp, Translator::kUnfold}) {
+        for (Engine e : {Engine::kRelational, Engine::kTwig}) {
+          Result<QueryResult> a = original.Execute(q, t, e);
+          Result<QueryResult> b = paged->Execute(q, t, e);
+          if (!a.ok()) {
+            EXPECT_EQ(a.status().code(), b.status().code()) << q;
+            continue;
+          }
+          ASSERT_TRUE(b.ok()) << q << " " << b.status();
+          EXPECT_EQ(a->starts, b->starts)
+              << q << " [" << TranslatorName(t) << "/" << EngineName(e)
+              << "] frames=" << storage.frames_per_shard;
+        }
+      }
+    }
+  }
+}
+
+TEST(PagedStorageTest, ProjectionAndLimitKReadThePagedDictionary) {
+  BlasSystem original = BuildAuction();
+  std::string path = TempPath("paged_projection.idx2");
+  ASSERT_TRUE(original.SavePagedIndex(path).ok());
+  Result<BlasSystem> paged = BlasSystem::OpenPaged(path, TinyBudget(4));
+  ASSERT_TRUE(paged.ok()) << paged.status();
+
+  for (Projection projection :
+       {Projection::kTag, Projection::kPath, Projection::kValue,
+        Projection::kSubtree}) {
+    for (uint64_t limit : {uint64_t{0}, uint64_t{10}}) {
+      QueryOptions options;
+      options.projection = projection;
+      options.limit = limit;
+      Result<QueryResult> a = original.Execute("//item/description", options);
+      Result<QueryResult> b = paged->Execute("//item/description", options);
+      ASSERT_TRUE(a.ok()) << a.status();
+      ASSERT_TRUE(b.ok()) << b.status();
+      EXPECT_EQ(a->starts, b->starts);
+      ASSERT_EQ(a->matches.size(), b->matches.size());
+      for (size_t i = 0; i < a->matches.size(); ++i) {
+        EXPECT_EQ(a->matches[i].content, b->matches[i].content)
+            << ProjectionName(projection) << " limit=" << limit;
+      }
+    }
+  }
+}
+
+TEST(PagedStorageTest, ValuePredicatesUseThePagedFindPath) {
+  BlasSystem original = BuildRandom(7);
+  std::string path = TempPath("paged_values.idx2");
+  ASSERT_TRUE(original.SavePagedIndex(path).ok());
+  Result<BlasSystem> paged = BlasSystem::OpenPaged(path, TinyBudget(4));
+  ASSERT_TRUE(paged.ok()) << paged.status();
+
+  for (const char* q : {"//t0[t1=\"v7\"]", "//t1=\"v3\"", "//t2[t4=\"v99\"]",
+                        "//t0[t1<\"20\"]"}) {
+    for (Translator t : {Translator::kDLabel, Translator::kPushUp}) {
+      Result<QueryResult> a = original.Execute(q, t, Engine::kRelational);
+      Result<QueryResult> b = paged->Execute(q, t, Engine::kRelational);
+      ASSERT_TRUE(a.ok()) << q << a.status();
+      ASSERT_TRUE(b.ok()) << q << b.status();
+      EXPECT_EQ(a->starts, b->starts) << q;
+    }
+  }
+}
+
+// ----------------------------------------------------- real I/O + O(1) ---
+
+TEST(PagedStorageTest, OpenIsLazyAndMissesAreRealReads) {
+  BlasSystem original = BuildAuction();
+  std::string path = TempPath("paged_io.idx2");
+  ASSERT_TRUE(original.SavePagedIndex(path).ok());
+
+  Result<BlasSystem> paged = BlasSystem::OpenPaged(path, TinyBudget(8));
+  ASSERT_TRUE(paged.ok()) << paged.status();
+  // Opening read only the header and the schema-sized segments: no data
+  // page is resident and no I/O is on the books.
+  EXPECT_EQ(paged->store().pool().frames_in_use(), 0u);
+  EXPECT_EQ(paged->store().stats().io_reads, 0u);
+
+  QueryOptions options;
+  Result<QueryResult> r = paged->Execute("//item/name", options);
+  ASSERT_TRUE(r.ok());
+  // Every miss was a real pread, and the per-query stats surface it.
+  EXPECT_GT(r->stats.io_reads, 0u);
+  EXPECT_EQ(r->stats.io_reads, r->stats.page_misses);
+  StorageStats store_stats = paged->store().stats();
+  EXPECT_EQ(store_stats.io_reads, store_stats.page_misses);
+  EXPECT_GT(store_stats.io_reads, 0u);
+
+  // The in-memory system never touches the disk.
+  Result<QueryResult> mem = original.Execute("//item/name", options);
+  ASSERT_TRUE(mem.ok());
+  EXPECT_EQ(mem->stats.io_reads, 0u);
+}
+
+TEST(PagedStorageTest, EvictionKeepsResidentFramesWithinBudget) {
+  BlasSystem original = BuildAuction();
+  std::string path = TempPath("paged_evict.idx2");
+  ASSERT_TRUE(original.SavePagedIndex(path).ok());
+
+  const size_t frames = PressureFrames(4);
+  Result<BlasSystem> paged = BlasSystem::OpenPaged(path, TinyBudget(4));
+  ASSERT_TRUE(paged.ok()) << paged.status();
+  ASSERT_GT(paged->store().pool().page_count(), frames)
+      << "corpus must exceed the budget for this test to bite";
+
+  for (const char* q : kAuctionQueries) {
+    ASSERT_TRUE(paged->Execute(q, QueryOptions{}).ok());
+  }
+  const BufferPool& pool = paged->store().pool();
+  EXPECT_LE(pool.peak_frames(), frames);
+  EXPECT_LE(pool.frames_in_use(), frames);
+  EXPECT_GT(pool.stats().evictions, 0u);
+  // Rerunning after a cache drop does cold I/O again.
+  BufferPool::Stats before = pool.stats();
+  const_cast<BlasSystem&>(*paged).ResetCounters();
+  ASSERT_TRUE(paged->Execute("//item/name", QueryOptions{}).ok());
+  EXPECT_GT(pool.stats().io_reads, 0u);
+  (void)before;
+}
+
+// ------------------------------------------- format interoperability ---
+
+TEST(PagedStorageTest, Blas1AndBlas2SnapshotsAreEquivalent) {
+  BlasSystem original = BuildRandom(11);
+  std::string blas1 = TempPath("equiv.idx");
+  std::string blas2 = TempPath("equiv.idx2");
+  ASSERT_TRUE(original.SaveIndex(blas1).ok());
+  ASSERT_TRUE(original.SavePagedIndex(blas2).ok());
+
+  // LoadSnapshot materializes both formats into identical snapshots
+  // (SaveIndex exports in (plabel, start) order; the BLASIDX2 walk reads
+  // the SP leaf chain, which is the same order).
+  Result<IndexSnapshot> s1 = LoadSnapshot(blas1);
+  Result<IndexSnapshot> s2 = LoadSnapshot(blas2);
+  ASSERT_TRUE(s1.ok()) << s1.status();
+  ASSERT_TRUE(s2.ok()) << s2.status();
+  EXPECT_EQ(s1->tags, s2->tags);
+  EXPECT_EQ(s1->max_depth, s2->max_depth);
+  EXPECT_EQ(s1->values, s2->values);
+  ASSERT_EQ(s1->records.size(), s2->records.size());
+  for (size_t i = 0; i < s1->records.size(); ++i) {
+    EXPECT_EQ(s1->records[i].plabel, s2->records[i].plabel) << i;
+    EXPECT_EQ(s1->records[i].start, s2->records[i].start) << i;
+    EXPECT_EQ(s1->records[i].end, s2->records[i].end) << i;
+    EXPECT_EQ(s1->records[i].tag, s2->records[i].tag) << i;
+    EXPECT_EQ(s1->records[i].level, s2->records[i].level) << i;
+    EXPECT_EQ(s1->records[i].data, s2->records[i].data) << i;
+  }
+
+  // The BLAS1 -> BLASIDX2 round trip: materialize the old format, save
+  // paged, reopen paged — answers agree with the original system.
+  Result<BlasSystem> from1 = BlasSystem::FromIndexFile(blas1);
+  ASSERT_TRUE(from1.ok()) << from1.status();
+  std::string blas2b = TempPath("equiv_rt.idx2");
+  ASSERT_TRUE(from1->SavePagedIndex(blas2b).ok());
+  Result<BlasSystem> paged = BlasSystem::OpenPaged(blas2b, TinyBudget(4));
+  ASSERT_TRUE(paged.ok()) << paged.status();
+  // FromIndexFile accepts the paged format too (full materialization).
+  Result<BlasSystem> from2 = BlasSystem::FromIndexFile(blas2);
+  ASSERT_TRUE(from2.ok()) << from2.status();
+  for (const char* q : {"//t3", "/root/t1", "//t1//t4", "//t0[t1=\"v7\"]"}) {
+    Result<QueryResult> a = original.Execute(q, QueryOptions{});
+    Result<QueryResult> b = paged->Execute(q, QueryOptions{});
+    Result<QueryResult> c = from2->Execute(q, QueryOptions{});
+    ASSERT_TRUE(a.ok() && b.ok() && c.ok()) << q;
+    EXPECT_EQ(a->starts, b->starts) << q;
+    EXPECT_EQ(a->starts, c->starts) << q;
+  }
+
+  BlasSystem::DocStats da = original.doc_stats();
+  BlasSystem::DocStats db = paged->doc_stats();
+  EXPECT_EQ(da.nodes, db.nodes);
+  EXPECT_EQ(da.tags, db.tags);
+  EXPECT_EQ(da.depth, db.depth);
+  EXPECT_EQ(da.distinct_paths, db.distinct_paths);
+  EXPECT_EQ(da.distinct_values, db.distinct_values);
+  EXPECT_EQ(da.pages, db.pages);
+}
+
+// --------------------------------------------- corruption preflight ---
+
+/// Byte offsets inside the BLASIDX2 header (see persist.h): fixed fields
+/// first (magic 0, version 8, endian 12, page size 16, record size 20,
+/// key sizes 24..36, depth 36, counts 40..80), then four 32-byte tree
+/// metas (80..208), the dictionary placement (208..224) and the tail
+/// directory (224..296).
+constexpr size_t kOffRecordSize = 20;
+constexpr size_t kOffPoolPages = 64;
+constexpr size_t kOffSpRoot = 80;
+constexpr size_t kOffFirstValuePage = 208;
+constexpr size_t kOffTagBytes = 240;
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFile(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+void PatchU32(std::string* bytes, size_t off, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    (*bytes)[off + i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  }
+}
+
+void PatchU64(std::string* bytes, size_t off, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    (*bytes)[off + i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  }
+}
+
+class PagedCorruptionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    BlasSystem sys = BuildRandom(23);
+    path_ = TempPath("corrupt_base.idx2");
+    ASSERT_TRUE(sys.SavePagedIndex(path_).ok());
+    bytes_ = ReadFile(path_);
+    ASSERT_GT(bytes_.size(), kPageSize);
+  }
+
+  void ExpectRejected(const std::string& bytes, const std::string& what) {
+    std::string path = TempPath("corrupt_case.idx2");
+    WriteFile(path, bytes);
+    Result<BlasSystem> paged = BlasSystem::OpenPaged(path);
+    EXPECT_FALSE(paged.ok()) << what;
+    if (!paged.ok()) {
+      EXPECT_EQ(paged.status().code(), StatusCode::kCorruption) << what;
+    }
+    // The materializing loader applies the same preflight.
+    Result<IndexSnapshot> snap = LoadSnapshot(path);
+    EXPECT_FALSE(snap.ok()) << what;
+  }
+
+  std::string path_;
+  std::string bytes_;
+};
+
+TEST_F(PagedCorruptionTest, TruncatedFileRejected) {
+  ExpectRejected(bytes_.substr(0, kPageSize / 2), "half a header");
+  ExpectRejected(bytes_.substr(0, bytes_.size() / 2), "half the pages");
+  ExpectRejected(bytes_.substr(0, bytes_.size() - kPageSize),
+                 "missing tail segment");
+}
+
+TEST_F(PagedCorruptionTest, BadMagicRejected) {
+  std::string bad = bytes_;
+  bad[7] = '9';
+  ExpectRejected(bad, "magic");
+}
+
+TEST_F(PagedCorruptionTest, RecordLayoutMismatchRejected) {
+  std::string bad = bytes_;
+  PatchU32(&bad, kOffRecordSize, 36);  // claims a different ABI
+  ExpectRejected(bad, "record size");
+}
+
+TEST_F(PagedCorruptionTest, OverstatedPoolPagesRejectedBeforeAllocation) {
+  std::string bad = bytes_;
+  PatchU64(&bad, kOffPoolPages, uint64_t{1} << 40);  // ~8 PiB of pages
+  ExpectRejected(bad, "pool pages");
+}
+
+TEST_F(PagedCorruptionTest, TreeRootOutsideItsSegmentRejected) {
+  std::string bad = bytes_;
+  PatchU32(&bad, kOffSpRoot, 0xFFFFFF00u);
+  ExpectRejected(bad, "sp root");
+}
+
+TEST_F(PagedCorruptionTest, OverflowingSegmentLengthRejected) {
+  // byte_length near 2^64 must not wrap the page arithmetic into a
+  // passing check (and must never reach a resize()).
+  std::string bad = bytes_;
+  PatchU64(&bad, kOffTagBytes, 0xFFFFFFFFFFFFFFFFull);
+  ExpectRejected(bad, "tag byte length");
+  bad = bytes_;
+  PatchU64(&bad, 48, uint64_t{1} << 62);  // tag_count: 4x wraps to 0
+  ExpectRejected(bad, "tag count");
+}
+
+TEST_F(PagedCorruptionTest, CorruptValuePagePayloadIsContained) {
+  // The directory validates at open; page payloads are untrusted until
+  // decode. A hostile count/offset array must not cause OOB reads.
+  std::string bad = bytes_;
+  uint32_t first_value_page = 0;
+  for (int i = 3; i >= 0; --i) {
+    first_value_page = (first_value_page << 8) |
+                       static_cast<uint8_t>(bad[kOffFirstValuePage + i]);
+  }
+  const size_t page_off = (1 + size_t{first_value_page}) * kPageSize;
+  ASSERT_LT(page_off, bad.size());
+  PatchU32(&bad, page_off, 0xFFFFFFFFu);  // count
+  PatchU32(&bad, page_off + 8, 0xFFFFFFFFu);  // first offset
+  std::string path = TempPath("corrupt_value_page.idx2");
+  WriteFile(path, bad);
+
+  // The materializing loader rejects it outright.
+  Result<IndexSnapshot> snap = LoadSnapshot(path);
+  EXPECT_FALSE(snap.ok());
+  EXPECT_EQ(snap.status().code(), StatusCode::kCorruption);
+
+#ifdef NDEBUG
+  // The paged dictionary refuses the page at decode time: projections
+  // come back empty instead of reading out of bounds.
+  Result<BlasSystem> paged = BlasSystem::OpenPaged(path);
+  ASSERT_TRUE(paged.ok()) << paged.status();
+  QueryOptions options;
+  options.projection = Projection::kValue;
+  Result<QueryResult> r = paged->Execute("//t1", options);
+  ASSERT_TRUE(r.ok());
+  for (const Match& m : r->matches) EXPECT_TRUE(m.content.empty());
+#endif
+}
+
+// ------------------------------------------------------- atomic saves ---
+
+TEST(PagedStorageTest, SavesAreAtomicReplacements) {
+  BlasSystem sys = BuildRandom(31);
+  std::string p1 = TempPath("atomic.idx");
+  std::string p2 = TempPath("atomic.idx2");
+  ASSERT_TRUE(sys.SaveIndex(p1).ok());
+  ASSERT_TRUE(sys.SavePagedIndex(p2).ok());
+  // No temp litter once the save committed.
+  EXPECT_FALSE(std::ifstream(p1 + ".tmp").good());
+  EXPECT_FALSE(std::ifstream(p2 + ".tmp").good());
+
+  // Overwriting an existing snapshot goes through the same tmp + rename;
+  // the result is the fresh file, not a torn mix.
+  ASSERT_TRUE(sys.SaveIndex(p1).ok());
+  ASSERT_TRUE(sys.SavePagedIndex(p2).ok());
+  EXPECT_TRUE(BlasSystem::FromIndexFile(p1).ok());
+  EXPECT_TRUE(BlasSystem::OpenPaged(p2).ok());
+
+  // An unwritable target fails up front and leaves the old file intact.
+  std::string good = ReadFile(p2);
+  Status s = sys.SavePagedIndex("/nonexistent-dir/nope.idx2");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(ReadFile(p2), good);
+}
+
+// ----------------------------------- concurrency: DropCache vs Fetch ---
+
+TEST(PagedStorageTest, DropCacheKeepsPinnedPagesReadable) {
+  BlasSystem sys = BuildAuction();
+  std::string path = TempPath("paged_pin.idx2");
+  ASSERT_TRUE(sys.SavePagedIndex(path).ok());
+  Result<BlasSystem> paged = BlasSystem::OpenPaged(path, TinyBudget(4));
+  ASSERT_TRUE(paged.ok());
+
+  const BufferPool& pool = paged->store().pool();
+  PageRef pinned = pool.Fetch(0);
+  ASSERT_TRUE(static_cast<bool>(pinned));
+  Page copy = *pinned.get();
+  // A concurrent cache drop must not free the pinned frame.
+  paged->store().DropCache();
+  EXPECT_EQ(std::memcmp(copy.bytes.data(), pinned->bytes.data(), kPageSize),
+            0);
+  // Once released, refetching rereads the same bytes from disk.
+  pinned = PageRef();
+  paged->store().DropCache();
+  PageRef again = pool.Fetch(0);
+  ASSERT_TRUE(static_cast<bool>(again));
+  EXPECT_EQ(std::memcmp(copy.bytes.data(), again->bytes.data(), kPageSize),
+            0);
+}
+
+TEST(PagedStorageTest, DropCacheAndResetStatsRaceCleanlyWithQueries) {
+  BlasSystem sys = BuildAuction();
+  std::string path = TempPath("paged_race.idx2");
+  ASSERT_TRUE(sys.SavePagedIndex(path).ok());
+  Result<BlasSystem> opened = BlasSystem::OpenPaged(path, TinyBudget(4));
+  ASSERT_TRUE(opened.ok());
+  BlasSystem& paged = *opened;
+
+  Result<QueryResult> expected = sys.Execute("//item/name", QueryOptions{});
+  ASSERT_TRUE(expected.ok());
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&paged, &expected] {
+      for (int i = 0; i < 20; ++i) {
+        Result<QueryResult> r = paged.Execute("//item/name", QueryOptions{});
+        ASSERT_TRUE(r.ok());
+        EXPECT_EQ(r->starts, expected->starts);
+      }
+    });
+  }
+  for (int i = 0; i < 50; ++i) {
+    paged.ResetCounters();  // DropCache + ResetStats under fire
+    std::this_thread::yield();
+  }
+  for (std::thread& t : readers) t.join();
+}
+
+// ----------------------------------- collections on one shared budget ---
+
+struct Budget {
+  uint64_t limit;
+  uint64_t offset;
+};
+
+TEST(PagedStorageTest, CollectionLargerThanSharedBudgetAnswersEverything) {
+  // Eight auction shards, all paged against ONE 48-frame budget that is
+  // far smaller than the summed index size.
+  BlasCollection memory_coll;
+  auto budget = std::make_shared<FrameBudget>(48 * kPageSize);
+  BlasCollection paged_coll;
+  uint64_t total_pages = 0;
+  for (int i = 0; i < 8; ++i) {
+    std::string name = "shard" + std::to_string(i);
+    Result<BlasSystem> sys = BlasSystem::FromEvents(
+        [i](SaxHandler* h) {
+          GenOptions gen;
+          gen.seed = 100 + i;
+          GenerateAuction(gen, h);
+        },
+        BlasOptions{});
+    ASSERT_TRUE(sys.ok());
+    total_pages += sys->doc_stats().pages;
+    std::string path = TempPath("shard" + std::to_string(i) + ".idx2");
+    ASSERT_TRUE(sys->SavePagedIndex(path).ok());
+    ASSERT_TRUE(memory_coll
+                    .AddEvents(name,
+                               [i](SaxHandler* h) {
+                                 GenOptions gen;
+                                 gen.seed = 100 + i;
+                                 GenerateAuction(gen, h);
+                               })
+                    .ok());
+    StorageOptions storage;
+    storage.frames_per_shard = PressureFrames(8);
+    storage.shards = 1;
+    storage.shared_budget = budget;
+    ASSERT_TRUE(paged_coll.AddPagedIndexFile(name, path, storage).ok());
+  }
+  ASSERT_GT(total_pages * kPageSize, budget->limit())
+      << "corpus must exceed the shared budget for this test to bite";
+
+  ThreadPool pool(4, 64);
+  uint64_t total_io = 0;
+  const Budget budgets[] = {{0, 0}, {10, 0}, {25, 5}};
+  for (const char* q :
+       {"//item/name", "/site//keyword", "//parlist/listitem",
+        "/site/people/person/name"}) {
+    for (const Budget& b : budgets) {
+      QueryOptions options;
+      options.limit = b.limit;
+      options.offset = b.offset;
+      Result<BlasCollection::CollectionResult> expected =
+          memory_coll.Execute(q, options);
+      ASSERT_TRUE(expected.ok()) << q;
+
+      Result<CollectionCursor> cursor =
+          paged_coll.OpenCursor(q, options, {.pool = &pool});
+      ASSERT_TRUE(cursor.ok()) << q;
+      Result<BlasCollection::CollectionResult> got = cursor->Drain();
+      ASSERT_TRUE(got.ok()) << q << got.status();
+
+      EXPECT_EQ(got->total_matches, expected->total_matches) << q;
+      ASSERT_EQ(got->docs.size(), expected->docs.size()) << q;
+      for (size_t d = 0; d < got->docs.size(); ++d) {
+        EXPECT_EQ(got->docs[d].name, expected->docs[d].name) << q;
+        EXPECT_EQ(got->docs[d].starts, expected->docs[d].starts)
+            << q << " doc " << got->docs[d].name;
+      }
+      // A bounded rerun may be served entirely from resident frames, so
+      // real I/O is asserted on the aggregate, not per query.
+      total_io += got->stats.io_reads;
+    }
+  }
+  EXPECT_GT(total_io, 0u);
+  // The group never exceeded its allowance.
+  EXPECT_LE(budget->peak_used(), budget->limit());
+  EXPECT_GT(budget->used(), 0u);
+
+  // The QueryService front door reports the real reads too.
+  QueryService service(&paged_coll, ServiceOptions{.worker_threads = 4});
+  auto future = service.SubmitCollection(QueryRequest{"//item/name", {}});
+  Result<BlasCollection::CollectionResult> via_service = future.get();
+  ASSERT_TRUE(via_service.ok());
+  EXPECT_GT(service.stats().exec.io_reads, 0u);
+  service.Shutdown();
+  EXPECT_LE(budget->peak_used(), budget->limit());
+}
+
+// ------------------------------------------------ bounds satellites ---
+
+TEST(PagedStorageTest, OutOfRangePageIdsAreRejected) {
+#ifndef NDEBUG
+  GTEST_SKIP() << "bounds violations assert in debug builds";
+#else
+  BufferPool pool(4);
+  pool.Allocate();
+  EXPECT_EQ(pool.MutablePage(5), nullptr);
+  EXPECT_FALSE(static_cast<bool>(pool.Fetch(5)));
+  EXPECT_FALSE(static_cast<bool>(pool.Peek(5)));
+#endif
+}
+
+}  // namespace
+}  // namespace blas
