@@ -1,0 +1,175 @@
+// Query latency under live ingestion: p50/p99 of a collection query
+// while a background writer replaces auction shards at a fixed rate,
+// compared with the same corpus served static. Also reports the raw
+// ingestion pipeline rate (prepare + durable publish per document).
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "ingest/live_collection.h"
+#include "xml/xml_writer.h"
+
+namespace blas {
+namespace {
+
+constexpr char kQuery[] = "//item/name";
+
+std::string AuctionShardXml(uint64_t seed) {
+  XmlTextSink sink;
+  GenOptions gen;
+  gen.seed = seed;
+  GenerateAuction(gen, &sink);
+  return sink.TakeText();
+}
+
+/// Shard texts are expensive to generate; build once. Layout is two
+/// generation blocks: texts[i] is shard i's generation A, texts[shards
+/// + i] its generation B (the churn writer alternates the two).
+const std::vector<std::string>& ShardTexts() {
+  static const std::vector<std::string>* texts = [] {
+    auto* v = new std::vector<std::string>();
+    const int shards = bench::EnvInt("BLAS_BENCH_CHURN_DOCS", 4);
+    for (int i = 0; i < shards; ++i) {
+      v->push_back(AuctionShardXml(42 + static_cast<uint64_t>(i)));
+    }
+    for (int i = 0; i < shards; ++i) {
+      v->push_back(AuctionShardXml(742 + static_cast<uint64_t>(i)));
+    }
+    return v;
+  }();
+  return *texts;
+}
+
+std::unique_ptr<LiveCollection> FreshCollection(const char* tag) {
+  std::string dir = std::string("/tmp/blas_bench_churn_") + tag;
+  std::string cleanup = "rm -rf '" + dir + "'";
+  (void)std::system(cleanup.c_str());
+  LiveOptions options;
+  options.storage.memory_budget = size_t{32} << 20;
+  auto opened = LiveCollection::Open(dir, options);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 opened.status().ToString().c_str());
+    std::abort();
+  }
+  const std::vector<std::string>& texts = ShardTexts();
+  const size_t shards = texts.size() / 2;
+  for (size_t i = 0; i < shards; ++i) {
+    Status s = (*opened)->AddDocument("shard" + std::to_string(i), texts[i]);
+    if (!s.ok()) {
+      std::fprintf(stderr, "add failed: %s\n", s.ToString().c_str());
+      std::abort();
+    }
+  }
+  return std::move(opened).value();
+}
+
+double Percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  size_t idx = static_cast<size_t>(p * static_cast<double>(samples.size()));
+  return samples[std::min(idx, samples.size() - 1)];
+}
+
+/// docs_per_sec == 0 means a static corpus (the baseline).
+void BM_QueryUnderChurn(benchmark::State& state) {
+  const int docs_per_sec = static_cast<int>(state.range(0));
+  std::unique_ptr<LiveCollection> live =
+      FreshCollection(docs_per_sec == 0 ? "static" : "churn");
+  const std::vector<std::string>& texts = ShardTexts();
+  const size_t shards = texts.size() / 2;
+
+  std::atomic<bool> stop{false};
+  std::thread writer;
+  if (docs_per_sec > 0) {
+    writer = std::thread([&] {
+      const auto interval =
+          std::chrono::microseconds(1000000 / docs_per_sec);
+      uint64_t i = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        std::string name = "shard" + std::to_string(i % shards);
+        // Alternate each shard between its A and B generation.
+        const std::string& xml =
+            texts[(i % shards) + (i / shards % 2 == 0 ? shards : 0)];
+        (void)live->ReplaceDocument(name, xml);
+        ++i;
+        std::this_thread::sleep_for(interval);
+      }
+    });
+  }
+
+  QueryOptions options;
+  std::vector<double> latencies_ms;
+  uint64_t matches = 0;
+  for (auto _ : state) {
+    auto t0 = std::chrono::steady_clock::now();
+    Result<BlasCollection::CollectionResult> r =
+        live->Execute(kQuery, options);
+    auto t1 = std::chrono::steady_clock::now();
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      break;
+    }
+    matches += r->total_matches;
+    latencies_ms.push_back(
+        std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  stop.store(true, std::memory_order_release);
+  if (writer.joinable()) writer.join();
+
+  state.counters["p50_ms"] = Percentile(latencies_ms, 0.50);
+  state.counters["p99_ms"] = Percentile(latencies_ms, 0.99);
+  state.counters["epochs"] =
+      static_cast<double>(live->stats().epochs_published);
+  state.counters["matches_per_query"] =
+      state.iterations() > 0
+          ? static_cast<double>(matches) /
+                static_cast<double>(state.iterations())
+          : 0.0;
+}
+
+/// The ingestion pipeline itself: parse -> label -> paged snapshot ->
+/// fsync'ed manifest publish, per document.
+void BM_IngestPipeline(benchmark::State& state) {
+  std::unique_ptr<LiveCollection> live = FreshCollection("pipeline");
+  const std::vector<std::string>& texts = ShardTexts();
+  const size_t shards = texts.size() / 2;
+  uint64_t i = 0;
+  for (auto _ : state) {
+    std::string name = "shard" + std::to_string(i % shards);
+    const std::string& xml =
+        texts[(i % shards) + (i / shards % 2 == 0 ? shards : 0)];
+    Status s = live->ReplaceDocument(name, xml);
+    if (!s.ok()) {
+      state.SkipWithError(s.ToString().c_str());
+      break;
+    }
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.counters["manifest_bytes"] =
+      static_cast<double>(live->stats().manifest_bytes);
+}
+
+BENCHMARK(BM_QueryUnderChurn)
+    ->Arg(0)    // static baseline
+    ->Arg(5)    // 5 docs/s
+    ->Arg(20)   // 20 docs/s
+    ->Arg(100)  // 100 docs/s
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+BENCHMARK(BM_IngestPipeline)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace blas
+
+BENCHMARK_MAIN();

@@ -23,7 +23,7 @@ Status BlasCollection::AddXml(const std::string& name, std::string_view xml,
                               const BlasOptions& options) {
   if (docs_.count(name) != 0) return DuplicateName(name);
   BLAS_ASSIGN_OR_RETURN(BlasSystem sys, BlasSystem::FromXml(xml, options));
-  docs_.emplace(name, std::make_unique<BlasSystem>(std::move(sys)));
+  docs_.emplace(name, std::make_shared<BlasSystem>(std::move(sys)));
   return Status::OK();
 }
 
@@ -33,7 +33,7 @@ Status BlasCollection::AddEvents(
   if (docs_.count(name) != 0) return DuplicateName(name);
   BLAS_ASSIGN_OR_RETURN(BlasSystem sys,
                         BlasSystem::FromEvents(emit, options));
-  docs_.emplace(name, std::make_unique<BlasSystem>(std::move(sys)));
+  docs_.emplace(name, std::make_shared<BlasSystem>(std::move(sys)));
   return Status::OK();
 }
 
@@ -43,7 +43,7 @@ Status BlasCollection::AddIndexFile(const std::string& name,
   if (docs_.count(name) != 0) return DuplicateName(name);
   BLAS_ASSIGN_OR_RETURN(BlasSystem sys,
                         BlasSystem::FromIndexFile(path, options));
-  docs_.emplace(name, std::make_unique<BlasSystem>(std::move(sys)));
+  docs_.emplace(name, std::make_shared<BlasSystem>(std::move(sys)));
   return Status::OK();
 }
 
@@ -52,8 +52,26 @@ Status BlasCollection::AddPagedIndexFile(const std::string& name,
                                          const StorageOptions& storage) {
   if (docs_.count(name) != 0) return DuplicateName(name);
   BLAS_ASSIGN_OR_RETURN(BlasSystem sys, BlasSystem::OpenPaged(path, storage));
-  docs_.emplace(name, std::make_unique<BlasSystem>(std::move(sys)));
+  docs_.emplace(name, std::make_shared<BlasSystem>(std::move(sys)));
   return Status::OK();
+}
+
+Status BlasCollection::AddSystem(const std::string& name,
+                                 std::shared_ptr<const BlasSystem> system) {
+  if (system == nullptr) {
+    return Status::InvalidArgument("null system for document: " + name);
+  }
+  if (docs_.count(name) != 0) return DuplicateName(name);
+  docs_.emplace(name, std::move(system));
+  return Status::OK();
+}
+
+std::shared_ptr<const BlasSystem> BlasCollection::PutSystem(
+    const std::string& name, std::shared_ptr<const BlasSystem> system) {
+  std::shared_ptr<const BlasSystem>& slot = docs_[name];
+  std::shared_ptr<const BlasSystem> previous = std::move(slot);
+  slot = std::move(system);
+  return previous;
 }
 
 Status BlasCollection::Remove(const std::string& name) {
@@ -75,6 +93,12 @@ const BlasSystem* BlasCollection::Find(const std::string& name) const {
   return it == docs_.end() ? nullptr : it->second.get();
 }
 
+std::shared_ptr<const BlasSystem> BlasCollection::FindShared(
+    const std::string& name) const {
+  auto it = docs_.find(name);
+  return it == docs_.end() ? nullptr : it->second;
+}
+
 // ------------------------------------------------- scatter-gather state ---
 
 /// Everything the merge side and the per-document producers share. Kept
@@ -90,7 +114,10 @@ struct CollectionCursor::Shared {
 
   struct Doc {
     std::string name;
-    const BlasSystem* sys = nullptr;
+    /// Pinned at open time: the cursor keeps draining this exact document
+    /// generation even if the collection is copied-and-republished (live
+    /// ingestion) or the document removed meanwhile.
+    std::shared_ptr<const BlasSystem> sys;
     DocState state = DocState::kPending;
     /// Bounded producer -> merge queue (capacity `queue_capacity`).
     std::deque<Match> queue;
@@ -223,7 +250,7 @@ Result<CollectionCursor> BlasCollection::OpenCursor(
   for (const auto& [name, sys] : docs_) {
     CollectionCursor::Shared::Doc doc;
     doc.name = name;
-    doc.sys = sys.get();
+    doc.sys = sys;
     shared->docs.push_back(std::move(doc));
   }
 

@@ -53,6 +53,13 @@ class BlasCollection {
   BlasCollection() = default;
   BlasCollection(BlasCollection&&) = default;
   BlasCollection& operator=(BlasCollection&&) = default;
+  /// Copying is shallow: both collections share the (immutable, refcounted)
+  /// member documents. This is the copy-on-write primitive of the live
+  /// ingestion layer — a new epoch copies the previous collection and
+  /// swaps only the changed entries, so unchanged documents cost one
+  /// refcount bump each.
+  BlasCollection(const BlasCollection&) = default;
+  BlasCollection& operator=(const BlasCollection&) = default;
 
   /// Indexes and adds a document. Fails on duplicate names or index
   /// errors; the collection is unchanged on failure.
@@ -72,16 +79,31 @@ class BlasCollection {
   Status AddPagedIndexFile(const std::string& name, const std::string& path,
                            const StorageOptions& storage = {});
 
-  /// Removes a document. Returns NotFound if absent. Must not race with
-  /// open cursors or a fronting QueryService: mutation while queries run
-  /// is undefined (match the BlasSystem contract — the collection is
-  /// immutable while being served).
+  /// Adds an already-open document, sharing ownership. The live ingestion
+  /// layer uses this to publish documents indexed off to the side (and to
+  /// attach reclamation hooks via the shared_ptr's deleter).
+  Status AddSystem(const std::string& name,
+                   std::shared_ptr<const BlasSystem> system);
+
+  /// Replaces (or inserts) a document, sharing ownership. Never fails;
+  /// returns the previous document when one was replaced.
+  std::shared_ptr<const BlasSystem> PutSystem(
+      const std::string& name, std::shared_ptr<const BlasSystem> system);
+
+  /// Removes a document. Returns NotFound if absent. Safe against open
+  /// cursors: each cursor pins the documents it enumerates at open time,
+  /// so an in-flight query keeps draining the removed document's data.
+  /// (Concurrent mutation of the *collection object itself* still needs
+  /// external synchronization — the live ingestion layer never mutates a
+  /// published collection, it publishes a copy.)
   Status Remove(const std::string& name);
 
   size_t size() const { return docs_.size(); }
   std::vector<std::string> names() const;
   /// Returns nullptr when absent.
   const BlasSystem* Find(const std::string& name) const;
+  /// Shared-ownership lookup; null when absent.
+  std::shared_ptr<const BlasSystem> FindShared(const std::string& name) const;
 
   /// One document's answer within a collection-wide result.
   struct DocMatches {
@@ -162,7 +184,7 @@ class BlasCollection {
                                    Engine engine) const;
 
  private:
-  std::map<std::string, std::unique_ptr<BlasSystem>> docs_;
+  std::map<std::string, std::shared_ptr<const BlasSystem>> docs_;
 };
 
 /// \brief Pull-based enumeration of one query's answers across a whole

@@ -1,0 +1,96 @@
+#include "ingest/ingest_queue.h"
+
+#include <memory>
+#include <utility>
+
+namespace blas {
+
+IngestQueue::IngestQueue(LiveCollection* collection, ThreadPool* pool)
+    : collection_(collection), pool_(pool) {}
+
+IngestQueue::~IngestQueue() { Drain(); }
+
+std::future<Status> IngestQueue::SubmitAdd(std::string name, std::string xml) {
+  std::vector<DocOp> ops(1);
+  ops[0] = DocOp{ManifestOp::Kind::kAdd, std::move(name), std::move(xml)};
+  return SubmitOps(std::move(ops));
+}
+
+std::future<Status> IngestQueue::SubmitReplace(std::string name,
+                                               std::string xml) {
+  std::vector<DocOp> ops(1);
+  ops[0] = DocOp{ManifestOp::Kind::kReplace, std::move(name), std::move(xml)};
+  return SubmitOps(std::move(ops));
+}
+
+std::future<Status> IngestQueue::SubmitRemove(std::string name) {
+  std::vector<DocOp> ops(1);
+  ops[0] = DocOp{ManifestOp::Kind::kRemove, std::move(name), std::string()};
+  return SubmitOps(std::move(ops));
+}
+
+std::future<Status> IngestQueue::SubmitBatch(std::vector<DocOp> ops) {
+  return SubmitOps(std::move(ops));
+}
+
+std::future<Status> IngestQueue::SubmitOps(std::vector<DocOp> ops) {
+  auto task = std::make_shared<std::packaged_task<Status()>>(
+      [this, ops = std::move(ops)]() { return RunOps(ops); });
+  std::future<Status> future = task->get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++submitted_;
+    ++pending_;
+  }
+  if (!pool_->Submit([task] { (*task)(); })) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++failed_;
+      --pending_;
+    }
+    settled_.notify_all();
+    std::promise<Status> refused;
+    refused.set_value(Status::Unsupported("ingest pool is shut down"));
+    return refused.get_future();
+  }
+  return future;
+}
+
+Status IngestQueue::RunOps(const std::vector<DocOp>& ops) {
+  Status result = [&]() -> Status {
+    // Index first (the expensive, lock-free part), publish once.
+    std::vector<LiveCollection::BatchOp> batch;
+    batch.reserve(ops.size());
+    for (const DocOp& op : ops) {
+      LiveCollection::BatchOp out;
+      out.kind = op.kind;
+      out.name = op.name;
+      if (op.kind != ManifestOp::Kind::kRemove) {
+        BLAS_ASSIGN_OR_RETURN(LiveCollection::PreparedDoc doc,
+                              collection_->Prepare(op.xml));
+        out.doc = std::move(doc);
+      }
+      batch.push_back(std::move(out));
+    }
+    return collection_->PublishBatch(std::move(batch));
+  }();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    result.ok() ? ++published_ : ++failed_;
+    --pending_;
+  }
+  settled_.notify_all();
+  return result;
+}
+
+void IngestQueue::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  settled_.wait(lock, [this] { return pending_ == 0; });
+}
+
+IngestQueue::Stats IngestQueue::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return Stats{submitted_, published_, failed_, pending_};
+}
+
+}  // namespace blas

@@ -1,0 +1,85 @@
+#ifndef BLAS_INGEST_INGEST_QUEUE_H_
+#define BLAS_INGEST_INGEST_QUEUE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "ingest/live_collection.h"
+#include "service/thread_pool.h"
+
+namespace blas {
+
+/// \brief Background ingestion pipeline over a LiveCollection.
+///
+/// Each submission runs parse -> label -> SavePagedIndex -> publish on a
+/// worker of the supplied pool (the query service shares its pool, so
+/// ingestion and queries compete for the same threads under one
+/// backpressure policy). Completion comes back through a future; queries
+/// running meanwhile keep draining whatever epoch they pinned.
+///
+/// A batch submission indexes its documents within one task and
+/// publishes them as ONE epoch / one manifest record — readers never
+/// observe a half-applied batch.
+class IngestQueue {
+ public:
+  /// One document mutation of a (possibly batched) submission.
+  struct DocOp {
+    ManifestOp::Kind kind = ManifestOp::Kind::kAdd;
+    std::string name;
+    /// XML text for kAdd/kReplace; ignored for kRemove.
+    std::string xml;
+  };
+
+  /// Both the collection and the pool must outlive the queue.
+  IngestQueue(LiveCollection* collection, ThreadPool* pool);
+  ~IngestQueue();
+
+  IngestQueue(const IngestQueue&) = delete;
+  IngestQueue& operator=(const IngestQueue&) = delete;
+
+  std::future<Status> SubmitAdd(std::string name, std::string xml);
+  std::future<Status> SubmitReplace(std::string name, std::string xml);
+  std::future<Status> SubmitRemove(std::string name);
+
+  /// Indexes every document of `ops`, then publishes the whole batch
+  /// atomically (one epoch). Any indexing or validation failure fails
+  /// the entire batch; nothing publishes.
+  std::future<Status> SubmitBatch(std::vector<DocOp> ops);
+
+  /// Blocks until every submission accepted so far has published (or
+  /// failed). New submissions may land while draining; they are waited
+  /// for too.
+  void Drain();
+
+  struct Stats {
+    uint64_t submitted = 0;
+    uint64_t published = 0;  // submissions whose publish succeeded
+    uint64_t failed = 0;
+    uint64_t pending = 0;  // accepted, not yet settled
+  };
+  Stats stats() const;
+
+  LiveCollection* collection() const { return collection_; }
+
+ private:
+  std::future<Status> SubmitOps(std::vector<DocOp> ops);
+  Status RunOps(const std::vector<DocOp>& ops);
+
+  LiveCollection* collection_;
+  ThreadPool* pool_;
+
+  mutable std::mutex mu_;
+  std::condition_variable settled_;
+  uint64_t submitted_ = 0;
+  uint64_t published_ = 0;
+  uint64_t failed_ = 0;
+  uint64_t pending_ = 0;
+};
+
+}  // namespace blas
+
+#endif  // BLAS_INGEST_INGEST_QUEUE_H_

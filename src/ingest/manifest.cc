@@ -1,0 +1,426 @@
+#include "ingest/manifest.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <array>
+#include <cstring>
+#include <utility>
+
+namespace blas {
+
+namespace {
+
+constexpr char kFileMagic[8] = {'B', 'L', 'A', 'S', 'M', 'A', 'N', '1'};
+constexpr uint32_t kVersion = 1;
+constexpr uint32_t kRecordMagic = 0x4352424Du;  // "MBRC" little-endian
+constexpr uint64_t kHeaderBytes = sizeof(kFileMagic) + sizeof(uint32_t);
+constexpr uint32_t kRecordHeaderBytes = 12;  // magic + length + crc
+/// A record holds document names and file names — anything near this
+/// bound is not a manifest record, it is garbage.
+constexpr uint32_t kMaxPayload = 64u << 20;
+
+void PutU32(std::string* out, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out->append(buf, 4);
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out->append(buf, 8);
+}
+
+/// Bounded little-endian reads over a byte span; false = out of bytes.
+struct Reader {
+  const char* p;
+  size_t left;
+
+  bool U8(uint8_t* v) {
+    if (left < 1) return false;
+    *v = static_cast<uint8_t>(*p);
+    ++p;
+    --left;
+    return true;
+  }
+  bool U32(uint32_t* v) {
+    if (left < 4) return false;
+    std::memcpy(v, p, 4);
+    p += 4;
+    left -= 4;
+    return true;
+  }
+  bool U64(uint64_t* v) {
+    if (left < 8) return false;
+    std::memcpy(v, p, 8);
+    p += 8;
+    left -= 8;
+    return true;
+  }
+  bool Str(std::string* v) {
+    uint32_t n = 0;
+    if (!U32(&n) || left < n) return false;
+    v->assign(p, n);
+    p += n;
+    left -= n;
+    return true;
+  }
+};
+
+const std::array<uint32_t, 256>& Crc32Table() {
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+Status Corrupt(const std::string& path, const std::string& what) {
+  return Status::Corruption("manifest " + path + ": " + what);
+}
+
+/// Applies one replayed record to the state; inconsistent ops mean the
+/// log does not describe a reachable history.
+Status ApplyRecord(const std::string& path, const ManifestRecord& record,
+                   ManifestState* state) {
+  if (record.checkpoint) {
+    if (record.epoch < state->epoch) {
+      return Corrupt(path, "checkpoint epoch regressed");
+    }
+    state->files.clear();
+    state->doc_epochs.clear();
+  } else if (record.epoch <= state->epoch && state->records > 0) {
+    return Corrupt(path, "record epoch did not ascend");
+  }
+  for (const ManifestOp& op : record.ops) {
+    switch (op.kind) {
+      case ManifestOp::Kind::kAdd:
+        if (!record.checkpoint && state->files.count(op.name) != 0) {
+          return Corrupt(path, "add of existing document: " + op.name);
+        }
+        if (op.file.empty()) return Corrupt(path, "add without a file");
+        state->files[op.name] = op.file;
+        state->doc_epochs[op.name] = record.epoch;
+        break;
+      case ManifestOp::Kind::kReplace:
+        if (state->files.count(op.name) == 0) {
+          return Corrupt(path, "replace of missing document: " + op.name);
+        }
+        if (op.file.empty()) return Corrupt(path, "replace without a file");
+        state->files[op.name] = op.file;
+        state->doc_epochs[op.name] = record.epoch;
+        break;
+      case ManifestOp::Kind::kRemove:
+        if (state->files.erase(op.name) == 0) {
+          return Corrupt(path, "remove of missing document: " + op.name);
+        }
+        state->doc_epochs.erase(op.name);
+        break;
+      default:
+        return Corrupt(path, "unknown op kind");
+    }
+  }
+  state->epoch = record.epoch;
+  ++state->records;
+  return Status::OK();
+}
+
+Status FlushAndSync(std::FILE* file, const std::string& path) {
+  if (std::fflush(file) != 0) {
+    return Status::Internal("manifest flush failed: " + path);
+  }
+  if (::fsync(::fileno(file)) != 0) {
+    return Status::Internal("manifest fsync failed: " + path);
+  }
+  return Status::OK();
+}
+
+void SyncDir(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dfd >= 0) {
+    (void)::fsync(dfd);
+    ::close(dfd);
+  }
+}
+
+std::string EncodeHeader() {
+  std::string out(kFileMagic, sizeof(kFileMagic));
+  PutU32(&out, kVersion);
+  return out;
+}
+
+}  // namespace
+
+uint32_t ManifestCrc32(const void* data, size_t n) {
+  const auto& table = Crc32Table();
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < n; ++i) {
+    crc = table[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::string EncodeManifestRecord(const ManifestRecord& record) {
+  std::string payload;
+  PutU64(&payload, record.epoch);
+  payload.push_back(record.checkpoint ? 1 : 0);
+  PutU32(&payload, static_cast<uint32_t>(record.ops.size()));
+  for (const ManifestOp& op : record.ops) {
+    payload.push_back(static_cast<char>(op.kind));
+    PutU32(&payload, static_cast<uint32_t>(op.name.size()));
+    payload.append(op.name);
+    PutU32(&payload, static_cast<uint32_t>(op.file.size()));
+    payload.append(op.file);
+  }
+  std::string out;
+  out.reserve(kRecordHeaderBytes + payload.size());
+  PutU32(&out, kRecordMagic);
+  PutU32(&out, static_cast<uint32_t>(payload.size()));
+  PutU32(&out, ManifestCrc32(payload.data(), payload.size()));
+  out.append(payload);
+  return out;
+}
+
+Result<ManifestState> ReplayManifest(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::NotFound("no manifest at " + path);
+  }
+  std::string data;
+  {
+    char buf[1 << 16];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), file)) > 0) {
+      data.append(buf, n);
+    }
+    bool read_error = std::ferror(file) != 0;
+    std::fclose(file);
+    if (read_error) return Status::Internal("manifest read failed: " + path);
+  }
+
+  if (data.size() < kHeaderBytes ||
+      std::memcmp(data.data(), kFileMagic, sizeof(kFileMagic)) != 0) {
+    return Corrupt(path, "bad file magic");
+  }
+  uint32_t version = 0;
+  std::memcpy(&version, data.data() + sizeof(kFileMagic), 4);
+  if (version != kVersion) return Corrupt(path, "unsupported version");
+
+  ManifestState state;
+  state.bytes = kHeaderBytes;
+  state.record_boundaries.push_back(kHeaderBytes);
+  size_t pos = kHeaderBytes;
+  while (pos < data.size()) {
+    size_t remaining = data.size() - pos;
+    if (remaining < kRecordHeaderBytes) {
+      state.dropped_partial_tail = true;  // crash mid-append
+      break;
+    }
+    uint32_t magic = 0, length = 0, crc = 0;
+    std::memcpy(&magic, data.data() + pos, 4);
+    std::memcpy(&length, data.data() + pos + 4, 4);
+    std::memcpy(&crc, data.data() + pos + 8, 4);
+    if (magic != kRecordMagic) return Corrupt(path, "bad record magic");
+    if (length > kMaxPayload) return Corrupt(path, "oversized record");
+    if (remaining - kRecordHeaderBytes < length) {
+      state.dropped_partial_tail = true;  // crash mid-append
+      break;
+    }
+    const char* payload = data.data() + pos + kRecordHeaderBytes;
+    if (ManifestCrc32(payload, length) != crc) {
+      return Corrupt(path, "record checksum mismatch");
+    }
+
+    ManifestRecord record;
+    Reader r{payload, length};
+    uint8_t kind = 0;
+    uint32_t op_count = 0;
+    if (!r.U64(&record.epoch) || !r.U8(&kind) || !r.U32(&op_count) ||
+        kind > 1) {
+      return Corrupt(path, "malformed record payload");
+    }
+    record.checkpoint = kind == 1;
+    record.ops.reserve(op_count);
+    for (uint32_t i = 0; i < op_count; ++i) {
+      ManifestOp op;
+      uint8_t op_kind = 0;
+      if (!r.U8(&op_kind) || op_kind > 2 || !r.Str(&op.name) ||
+          !r.Str(&op.file)) {
+        return Corrupt(path, "malformed record op");
+      }
+      op.kind = static_cast<ManifestOp::Kind>(op_kind);
+      record.ops.push_back(std::move(op));
+    }
+    if (r.left != 0) return Corrupt(path, "trailing bytes in record");
+
+    BLAS_RETURN_NOT_OK(ApplyRecord(path, record, &state));
+    pos += kRecordHeaderBytes + length;
+    state.bytes = pos;
+    state.record_boundaries.push_back(pos);
+  }
+  return state;
+}
+
+// ------------------------------------------------------------ writer ---
+
+ManifestWriter::ManifestWriter(std::FILE* file, std::string path,
+                               uint64_t bytes)
+    : file_(file), path_(std::move(path)), bytes_(bytes) {}
+
+ManifestWriter::ManifestWriter(ManifestWriter&& other) noexcept
+    : file_(other.file_),
+      path_(std::move(other.path_)),
+      bytes_(other.bytes_),
+      records_since_compact_(other.records_since_compact_),
+      poisoned_(other.poisoned_) {
+  other.file_ = nullptr;
+}
+
+ManifestWriter& ManifestWriter::operator=(ManifestWriter&& other) noexcept {
+  if (this != &other) {
+    if (file_ != nullptr) std::fclose(file_);
+    file_ = other.file_;
+    path_ = std::move(other.path_);
+    bytes_ = other.bytes_;
+    records_since_compact_ = other.records_since_compact_;
+    poisoned_ = other.poisoned_;
+    other.file_ = nullptr;
+  }
+  return *this;
+}
+
+ManifestWriter::~ManifestWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Result<ManifestWriter> ManifestWriter::Create(const std::string& path,
+                                              bool truncate_existing) {
+  if (!truncate_existing) {
+    if (std::FILE* existing = std::fopen(path.c_str(), "rb")) {
+      std::fclose(existing);
+      return Status::InvalidArgument("manifest already exists: " + path);
+    }
+  }
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::Internal("cannot create manifest: " + path);
+  }
+  std::string header = EncodeHeader();
+  if (std::fwrite(header.data(), 1, header.size(), file) != header.size()) {
+    std::fclose(file);
+    return Status::Internal("manifest header write failed: " + path);
+  }
+  Status synced = FlushAndSync(file, path);
+  if (!synced.ok()) {
+    std::fclose(file);
+    return synced;
+  }
+  SyncDir(path);
+  return ManifestWriter(file, path, header.size());
+}
+
+Result<ManifestWriter> ManifestWriter::OpenAppend(
+    const std::string& path, const ManifestState& replayed) {
+  // r+b keeps existing bytes; the truncate below discards any torn tail.
+  std::FILE* file = std::fopen(path.c_str(), "r+b");
+  if (file == nullptr) {
+    return Status::NotFound("no manifest at " + path);
+  }
+  if (::ftruncate(::fileno(file),
+                  static_cast<off_t>(replayed.bytes)) != 0 ||
+      std::fseek(file, 0, SEEK_END) != 0) {
+    std::fclose(file);
+    return Status::Internal("cannot truncate manifest tail: " + path);
+  }
+  return ManifestWriter(file, path, replayed.bytes);
+}
+
+Status ManifestWriter::Append(const ManifestRecord& record) {
+  if (file_ == nullptr) return Status::Internal("manifest writer moved out");
+  if (poisoned_) {
+    return Status::Internal("manifest writer is poisoned: " + path_);
+  }
+  std::string bytes = EncodeManifestRecord(record);
+  bool failed =
+      std::fwrite(bytes.data(), 1, bytes.size(), file_) != bytes.size();
+  if (!failed) failed = !FlushAndSync(file_, path_).ok();
+  if (failed) {
+    // The stream may have flushed part of the record. Cut the log back
+    // to the last clean boundary so a later append (or replay) never
+    // sees torn bytes; if even that fails, refuse all further appends.
+    std::clearerr(file_);
+    if (::ftruncate(::fileno(file_), static_cast<off_t>(bytes_)) != 0 ||
+        std::fseek(file_, 0, SEEK_END) != 0) {
+      poisoned_ = true;
+    }
+    return Status::Internal("manifest append failed: " + path_);
+  }
+  bytes_ += bytes.size();
+  ++records_since_compact_;
+  return Status::OK();
+}
+
+Status ManifestWriter::Compact(
+    uint64_t epoch, const std::map<std::string, std::string>& files) {
+  if (file_ == nullptr) return Status::Internal("manifest writer moved out");
+  if (poisoned_) {
+    return Status::Internal("manifest writer is poisoned: " + path_);
+  }
+  ManifestRecord checkpoint;
+  checkpoint.epoch = epoch;
+  checkpoint.checkpoint = true;
+  checkpoint.ops.reserve(files.size());
+  for (const auto& [name, file] : files) {
+    checkpoint.ops.push_back(ManifestOp{ManifestOp::Kind::kAdd, name, file});
+  }
+
+  const std::string tmp = path_ + ".tmp";
+  std::FILE* fresh = std::fopen(tmp.c_str(), "wb");
+  if (fresh == nullptr) {
+    return Status::Internal("cannot open manifest tmp: " + tmp);
+  }
+  std::string bytes = EncodeHeader() + EncodeManifestRecord(checkpoint);
+  bool failed =
+      std::fwrite(bytes.data(), 1, bytes.size(), fresh) != bytes.size();
+  if (!failed) failed = !FlushAndSync(fresh, tmp).ok();
+  if (std::fclose(fresh) != 0) failed = true;
+  if (failed) {
+    std::remove(tmp.c_str());
+    return Status::Internal("manifest compaction write failed: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("manifest compaction rename failed: " + path_);
+  }
+  SyncDir(path_);
+
+  // The old descriptor now points at an unlinked inode; switch to the
+  // compacted file for further appends. Failing here poisons the
+  // writer: appending to the unlinked inode would acknowledge records
+  // no replay could ever see.
+  std::FILE* reopened = std::fopen(path_.c_str(), "r+b");
+  if (reopened == nullptr ||
+      std::fseek(reopened, 0, SEEK_END) != 0) {
+    if (reopened != nullptr) std::fclose(reopened);
+    poisoned_ = true;
+    return Status::Internal("cannot reopen compacted manifest: " + path_);
+  }
+  std::fclose(file_);
+  file_ = reopened;
+  bytes_ = bytes.size();
+  records_since_compact_ = 0;
+  return Status::OK();
+}
+
+}  // namespace blas

@@ -1,0 +1,164 @@
+#ifndef BLAS_INGEST_MANIFEST_H_
+#define BLAS_INGEST_MANIFEST_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace blas {
+
+// ------------------------------------------------------------------------
+// MANIFEST — the append-only, checksummed log that makes a live
+// collection durable. Every published epoch appends exactly one record;
+// a record boundary therefore *is* an epoch boundary, and replaying the
+// log after a crash recovers exactly the last fully-published epoch.
+//
+// Layout:
+//
+//   [8]  file magic "BLASMAN1"
+//   [4]  version (little-endian u32, currently 1)
+//   then zero or more records, each:
+//   [4]  record magic 0x4352424Du ("MBRC")
+//   [4]  payload length (u32)
+//   [4]  CRC-32 of the payload bytes
+//   [..] payload:
+//          u64 epoch
+//          u8  kind            (0 = delta, 1 = checkpoint)
+//          u32 op count
+//          per op: u8 op kind  (0 = add, 1 = replace, 2 = remove)
+//                  u32 name length, name bytes
+//                  u32 file length, file bytes (empty for remove)
+//
+// A checkpoint record lists the *entire* collection (all ops are adds)
+// and resets the replayed state — compaction rewrites the log as a
+// header plus one checkpoint via the tmp + fsync + rename idiom, so the
+// log stays O(collection) instead of O(history).
+//
+// Replay rules (the recovery contract):
+//   * header magic/version mismatch            -> Corruption;
+//   * a record cut short by a crash — fewer bytes left than the record
+//     header or its declared payload — is a *partial tail*: dropped,
+//     recovery lands on the previous record boundary (= epoch);
+//   * a length-complete record whose CRC does not match, whose record
+//     magic is wrong, or whose payload does not parse exactly
+//                                              -> Corruption (bit rot is
+//     rejected, never silently skipped);
+//   * epochs must ascend (a checkpoint may repeat the epoch it
+//     compacts); ops must be consistent with the replayed state (add of
+//     an existing name, remove/replace of a missing one -> Corruption).
+// ------------------------------------------------------------------------
+
+/// One document mutation inside a manifest record.
+struct ManifestOp {
+  enum class Kind : uint8_t { kAdd = 0, kReplace = 1, kRemove = 2 };
+  Kind kind = Kind::kAdd;
+  std::string name;
+  /// Directory-relative BLASIDX2 snapshot file; empty for kRemove.
+  std::string file;
+};
+
+/// One atomically-published epoch: every op in the record becomes visible
+/// together or (after a crash before the record completed) not at all.
+struct ManifestRecord {
+  uint64_t epoch = 0;
+  /// Full listing (compaction); replay resets the map first.
+  bool checkpoint = false;
+  std::vector<ManifestOp> ops;
+};
+
+/// The state a manifest replays to.
+struct ManifestState {
+  /// Last fully-published epoch (0 for an empty log).
+  uint64_t epoch = 0;
+  /// Document name -> directory-relative snapshot file.
+  std::map<std::string, std::string> files;
+  /// Document name -> epoch of the record that last added/replaced it.
+  std::map<std::string, uint64_t> doc_epochs;
+  /// Records applied.
+  uint64_t records = 0;
+  /// Bytes of header plus applied records — the durable prefix. A writer
+  /// reopening the log truncates to this before appending.
+  uint64_t bytes = 0;
+  /// True when a crash-torn partial record was dropped from the tail.
+  bool dropped_partial_tail = false;
+  /// File offset after the header and after each applied record — every
+  /// valid crash point (the recovery tests cut the file at each).
+  std::vector<uint64_t> record_boundaries;
+};
+
+/// Replays `path` under the rules above.
+Result<ManifestState> ReplayManifest(const std::string& path);
+
+/// Serializes one record (header + checksummed payload) — the writer's
+/// append unit, exposed for tests that build or corrupt logs by hand.
+std::string EncodeManifestRecord(const ManifestRecord& record);
+
+/// \brief Appender for the manifest log. Not thread-safe: the live
+/// collection serializes publishes.
+class ManifestWriter {
+ public:
+  /// Creates a fresh log (header only, fsync'ed). Fails if a log already
+  /// exists and `truncate_existing` is false.
+  static Result<ManifestWriter> Create(const std::string& path,
+                                       bool truncate_existing = false);
+
+  /// Opens an existing log for appending after a replay. The file is
+  /// first truncated to `replayed.bytes`, discarding any crash-torn tail
+  /// so new records land on a clean boundary.
+  static Result<ManifestWriter> OpenAppend(const std::string& path,
+                                           const ManifestState& replayed);
+
+  ManifestWriter(ManifestWriter&& other) noexcept;
+  ManifestWriter& operator=(ManifestWriter&& other) noexcept;
+  ManifestWriter(const ManifestWriter&) = delete;
+  ManifestWriter& operator=(const ManifestWriter&) = delete;
+  ~ManifestWriter();
+
+  /// Appends one record and makes it durable (flush + fsync) before
+  /// returning. On a write error the writer truncates back to the
+  /// previous record boundary so later appends land on a clean log; if
+  /// even that fails the writer poisons itself (every further Append
+  /// fails) rather than risk appending after torn bytes.
+  Status Append(const ManifestRecord& record);
+
+  /// Rewrites the log as header + one checkpoint record holding `state`
+  /// (tmp + fsync + atomic rename, like the snapshot writers), then
+  /// switches this writer to the compacted file. On failure *before* the
+  /// rename the old log keeps appending — compaction stays an
+  /// optimization. If the rename lands but the compacted file cannot be
+  /// reopened, the writer poisons itself: appending to the old (now
+  /// unlinked) inode would acknowledge publishes no replay could see.
+  Status Compact(uint64_t epoch,
+                 const std::map<std::string, std::string>& files);
+
+  /// Bytes in the durable log (header + appended records).
+  uint64_t bytes() const { return bytes_; }
+  /// True once the writer can no longer guarantee a clean log (failed
+  /// truncate-after-torn-append, or a compacted file it cannot reopen).
+  bool poisoned() const { return poisoned_; }
+  /// Records appended since the last Compact (or open).
+  uint64_t records_since_compact() const { return records_since_compact_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  ManifestWriter(std::FILE* file, std::string path, uint64_t bytes);
+
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  uint64_t bytes_ = 0;
+  uint64_t records_since_compact_ = 0;
+  bool poisoned_ = false;
+};
+
+/// CRC-32 (IEEE, reflected) over `data` — the manifest's record checksum,
+/// exposed for tests that craft corrupt records.
+uint32_t ManifestCrc32(const void* data, size_t n);
+
+}  // namespace blas
+
+#endif  // BLAS_INGEST_MANIFEST_H_

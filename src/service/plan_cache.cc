@@ -5,16 +5,36 @@
 namespace blas {
 
 std::shared_ptr<const CachedPlan> CachedCollectionPlan::ForDoc(
-    const std::string& doc) const {
+    const std::string& doc, uint64_t epoch) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = per_doc_.find(doc);
-  return it == per_doc_.end() ? nullptr : it->second;
+  if (it == per_doc_.end() || it->second.epoch != epoch) {
+    // Not translated for this generation. The mismatched entry (if any)
+    // is left in place: a cursor still draining an older pinned epoch
+    // may look it up again, and evicting here would make alternating
+    // old/new readers thrash the slot with retranslations.
+    return nullptr;
+  }
+  return it->second.plan;
 }
 
 void CachedCollectionPlan::PutDoc(
-    const std::string& doc, std::shared_ptr<const CachedPlan> plan) const {
+    const std::string& doc, uint64_t epoch,
+    std::shared_ptr<const CachedPlan> plan) const {
   std::lock_guard<std::mutex> lock(mu_);
-  per_doc_.try_emplace(doc, std::move(plan));
+  auto [it, inserted] = per_doc_.try_emplace(doc);
+  if (inserted || epoch > it->second.epoch) {
+    it->second = TaggedPlan{epoch, std::move(plan)};
+  }
+  // Same-epoch racers: first writer wins (the plans are identical).
+  // Older epochs never displace a newer tag — a straggling cursor on a
+  // superseded snapshot pays its own translations instead of evicting
+  // the plan every current reader uses.
+}
+
+void CachedCollectionPlan::InvalidateDocument(const std::string& doc) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  per_doc_.erase(doc);
 }
 
 }  // namespace blas

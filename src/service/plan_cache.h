@@ -34,6 +34,14 @@ struct CachedPlan {
 /// query therefore pays one parse total and N per-document translations
 /// total, after which every request is pure cache hits.
 ///
+/// Every per-document plan is tagged with the *epoch* of the document
+/// generation it was translated against (a live collection bumps a
+/// document's epoch on every replace; static collections use epoch 0).
+/// A lookup whose epoch differs from the tag misses — a replaced document
+/// can therefore never serve a plan translated against its previous
+/// incarnation, whose tag ids, codec widths and path summary may all
+/// differ.
+///
 /// The per-document map is internally synchronized: scatter workers for
 /// different documents insert concurrently through the const handle the
 /// cache gives out.
@@ -43,20 +51,34 @@ class CachedCollectionPlan {
 
   const Query& query() const { return query_; }
 
-  /// The cached plan for `doc`, or nullptr when not yet translated.
-  std::shared_ptr<const CachedPlan> ForDoc(const std::string& doc) const;
+  /// The cached plan for `doc` at `epoch`, or nullptr when the slot is
+  /// empty or holds a different generation's plan (the entry stays —
+  /// see PutDoc).
+  std::shared_ptr<const CachedPlan> ForDoc(const std::string& doc,
+                                           uint64_t epoch) const;
 
-  /// Publishes `plan` for `doc`. First writer wins: concurrent workers
-  /// translating the same document race benignly (the plans are
-  /// identical) and later callers get the first inserted entry.
-  void PutDoc(const std::string& doc,
+  /// Publishes `plan` for `doc` at `epoch`. First writer wins among
+  /// same-epoch racers (the plans are identical); a newer epoch replaces
+  /// an older tag; an older epoch never displaces a newer one (cursors
+  /// still draining a superseded snapshot must not thrash the slot the
+  /// current epoch's readers hit).
+  void PutDoc(const std::string& doc, uint64_t epoch,
               std::shared_ptr<const CachedPlan> plan) const;
 
+  /// Drops the cached plan for `doc` (any epoch). Used when a document is
+  /// removed or replaced, so the entry's memory is reclaimed eagerly
+  /// instead of waiting for the epoch tag to miss.
+  void InvalidateDocument(const std::string& doc) const;
+
  private:
+  struct TaggedPlan {
+    uint64_t epoch = 0;
+    std::shared_ptr<const CachedPlan> plan;
+  };
+
   const Query query_;
   mutable std::mutex mu_;
-  mutable std::unordered_map<std::string, std::shared_ptr<const CachedPlan>>
-      per_doc_;
+  mutable std::unordered_map<std::string, TaggedPlan> per_doc_;
 };
 
 namespace internal {
@@ -131,6 +153,14 @@ class LruCache {
     index_.clear();
   }
 
+  /// Applies `fn` to every cached value under the cache lock (recency
+  /// order). For sweep-style maintenance — keep `fn` cheap.
+  template <typename Fn>
+  void ForEachValue(Fn fn) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const Entry& entry : lru_) fn(*entry.value);
+  }
+
   /// Keys in recency order, most recent first (tests of eviction order).
   std::vector<std::string> KeysMruToLru() const {
     std::lock_guard<std::mutex> lock(mu_);
@@ -171,6 +201,15 @@ class PlanCache : public internal::LruCache<CachedPlan> {
 class CollectionPlanCache : public internal::LruCache<CachedCollectionPlan> {
  public:
   explicit CollectionPlanCache(size_t capacity = 256) : LruCache(capacity) {}
+
+  /// Drops `doc`'s per-document plan from every cached entry (document
+  /// replaced or removed). The parsed queries and other documents' plans
+  /// survive — only the invalidated document pays retranslation.
+  void InvalidateDocument(const std::string& doc) {
+    ForEachValue([&doc](const CachedCollectionPlan& entry) {
+      entry.InvalidateDocument(doc);
+    });
+  }
 };
 
 }  // namespace blas

@@ -44,6 +44,25 @@ QueryService::QueryService(const BlasCollection* collection,
       scatter_queue_capacity_(options.scatter_queue_capacity),
       pool_(options.worker_threads, options.queue_capacity) {}
 
+QueryService::QueryService(LiveCollection* live, const ServiceOptions& options)
+    : live_(live),
+      plan_cache_(options.plan_cache_capacity),
+      collection_plan_cache_(options.plan_cache_capacity),
+      scatter_queue_capacity_(options.scatter_queue_capacity),
+      pool_(options.worker_threads, options.queue_capacity) {
+  // The queue needs the pool; the pool initializes after it (see the
+  // member-order note in the header), so wire it up in the body.
+  ingest_ = std::make_unique<IngestQueue>(live_, &pool_);
+  // Epoch tags already make stale per-document plans unservable; the
+  // listener reclaims their memory eagerly and keeps the cache honest.
+  live_->SetChangeListener(
+      [this](const std::string& name, ManifestOp::Kind kind, uint64_t) {
+        if (kind != ManifestOp::Kind::kAdd) {
+          collection_plan_cache_.InvalidateDocument(name);
+        }
+      });
+}
+
 Result<std::unique_ptr<QueryService>> QueryService::FromXml(
     std::string_view xml, const BlasOptions& blas_options,
     const ServiceOptions& options) {
@@ -52,7 +71,11 @@ Result<std::unique_ptr<QueryService>> QueryService::FromXml(
   return std::make_unique<QueryService>(std::move(shared), options);
 }
 
-QueryService::~QueryService() { Shutdown(); }
+QueryService::~QueryService() {
+  Shutdown();
+  // The listener captures `this`; the collection outlives the service.
+  if (live_ != nullptr) live_->SetChangeListener(nullptr);
+}
 
 void QueryService::Shutdown() { pool_.Shutdown(); }
 
@@ -195,8 +218,20 @@ Result<ResultCursor> QueryService::MakeCursor(const QueryRequest& request) {
 }
 
 Result<CollectionCursor> QueryService::MakeCollectionCursor(
-    const QueryRequest& request) {
-  if (collection_ == nullptr) return WrongBackend("collection");
+    const QueryRequest& request, uint64_t* epoch_at_open) {
+  if (collection_ == nullptr && live_ == nullptr) {
+    return WrongBackend("collection");
+  }
+  // A live service pins the epoch current right now; the cursor drains
+  // exactly this generation no matter what publishes meanwhile (each
+  // per-document producer holds its document via shared_ptr).
+  std::shared_ptr<const CollectionState> state =
+      live_ != nullptr ? live_->Snapshot() : nullptr;
+  const BlasCollection* collection =
+      state != nullptr ? &state->collection : collection_;
+  if (epoch_at_open != nullptr) {
+    *epoch_at_open = state != nullptr ? state->epoch : 0;
+  }
   const QueryOptions& options = request.options;
   const bool use_cache =
       !request.bypass_plan_cache && collection_plan_cache_.capacity() > 0;
@@ -215,11 +250,20 @@ Result<CollectionCursor> QueryService::MakeCollectionCursor(
 
   // Per-document opener: the scatter workers consult the cached
   // per-document plans and translate (then publish) on first touch.
+  // Plans are tagged with the document's last-changed epoch, so a
+  // replaced document can never serve its predecessor's plan (static
+  // collections tag everything 0).
   BlasCollection::DocCursorOpener opener =
-      [this, entry](const std::string& name, const BlasSystem& sys,
-                    const Query& query, const QueryOptions& doc_options)
+      [this, entry, state](const std::string& name, const BlasSystem& sys,
+                           const Query& query,
+                           const QueryOptions& doc_options)
       -> Result<ResultCursor> {
-    std::shared_ptr<const CachedPlan> plan = entry->ForDoc(name);
+    uint64_t doc_epoch = 0;
+    if (state != nullptr) {
+      auto it = state->doc_epochs.find(name);
+      if (it != state->doc_epochs.end()) doc_epoch = it->second;
+    }
+    std::shared_ptr<const CachedPlan> plan = entry->ForDoc(name, doc_epoch);
     if (plan == nullptr) {
       doc_plan_misses_.fetch_add(1, std::memory_order_relaxed);
       Result<ExecPlan> planned = sys.Plan(query, doc_options.translator);
@@ -233,7 +277,7 @@ Result<CollectionCursor> QueryService::MakeCollectionCursor(
       fresh.auto_engine = ChooseEngine(fresh.plan, model);
       fresh.stream_info = sys.AnalyzeStreamability(fresh.plan);
       plan = std::make_shared<const CachedPlan>(std::move(fresh));
-      entry->PutDoc(name, plan);
+      entry->PutDoc(name, doc_epoch, plan);
     } else {
       doc_plan_hits_.fetch_add(1, std::memory_order_relaxed);
     }
@@ -247,13 +291,21 @@ Result<CollectionCursor> QueryService::MakeCollectionCursor(
   BlasCollection::ScatterOptions scatter;
   scatter.pool = &pool_;
   scatter.queue_capacity = scatter_queue_capacity_;
-  return collection_->OpenCursor(entry->query(), options, scatter,
-                                 std::move(opener));
+  return collection->OpenCursor(entry->query(), options, scatter,
+                                std::move(opener));
+}
+
+void QueryService::CountChurnOverlap(uint64_t epoch_at_open) {
+  if (live_ != nullptr && live_->epoch() != epoch_at_open) {
+    churn_queries_.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 Result<BlasCollection::CollectionResult> QueryService::RunCollection(
     const QueryRequest& request) {
-  Result<CollectionCursor> cursor = MakeCollectionCursor(request);
+  uint64_t epoch_at_open = 0;
+  Result<CollectionCursor> cursor =
+      MakeCollectionCursor(request, &epoch_at_open);
   if (!cursor.ok()) {
     failed_.fetch_add(1, std::memory_order_relaxed);
     return std::move(cursor).status();
@@ -265,6 +317,7 @@ Result<BlasCollection::CollectionResult> QueryService::RunCollection(
   }
   completed_.fetch_add(1, std::memory_order_relaxed);
   RollUp(result->stats);
+  CountChurnOverlap(epoch_at_open);
   return result;
 }
 
@@ -294,7 +347,9 @@ std::future<Result<StreamSummary>> QueryService::SubmitCollection(
       [this, request = std::move(request),
        on_match = std::move(on_match)]() -> Result<StreamSummary> {
         Stopwatch watch;
-        Result<CollectionCursor> cursor = MakeCollectionCursor(request);
+        uint64_t epoch_at_open = 0;
+        Result<CollectionCursor> cursor =
+            MakeCollectionCursor(request, &epoch_at_open);
         if (!cursor.ok()) {
           failed_.fetch_add(1, std::memory_order_relaxed);
           return std::move(cursor).status();
@@ -318,6 +373,7 @@ std::future<Result<StreamSummary>> QueryService::SubmitCollection(
         } else {
           completed_.fetch_add(1, std::memory_order_relaxed);
           RollUp(summary.stats);
+          CountChurnOverlap(epoch_at_open);
         }
         return summary;
       });
@@ -340,6 +396,47 @@ Result<CollectionCursor> QueryService::OpenCollectionCursor(
     const QueryRequest& request) {
   submitted_.fetch_add(1, std::memory_order_relaxed);
   return RunOpenCollectionCursor(request);
+}
+
+// ------------------------------------------------------- admin (live) ---
+
+namespace {
+
+std::future<Status> NotLive() {
+  std::promise<Status> refused;
+  refused.set_value(Status::InvalidArgument(
+      "service does not front a live collection; use the LiveCollection "
+      "constructor"));
+  return refused.get_future();
+}
+
+}  // namespace
+
+std::future<Status> QueryService::SubmitAddDocument(std::string name,
+                                                    std::string xml) {
+  if (ingest_ == nullptr) return NotLive();
+  return ingest_->SubmitAdd(std::move(name), std::move(xml));
+}
+
+std::future<Status> QueryService::SubmitReplaceDocument(std::string name,
+                                                        std::string xml) {
+  if (ingest_ == nullptr) return NotLive();
+  return ingest_->SubmitReplace(std::move(name), std::move(xml));
+}
+
+std::future<Status> QueryService::SubmitRemoveDocument(std::string name) {
+  if (ingest_ == nullptr) return NotLive();
+  return ingest_->SubmitRemove(std::move(name));
+}
+
+std::future<Status> QueryService::SubmitIngestBatch(
+    std::vector<IngestQueue::DocOp> ops) {
+  if (ingest_ == nullptr) return NotLive();
+  return ingest_->SubmitBatch(std::move(ops));
+}
+
+void QueryService::DrainIngest() {
+  if (ingest_ != nullptr) ingest_->Drain();
 }
 
 void QueryService::RollUp(const ExecStats& stats) {
@@ -382,6 +479,15 @@ ServiceStats QueryService::stats() const {
   s.plan_cache_evictions = cache.evictions + coll_cache.evictions;
   s.doc_plan_hits = doc_plan_hits_.load(std::memory_order_relaxed);
   s.doc_plan_misses = doc_plan_misses_.load(std::memory_order_relaxed);
+  s.queries_served_during_churn =
+      churn_queries_.load(std::memory_order_relaxed);
+  if (live_ != nullptr) {
+    LiveCollection::Stats live = live_->stats();
+    s.docs_ingested = live.docs_ingested;
+    s.docs_removed = live.docs_removed;
+    s.epochs_published = live.epochs_published;
+    s.manifest_bytes = live.manifest_bytes;
+  }
   s.exec.elements = elements_.load(std::memory_order_relaxed);
   s.exec.page_fetches = page_fetches_.load(std::memory_order_relaxed);
   s.exec.page_misses = page_misses_.load(std::memory_order_relaxed);

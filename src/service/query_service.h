@@ -11,6 +11,8 @@
 
 #include "blas/blas.h"
 #include "blas/collection.h"
+#include "ingest/ingest_queue.h"
+#include "ingest/live_collection.h"
 #include "service/plan_cache.h"
 #include "service/thread_pool.h"
 
@@ -73,9 +75,25 @@ struct ServiceStats {
   uint64_t plan_cache_evictions = 0;
   /// Per-document plan reuse inside cached collection entries: a hot
   /// collection query pays one parse plus one translation per document
-  /// (doc_plan_misses), then only doc_plan_hits.
+  /// (doc_plan_misses), then only doc_plan_hits. An epoch-mismatched
+  /// lookup (the document was replaced since the plan was translated)
+  /// counts as a miss — stale plans are structurally unservable.
   uint64_t doc_plan_hits = 0;
   uint64_t doc_plan_misses = 0;
+  // Churn counters (live-collection services; all 0 otherwise).
+  /// Documents published by SubmitAdd/ReplaceDocument — or by anything
+  /// else driving the same LiveCollection.
+  uint64_t docs_ingested = 0;
+  uint64_t docs_removed = 0;
+  /// Epoch publishes on the fronted live collection since it opened.
+  uint64_t epochs_published = 0;
+  /// Current durable manifest size in bytes.
+  uint64_t manifest_bytes = 0;
+  /// Completed collection queries that overlapped at least one publish:
+  /// the epoch they pinned was superseded by the time they drained. The
+  /// headline number of the live-ingestion design — readers kept
+  /// streaming while the data changed under them.
+  uint64_t queries_served_during_churn = 0;
   // Roll-up of every completed query's ExecStats.
   struct ExecRollup {
     uint64_t elements = 0;
@@ -125,6 +143,15 @@ class QueryService {
   /// Serves collection queries against a collection owned by the caller,
   /// which must outlive the service and stay unmodified while served.
   explicit QueryService(const BlasCollection* collection,
+                        const ServiceOptions& options = {});
+  /// Serves collection queries against a live (continuously-ingesting)
+  /// collection owned by the caller, which must outlive the service.
+  /// Every query pins the epoch current at its open and drains it to the
+  /// end regardless of concurrent publishes; the admin Submit*Document
+  /// methods below feed the same worker pool. The service installs
+  /// itself as the collection's change listener (per-document plan
+  /// invalidation) — don't overwrite it while the service is alive.
+  explicit QueryService(LiveCollection* live,
                         const ServiceOptions& options = {});
   /// Builds the system from XML text and owns it.
   static Result<std::unique_ptr<QueryService>> FromXml(
@@ -204,6 +231,21 @@ class QueryService {
   /// Opens a scatter-gather cursor on the calling thread.
   Result<CollectionCursor> OpenCollectionCursor(const QueryRequest& request);
 
+  // --------------------------------------------------- admin (live) ---
+  // Document mutations on a live-collection service. Each runs the full
+  // ingestion pipeline (parse -> label -> paged snapshot -> durable
+  // publish) on a worker thread and settles the future with the publish
+  // outcome. On a non-live service the future holds InvalidArgument.
+
+  std::future<Status> SubmitAddDocument(std::string name, std::string xml);
+  std::future<Status> SubmitReplaceDocument(std::string name,
+                                            std::string xml);
+  std::future<Status> SubmitRemoveDocument(std::string name);
+  /// Publishes the whole batch as one epoch (one manifest record).
+  std::future<Status> SubmitIngestBatch(std::vector<IngestQueue::DocOp> ops);
+  /// Blocks until every admin submission so far has published or failed.
+  void DrainIngest();
+
   /// Stops accepting work, drains queued queries, joins the workers.
   void Shutdown();
 
@@ -216,6 +258,8 @@ class QueryService {
   const BlasSystem* system() const { return system_; }
   /// Non-null only for the collection constructor.
   const BlasCollection* collection() const { return collection_; }
+  /// Non-null only for the live-collection constructor.
+  LiveCollection* live() const { return live_; }
   size_t worker_threads() const { return pool_.thread_count(); }
 
  private:
@@ -228,7 +272,13 @@ class QueryService {
   Result<ResultCursor> MakeCursor(const QueryRequest& request);
   /// Collection counterpart: collection plan-cache lookup (parsed query +
   /// per-document plans), scatter-gather cursor creation over the pool.
-  Result<CollectionCursor> MakeCollectionCursor(const QueryRequest& request);
+  /// On a live service the cursor is opened over the pinned current
+  /// snapshot; `epoch_at_open` (optional) receives its epoch.
+  Result<CollectionCursor> MakeCollectionCursor(const QueryRequest& request,
+                                                uint64_t* epoch_at_open =
+                                                    nullptr);
+  /// Counts a completed live-collection query that overlapped a publish.
+  void CountChurnOverlap(uint64_t epoch_at_open);
   Result<BlasCollection::CollectionResult> RunCollection(
       const QueryRequest& request);
   Result<CollectionCursor> RunOpenCollectionCursor(
@@ -242,9 +292,13 @@ class QueryService {
   std::shared_ptr<const BlasSystem> owned_system_;
   const BlasSystem* system_ = nullptr;
   const BlasCollection* collection_ = nullptr;
+  LiveCollection* live_ = nullptr;
   PlanCache plan_cache_;
   CollectionPlanCache collection_plan_cache_;
   size_t scatter_queue_capacity_;
+  /// Declared before pool_: the pool's shutdown (which runs queued
+  /// ingest tasks) must happen while the queue still exists.
+  std::unique_ptr<IngestQueue> ingest_;
   ThreadPool pool_;
 
   std::atomic<uint64_t> submitted_{0};
@@ -255,6 +309,7 @@ class QueryService {
   std::atomic<uint64_t> cancelled_{0};
   std::atomic<uint64_t> doc_plan_hits_{0};
   std::atomic<uint64_t> doc_plan_misses_{0};
+  std::atomic<uint64_t> churn_queries_{0};
   std::atomic<uint64_t> elements_{0};
   std::atomic<uint64_t> page_fetches_{0};
   std::atomic<uint64_t> page_misses_{0};

@@ -46,6 +46,12 @@ size_t ThreadPool::queue_size() const {
   return queue_.size();
 }
 
+void ThreadPool::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_.wait(lock,
+             [this] { return shutdown_ || (queue_.empty() && active_ == 0); });
+}
+
 void ThreadPool::Shutdown() {
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -53,6 +59,7 @@ void ThreadPool::Shutdown() {
   }
   work_ready_.notify_all();
   space_free_.notify_all();
+  idle_.notify_all();
   std::lock_guard<std::mutex> join_lock(join_mu_);
   for (std::thread& worker : workers_) {
     if (worker.joinable()) worker.join();
@@ -68,9 +75,15 @@ void ThreadPool::WorkerLoop() {
       if (queue_.empty()) return;  // shutdown with a drained queue
       task = std::move(queue_.front());
       queue_.pop_front();
+      ++active_;
     }
     space_free_.notify_one();
     task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_;
+      if (queue_.empty() && active_ == 0) idle_.notify_all();
+    }
   }
 }
 

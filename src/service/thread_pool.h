@@ -36,6 +36,13 @@ class ThreadPool {
   /// Idempotent.
   void Shutdown();
 
+  /// Blocks until the queue is empty and every worker is idle (or the
+  /// pool is shut down). Tasks submitted by still-running tasks are
+  /// waited for too — the pool settles before this returns, so tests can
+  /// assert post-drain state deterministically instead of sleeping. Only
+  /// a snapshot: another thread may submit again right after.
+  void WaitIdle();
+
   size_t thread_count() const { return workers_.size(); }
   size_t queue_capacity() const { return queue_capacity_; }
 
@@ -52,7 +59,9 @@ class ThreadPool {
   std::mutex join_mu_;  // serializes concurrent Shutdown callers
   std::condition_variable work_ready_;
   std::condition_variable space_free_;
+  std::condition_variable idle_;
   std::deque<std::function<void()>> queue_;
+  size_t active_ = 0;  // workers currently running a task
   bool shutdown_ = false;
   std::vector<std::thread> workers_;
 };

@@ -1,4 +1,5 @@
 #include <atomic>
+#include <chrono>
 #include <future>
 #include <map>
 #include <memory>
@@ -146,6 +147,28 @@ TEST(ThreadPoolTest, SubmitAfterShutdownFails) {
   pool.Shutdown();
   EXPECT_FALSE(pool.Submit([] {}));
   EXPECT_FALSE(pool.TrySubmit([] {}));
+}
+
+TEST(ThreadPoolTest, WaitIdleSettlesQueuedAndRunningWork) {
+  std::atomic<int> done{0};
+  ThreadPool pool(3, 64);
+  // Tasks that spawn follow-up tasks: WaitIdle must cover work submitted
+  // by still-running work, not just the queue it first observed.
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(pool.Submit([&pool, &done] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      ASSERT_TRUE(pool.Submit([&done] { ++done; }));
+      ++done;
+    }));
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(done.load(), 40);
+  EXPECT_EQ(pool.queue_size(), 0u);
+
+  // Idempotent on an idle pool, and non-blocking after shutdown.
+  pool.WaitIdle();
+  pool.Shutdown();
+  pool.WaitIdle();
 }
 
 // -------------------------------------------------------- query service ---
