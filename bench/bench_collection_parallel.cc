@@ -165,6 +165,6 @@ int main(int argc, char** argv) {
       "unbounded rows.\n\n");
   blas::Register();
   benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  blas::bench::RunBenchmarksToJson("collection_parallel");
   return 0;
 }

@@ -172,4 +172,9 @@ BENCHMARK(BM_IngestPipeline)->Unit(benchmark::kMillisecond);
 }  // namespace
 }  // namespace blas
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  blas::bench::RunBenchmarksToJson("ingest_churn");
+  return 0;
+}

@@ -156,6 +156,6 @@ int main(int argc, char** argv) {
                                })
       ->Unit(benchmark::kMicrosecond);
   benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  RunBenchmarksToJson("service_throughput");
   return 0;
 }

@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include <benchmark/benchmark.h>
 
@@ -97,6 +99,74 @@ inline int EnvInt(const char* name, int fallback) {
   const char* v = std::getenv(name);
   if (v == nullptr || *v == '\0') return fallback;
   return std::atoi(v);
+}
+
+/// \brief Console reporter that additionally tees every run into a
+/// machine-readable JSON file.
+///
+/// `BENCH_<suite>.json` holds one array with an object per run: benchmark
+/// name, adjusted real/cpu time in the run's own unit, iteration count,
+/// repetitions and every user counter. CI uploads these files as
+/// artifacts, so perf numbers are diffable across commits without
+/// scraping console output.
+class BenchReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit BenchReporter(std::string suite) : suite_(std::move(suite)) {}
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.error_occurred) continue;
+      std::string entry;
+      char buf[256];
+      entry += "{\"name\":\"" + run.benchmark_name() + "\"";
+      std::snprintf(buf, sizeof(buf),
+                    ",\"real_time\":%.6g,\"cpu_time\":%.6g,\"unit\":\"%s\""
+                    ",\"iterations\":%lld,\"repetitions\":%lld",
+                    run.GetAdjustedRealTime(), run.GetAdjustedCPUTime(),
+                    benchmark::GetTimeUnitString(run.time_unit),
+                    static_cast<long long>(run.iterations),
+                    static_cast<long long>(run.repetitions));
+      entry += buf;
+      for (const auto& [name, counter] : run.counters) {
+        std::snprintf(buf, sizeof(buf), ",\"%s\":%.6g", name.c_str(),
+                      static_cast<double>(counter.value));
+        entry += buf;
+      }
+      entry += "}";
+      runs_.push_back(std::move(entry));
+    }
+    benchmark::ConsoleReporter::ReportRuns(reports);
+  }
+
+  void Finalize() override {
+    benchmark::ConsoleReporter::Finalize();
+    const std::string path = "BENCH_" + suite_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fputs("[\n", f);
+    for (size_t i = 0; i < runs_.size(); ++i) {
+      std::fprintf(f, "  %s%s\n", runs_[i].c_str(),
+                   i + 1 < runs_.size() ? "," : "");
+    }
+    std::fputs("]\n", f);
+    std::fclose(f);
+    std::fprintf(stderr, "wrote %s (%zu runs)\n", path.c_str(),
+                 runs_.size());
+  }
+
+ private:
+  std::string suite_;
+  std::vector<std::string> runs_;
+};
+
+/// Shared tail of every bench main(): run with the JSON-teeing reporter.
+inline void RunBenchmarksToJson(const std::string& suite) {
+  BenchReporter reporter(suite);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
 }
 
 inline const Translator kAllTranslators[] = {

@@ -10,6 +10,7 @@
 #include "blas/projection.h"
 #include "blas/query_options.h"
 #include "common/result.h"
+#include "obs/trace.h"
 #include "exec/executor.h"
 #include "exec/operators.h"
 #include "exec/plan.h"
@@ -34,6 +35,10 @@ struct QueryResult {
   /// Matches consumed by the cursor's `offset` before the first delivered
   /// one (the collection uses this to carry an offset across documents).
   uint64_t offset_skipped = 0;
+  /// The span tree of this query's execution; non-null only when the
+  /// query ran through a QueryService with tracing on for it
+  /// (QueryOptions::trace or the service's sampling knob).
+  std::shared_ptr<const obs::Trace> trace;
 };
 
 /// Plan-derived inputs of the bounded-cursor streaming decision. Computing

@@ -2,10 +2,12 @@
 #define BLAS_COMMON_STOPWATCH_H_
 
 #include <chrono>
+#include <cstdint>
 
 namespace blas {
 
-/// Monotonic wall-clock stopwatch used by the benchmark harnesses.
+/// Monotonic wall-clock stopwatch used by the benchmark harnesses and the
+/// observability layer.
 class Stopwatch {
  public:
   Stopwatch() : start_(Clock::now()) {}
@@ -18,6 +20,15 @@ class Stopwatch {
   }
 
   double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  /// Integer nanoseconds — the latency-histogram feed. Sub-microsecond
+  /// spans stay exact here where `double` seconds would round them.
+  uint64_t ElapsedNanos() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start_)
+            .count());
+  }
 
  private:
   using Clock = std::chrono::steady_clock;

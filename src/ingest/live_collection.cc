@@ -10,7 +10,9 @@
 #include <set>
 #include <utility>
 
+#include "common/stopwatch.h"
 #include "common/string_util.h"
+#include "obs/metrics.h"
 
 namespace blas {
 
@@ -18,6 +20,31 @@ namespace {
 
 constexpr char kManifestName[] = "MANIFEST";
 constexpr char kSegSuffix[] = ".blasidx";
+
+/// Process-wide ingest metrics; registered once, recorded per publish
+/// (publishes are serialized on publish_mu_, so contention is moot).
+struct IngestMetrics {
+  obs::Histogram* publish_ns;
+  obs::Histogram* manifest_append_ns;
+  obs::Counter* epochs_published;
+
+  IngestMetrics() {
+    auto& reg = obs::DefaultRegistry();
+    publish_ns = reg.GetHistogram(
+        "blas_ingest_publish_ns",
+        "End-to-end latency of one PublishBatch (validate + fsync + swap)");
+    manifest_append_ns = reg.GetHistogram(
+        "blas_ingest_manifest_append_ns",
+        "Latency of one manifest record append (write + flush + fsync)");
+    epochs_published = reg.GetCounter("blas_ingest_epochs_published_total",
+                                      "Collection epochs made visible");
+  }
+};
+
+IngestMetrics& ingest_metrics() {
+  static IngestMetrics* m = new IngestMetrics();
+  return *m;
+}
 
 /// Parses "seg-<n>.blasidx"; nullopt for anything else.
 std::optional<uint64_t> SegNumber(const std::string& file) {
@@ -172,6 +199,7 @@ Result<LiveCollection::PreparedDoc> LiveCollection::Prepare(
 
 Status LiveCollection::PublishBatch(std::vector<BatchOp> ops) {
   if (ops.empty()) return Status::InvalidArgument("empty publish batch");
+  Stopwatch publish_timer;
   std::lock_guard<std::mutex> publish_lock(publish_mu_);
   std::shared_ptr<const CollectionState> current = Snapshot();
 
@@ -218,7 +246,12 @@ Status LiveCollection::PublishBatch(std::vector<BatchOp> ops) {
         op.kind, op.name,
         op.kind == ManifestOp::Kind::kRemove ? std::string() : op.doc->file});
   }
-  BLAS_RETURN_NOT_OK(writer_->Append(record));
+  {
+    Stopwatch append_timer;
+    Status appended = writer_->Append(record);
+    ingest_metrics().manifest_append_ns->Record(append_timer.ElapsedNanos());
+    BLAS_RETURN_NOT_OK(appended);
+  }
   manifest_records_.fetch_add(1, std::memory_order_relaxed);
 
   // Copy-on-write publish: unchanged documents are shared with the
@@ -279,6 +312,9 @@ Status LiveCollection::PublishBatch(std::vector<BatchOp> ops) {
       listener_(op.name, op.kind, record.epoch);
     }
   }
+  IngestMetrics& metrics = ingest_metrics();
+  metrics.publish_ns->Record(publish_timer.ElapsedNanos());
+  metrics.epochs_published->Increment();
   return Status::OK();
 }
 

@@ -1,0 +1,44 @@
+#include "obs/slow_query_log.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <utility>
+
+namespace blas {
+namespace obs {
+
+std::string SlowQueryEntry::ToString() const {
+  char line[512];
+  std::snprintf(line, sizeof(line),
+                "slow query (%.3f ms): %s\n"
+                "  translator=%s engine=%s rows=%" PRIu64 "\n"
+                "  elements=%" PRIu64 " pages=%" PRIu64 " misses=%" PRIu64
+                " io_reads=%" PRIu64 "\n",
+                millis, query.c_str(), translator.c_str(), engine.c_str(),
+                output_rows, elements, page_fetches, page_misses, io_reads);
+  std::string out = line;
+  if (trace != nullptr) out += trace->Render();
+  return out;
+}
+
+bool SlowQueryLog::MaybeRecord(SlowQueryEntry entry) {
+  if (!enabled() || entry.millis < threshold_millis_) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.push_back(std::move(entry));
+  ++recorded_;
+  while (ring_.size() > capacity_) ring_.pop_front();
+  return true;
+}
+
+std::vector<SlowQueryEntry> SlowQueryLog::Entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {ring_.begin(), ring_.end()};
+}
+
+uint64_t SlowQueryLog::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recorded_;
+}
+
+}  // namespace obs
+}  // namespace blas

@@ -1,0 +1,72 @@
+#ifndef BLAS_OBS_SLOW_QUERY_LOG_H_
+#define BLAS_OBS_SLOW_QUERY_LOG_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace blas {
+namespace obs {
+
+/// One query that crossed the service's slow-query threshold: enough to
+/// reproduce (normalized text + knobs) and enough to diagnose (per-stage
+/// span breakdown + storage counters) without re-running it.
+struct SlowQueryEntry {
+  /// Normalized query text (the plan-cache key's text component).
+  std::string query;
+  std::string translator;
+  std::string engine;
+  double millis = 0.0;
+  uint64_t elements = 0;
+  uint64_t page_fetches = 0;
+  uint64_t page_misses = 0;
+  uint64_t io_reads = 0;
+  /// Matches delivered.
+  uint64_t output_rows = 0;
+  /// Per-stage breakdown; null when the service ran without spans.
+  std::shared_ptr<const Trace> trace;
+
+  /// Multi-line human-readable form (one entry of the log).
+  std::string ToString() const;
+};
+
+/// \brief Bounded, thread-safe log of the slowest-path evidence.
+///
+/// `threshold_millis <= 0` disables the log entirely (enabled() is the
+/// hot-path check; one load, no lock). Recording keeps the most recent
+/// `capacity` entries; `total_recorded()` counts every entry ever
+/// admitted so a reader can tell when the ring wrapped.
+class SlowQueryLog {
+ public:
+  SlowQueryLog(double threshold_millis, size_t capacity)
+      : threshold_millis_(threshold_millis), capacity_(capacity) {}
+
+  bool enabled() const { return threshold_millis_ > 0 && capacity_ > 0; }
+  double threshold_millis() const { return threshold_millis_; }
+  size_t capacity() const { return capacity_; }
+
+  /// Admits `entry` when its millis crosses the threshold; returns
+  /// whether it was admitted.
+  bool MaybeRecord(SlowQueryEntry entry);
+
+  /// Oldest first.
+  std::vector<SlowQueryEntry> Entries() const;
+  uint64_t total_recorded() const;
+
+ private:
+  const double threshold_millis_;
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::deque<SlowQueryEntry> ring_;
+  uint64_t recorded_ = 0;
+};
+
+}  // namespace obs
+}  // namespace blas
+
+#endif  // BLAS_OBS_SLOW_QUERY_LOG_H_

@@ -1,5 +1,9 @@
 #include "service/query_service.h"
 
+#include <algorithm>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
 #include <utility>
 
 #include "common/stopwatch.h"
@@ -17,6 +21,16 @@ Status WrongBackend(const char* wanted) {
       "; use the matching constructor");
 }
 
+void AppendF(std::string* out, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  int n = std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  if (n > 0) out->append(buf, static_cast<size_t>(std::min<int>(
+                                  n, static_cast<int>(sizeof(buf)) - 1)));
+}
+
 }  // namespace
 
 QueryService::QueryService(const BlasSystem* system,
@@ -25,7 +39,13 @@ QueryService::QueryService(const BlasSystem* system,
       plan_cache_(options.plan_cache_capacity),
       collection_plan_cache_(options.plan_cache_capacity),
       scatter_queue_capacity_(options.scatter_queue_capacity),
-      pool_(options.worker_threads, options.queue_capacity) {}
+      pool_(options.worker_threads, options.queue_capacity),
+      trace_ring_(options.trace_ring_capacity),
+      slow_query_log_(options.slow_query_millis,
+                      options.slow_query_log_capacity),
+      trace_sample_every_(options.trace_sample_every) {
+  InitMetrics();
+}
 
 QueryService::QueryService(std::shared_ptr<const BlasSystem> system,
                            const ServiceOptions& options)
@@ -34,7 +54,13 @@ QueryService::QueryService(std::shared_ptr<const BlasSystem> system,
       plan_cache_(options.plan_cache_capacity),
       collection_plan_cache_(options.plan_cache_capacity),
       scatter_queue_capacity_(options.scatter_queue_capacity),
-      pool_(options.worker_threads, options.queue_capacity) {}
+      pool_(options.worker_threads, options.queue_capacity),
+      trace_ring_(options.trace_ring_capacity),
+      slow_query_log_(options.slow_query_millis,
+                      options.slow_query_log_capacity),
+      trace_sample_every_(options.trace_sample_every) {
+  InitMetrics();
+}
 
 QueryService::QueryService(const BlasCollection* collection,
                            const ServiceOptions& options)
@@ -42,14 +68,25 @@ QueryService::QueryService(const BlasCollection* collection,
       plan_cache_(options.plan_cache_capacity),
       collection_plan_cache_(options.plan_cache_capacity),
       scatter_queue_capacity_(options.scatter_queue_capacity),
-      pool_(options.worker_threads, options.queue_capacity) {}
+      pool_(options.worker_threads, options.queue_capacity),
+      trace_ring_(options.trace_ring_capacity),
+      slow_query_log_(options.slow_query_millis,
+                      options.slow_query_log_capacity),
+      trace_sample_every_(options.trace_sample_every) {
+  InitMetrics();
+}
 
 QueryService::QueryService(LiveCollection* live, const ServiceOptions& options)
     : live_(live),
       plan_cache_(options.plan_cache_capacity),
       collection_plan_cache_(options.plan_cache_capacity),
       scatter_queue_capacity_(options.scatter_queue_capacity),
-      pool_(options.worker_threads, options.queue_capacity) {
+      pool_(options.worker_threads, options.queue_capacity),
+      trace_ring_(options.trace_ring_capacity),
+      slow_query_log_(options.slow_query_millis,
+                      options.slow_query_log_capacity),
+      trace_sample_every_(options.trace_sample_every) {
+  InitMetrics();
   // The queue needs the pool; the pool initializes after it (see the
   // member-order note in the header), so wire it up in the body.
   ingest_ = std::make_unique<IngestQueue>(live_, &pool_);
@@ -79,6 +116,87 @@ QueryService::~QueryService() {
 
 void QueryService::Shutdown() { pool_.Shutdown(); }
 
+void QueryService::InitMetrics() {
+  query_latency_ns_ = metrics_.GetHistogram(
+      "blas_query_latency_ns",
+      "Wall time of completed single-document queries");
+  collection_latency_ns_ = metrics_.GetHistogram(
+      "blas_collection_query_latency_ns",
+      "Wall time of completed collection queries (scatter + merge)");
+  stage_parse_ns_ =
+      metrics_.GetHistogram("blas_stage_parse_ns", "XPath parse stage");
+  stage_translate_ns_ = metrics_.GetHistogram(
+      "blas_stage_translate_ns", "Query-to-plan translation stage");
+  stage_optimize_ns_ = metrics_.GetHistogram(
+      "blas_stage_optimize_ns",
+      "Join-order optimization, engine choice and streamability analysis");
+  stage_execute_ns_ = metrics_.GetHistogram(
+      "blas_stage_execute_ns",
+      "Cursor open (engine execution / streaming prefix)");
+  metrics_.RegisterCallbackGauge(
+      "blas_queries_completed", "Queries run to completion by the service",
+      [this] {
+        return static_cast<int64_t>(
+            completed_.load(std::memory_order_relaxed));
+      });
+  metrics_.RegisterCallbackGauge(
+      "blas_queries_failed", "Queries that failed to parse/translate/execute",
+      [this] {
+        return static_cast<int64_t>(failed_.load(std::memory_order_relaxed));
+      });
+  metrics_.RegisterCallbackGauge(
+      "blas_plan_cache_hit_percent",
+      "Plan-cache hit ratio over the service's lifetime, in percent",
+      [this] {
+        PlanCache::Stats cache = plan_cache_.stats();
+        CollectionPlanCache::Stats coll = collection_plan_cache_.stats();
+        uint64_t hits = cache.hits + coll.hits;
+        uint64_t total = hits + cache.misses + coll.misses;
+        return total == 0 ? int64_t{0}
+                          : static_cast<int64_t>(hits * 100 / total);
+      });
+}
+
+std::shared_ptr<obs::TraceContext> QueryService::MaybeStartTrace(
+    const QueryRequest& request) {
+  bool traced = request.options.trace;
+  if (!traced && trace_sample_every_ > 0) {
+    traced = trace_ticker_.fetch_add(1, std::memory_order_relaxed) %
+                 trace_sample_every_ ==
+             0;
+  }
+  if (!traced) return nullptr;
+  return std::make_shared<obs::TraceContext>(NormalizeXPath(request.xpath));
+}
+
+std::shared_ptr<const obs::Trace> QueryService::FinishQueryObs(
+    const QueryRequest& request, double millis, obs::Histogram* latency,
+    const ExecStats& stats, uint64_t output_rows, const char* engine,
+    obs::TraceContext* trace) {
+  latency->Record(static_cast<uint64_t>(millis * 1e6));
+  std::shared_ptr<const obs::Trace> sealed;
+  if (trace != nullptr) {
+    sealed = trace->Finish();
+    trace_ring_.Push(sealed);
+  }
+  if (slow_query_log_.enabled() &&
+      millis >= slow_query_log_.threshold_millis()) {
+    obs::SlowQueryEntry entry;
+    entry.query = NormalizeXPath(request.xpath);
+    entry.translator = TranslatorName(request.options.translator);
+    entry.engine = engine;
+    entry.millis = millis;
+    entry.elements = stats.elements;
+    entry.page_fetches = stats.page_fetches;
+    entry.page_misses = stats.page_misses;
+    entry.io_reads = stats.io_reads;
+    entry.output_rows = output_rows;
+    entry.trace = sealed;
+    slow_query_log_.MaybeRecord(std::move(entry));
+  }
+  return sealed;
+}
+
 template <typename T>
 std::future<Result<T>> QueryService::SubmitTask(
     std::function<Result<T>()> work) {
@@ -105,20 +223,34 @@ std::future<Result<StreamSummary>> QueryService::Submit(
   return SubmitTask<StreamSummary>(
       [this, request = std::move(request),
        on_match = std::move(on_match)]() -> Result<StreamSummary> {
-        Result<ResultCursor> cursor = MakeCursor(request);
+        Stopwatch watch;
+        std::shared_ptr<obs::TraceContext> trace = MaybeStartTrace(request);
+        obs::TraceContext::Scope scope(trace.get());
+        Result<ResultCursor> cursor = MakeCursor(request, trace.get());
         if (!cursor.ok()) {
           failed_.fetch_add(1, std::memory_order_relaxed);
           return std::move(cursor).status();
         }
+        const ExecStats open_stats = cursor->stats();
         StreamSummary summary;
-        while (std::optional<Match> match = cursor->Next()) {
-          ++summary.delivered;
-          if (!on_match(*match)) {
-            summary.cancelled = true;
-            break;
+        {
+          obs::SpanTimer span(trace.get(), "stream");
+          while (std::optional<Match> match = cursor->Next()) {
+            ++summary.delivered;
+            if (!on_match(*match)) {
+              summary.cancelled = true;
+              break;
+            }
+          }
+          summary.stats = cursor->stats();
+          if (trace != nullptr) {
+            span.set_counters(
+                summary.stats.elements - open_stats.elements,
+                summary.stats.page_fetches - open_stats.page_fetches,
+                summary.stats.page_misses - open_stats.page_misses,
+                summary.stats.io_reads - open_stats.io_reads);
           }
         }
-        summary.stats = cursor->stats();
         summary.shape = cursor->shape();
         summary.millis = cursor->millis();
         if (summary.cancelled) {
@@ -128,6 +260,11 @@ std::future<Result<StreamSummary>> QueryService::Submit(
         } else {
           completed_.fetch_add(1, std::memory_order_relaxed);
           RollUp(summary.stats);
+          offset_skipped_.fetch_add(cursor->offset_skipped(),
+                                    std::memory_order_relaxed);
+          FinishQueryObs(request, watch.ElapsedMillis(), query_latency_ns_,
+                         summary.stats, summary.delivered,
+                         EngineName(cursor->engine()), trace.get());
         }
         return summary;
       });
@@ -173,7 +310,8 @@ Result<ResultCursor> QueryService::RunOpenCursor(const QueryRequest& request) {
   return cursor;
 }
 
-Result<ResultCursor> QueryService::MakeCursor(const QueryRequest& request) {
+Result<ResultCursor> QueryService::MakeCursor(const QueryRequest& request,
+                                              obs::TraceContext* trace) {
   if (system_ == nullptr) return WrongBackend("single document");
   std::shared_ptr<const CachedPlan> plan;
   std::string key;
@@ -183,26 +321,48 @@ Result<ResultCursor> QueryService::MakeCursor(const QueryRequest& request) {
   if (use_cache) {
     key = PlanCacheKey(request.xpath, options.translator,
                        options.exec.optimize_join_order);
+    obs::SpanTimer span(trace, "plan_cache");
     plan = plan_cache_.Get(key);
+    if (trace != nullptr) span.set_note(plan != nullptr ? "hit" : "miss");
   }
   if (plan == nullptr) {
-    Result<ExecPlan> planned = system_->Plan(request.xpath, options.translator);
-    if (!planned.ok()) return std::move(planned).status();
+    Query parsed;
+    {
+      obs::SpanTimer span(trace, "parse");
+      Stopwatch timer;
+      Result<Query> query = ParseXPath(request.xpath);
+      stage_parse_ns_->Record(timer.ElapsedNanos());
+      if (!query.ok()) return std::move(query).status();
+      parsed = std::move(query).value();
+    }
     CachedPlan fresh;
-    fresh.plan = std::move(planned).value();
-    CostModel model(&system_->summary(), &system_->dict());
-    if (options.exec.optimize_join_order) {
-      fresh.plan = OptimizeJoinOrder(fresh.plan, model);
+    {
+      obs::SpanTimer span(trace, "translate");
+      if (trace != nullptr) span.set_note(TranslatorName(options.translator));
+      Stopwatch timer;
+      Result<ExecPlan> planned = system_->Plan(parsed, options.translator);
+      stage_translate_ns_->Record(timer.ElapsedNanos());
+      if (!planned.ok()) return std::move(planned).status();
+      fresh.plan = std::move(planned).value();
     }
-    if (use_cache || options.engine == Engine::kAuto) {
-      // Skippable when the engine is pinned and the plan won't be cached
-      // (cardinality estimation walks the path summary per part).
-      fresh.auto_engine = ChooseEngine(fresh.plan, model);
-    }
-    if (use_cache || options.limit > 0) {
-      // Same reasoning as auto_engine: skip the summary walks when the
-      // verdict can neither be cached nor used (unbounded request).
-      fresh.stream_info = system_->AnalyzeStreamability(fresh.plan);
+    {
+      obs::SpanTimer span(trace, "optimize");
+      Stopwatch timer;
+      CostModel model(&system_->summary(), &system_->dict());
+      if (options.exec.optimize_join_order) {
+        fresh.plan = OptimizeJoinOrder(fresh.plan, model);
+      }
+      if (use_cache || options.engine == Engine::kAuto) {
+        // Skippable when the engine is pinned and the plan won't be cached
+        // (cardinality estimation walks the path summary per part).
+        fresh.auto_engine = ChooseEngine(fresh.plan, model);
+      }
+      if (use_cache || options.limit > 0) {
+        // Same reasoning as auto_engine: skip the summary walks when the
+        // verdict can neither be cached nor used (unbounded request).
+        fresh.stream_info = system_->AnalyzeStreamability(fresh.plan);
+      }
+      stage_optimize_ns_->Record(timer.ElapsedNanos());
     }
     plan = std::make_shared<const CachedPlan>(std::move(fresh));
     if (use_cache) plan_cache_.Put(key, plan);
@@ -213,12 +373,24 @@ Result<ResultCursor> QueryService::MakeCursor(const QueryRequest& request) {
   // Alias the cached entry so the plan outlives any eviction while this
   // cursor is still streaming.
   std::shared_ptr<const ExecPlan> shared_plan(plan, &plan->plan);
-  return system_->OpenPlan(std::move(shared_plan), engine, options,
-                           &plan->stream_info);
+  obs::SpanTimer span(trace, "execute");
+  if (trace != nullptr) span.set_note(EngineName(engine));
+  Stopwatch timer;
+  Result<ResultCursor> cursor = system_->OpenPlan(
+      std::move(shared_plan), engine, options, &plan->stream_info);
+  stage_execute_ns_->Record(timer.ElapsedNanos());
+  if (trace != nullptr && cursor.ok()) {
+    // Open runs the engine (or the streaming prefix); attribute the
+    // counters it accumulated to this stage.
+    const ExecStats& s = cursor->stats();
+    span.set_counters(s.elements, s.page_fetches, s.page_misses, s.io_reads);
+  }
+  return cursor;
 }
 
 Result<CollectionCursor> QueryService::MakeCollectionCursor(
-    const QueryRequest& request, uint64_t* epoch_at_open) {
+    const QueryRequest& request, uint64_t* epoch_at_open,
+    std::shared_ptr<obs::TraceContext> trace) {
   if (collection_ == nullptr && live_ == nullptr) {
     return WrongBackend("collection");
   }
@@ -240,11 +412,18 @@ Result<CollectionCursor> QueryService::MakeCollectionCursor(
   if (use_cache) {
     key = PlanCacheKey(request.xpath, options.translator,
                        options.exec.optimize_join_order);
+    obs::SpanTimer span(trace.get(), "plan_cache");
     entry = collection_plan_cache_.Get(key);
+    if (trace != nullptr) span.set_note(entry != nullptr ? "hit" : "miss");
   }
   if (entry == nullptr) {
-    BLAS_ASSIGN_OR_RETURN(Query parsed, ParseXPath(request.xpath));
-    entry = std::make_shared<const CachedCollectionPlan>(std::move(parsed));
+    obs::SpanTimer span(trace.get(), "parse");
+    Stopwatch timer;
+    Result<Query> parsed = ParseXPath(request.xpath);
+    stage_parse_ns_->Record(timer.ElapsedNanos());
+    if (!parsed.ok()) return std::move(parsed).status();
+    entry = std::make_shared<const CachedCollectionPlan>(
+        std::move(parsed).value());
     if (use_cache) collection_plan_cache_.Put(key, entry);
   }
 
@@ -254,10 +433,16 @@ Result<CollectionCursor> QueryService::MakeCollectionCursor(
   // replaced document can never serve its predecessor's plan (static
   // collections tag everything 0).
   BlasCollection::DocCursorOpener opener =
-      [this, entry, state](const std::string& name, const BlasSystem& sys,
-                           const Query& query,
-                           const QueryOptions& doc_options)
+      [this, entry, state, trace](const std::string& name,
+                                  const BlasSystem& sys, const Query& query,
+                                  const QueryOptions& doc_options)
       -> Result<ResultCursor> {
+    // The opener runs on scatter workers: install the trace context so
+    // this document's page reads attribute to the query, and record the
+    // open (translate + engine run) as one span named for the document.
+    obs::TraceContext::Scope trace_scope(trace.get());
+    obs::SpanTimer span(trace.get(), "open_doc");
+    if (trace != nullptr) span.set_note(name);
     uint64_t doc_epoch = 0;
     if (state != nullptr) {
       auto it = state->doc_epochs.find(name);
@@ -266,7 +451,9 @@ Result<CollectionCursor> QueryService::MakeCollectionCursor(
     std::shared_ptr<const CachedPlan> plan = entry->ForDoc(name, doc_epoch);
     if (plan == nullptr) {
       doc_plan_misses_.fetch_add(1, std::memory_order_relaxed);
+      Stopwatch timer;
       Result<ExecPlan> planned = sys.Plan(query, doc_options.translator);
+      stage_translate_ns_->Record(timer.ElapsedNanos());
       if (!planned.ok()) return std::move(planned).status();
       CachedPlan fresh;
       fresh.plan = std::move(planned).value();
@@ -284,13 +471,20 @@ Result<CollectionCursor> QueryService::MakeCollectionCursor(
     Engine engine = doc_options.engine == Engine::kAuto ? plan->auto_engine
                                                         : doc_options.engine;
     std::shared_ptr<const ExecPlan> shared_plan(plan, &plan->plan);
-    return sys.OpenPlan(std::move(shared_plan), engine, doc_options,
-                        &plan->stream_info);
+    Result<ResultCursor> cursor = sys.OpenPlan(
+        std::move(shared_plan), engine, doc_options, &plan->stream_info);
+    if (trace != nullptr && cursor.ok()) {
+      const ExecStats& s = cursor->stats();
+      span.set_counters(s.elements, s.page_fetches, s.page_misses,
+                        s.io_reads);
+    }
+    return cursor;
   };
 
   BlasCollection::ScatterOptions scatter;
   scatter.pool = &pool_;
   scatter.queue_capacity = scatter_queue_capacity_;
+  obs::SpanTimer span(trace.get(), "open_scatter");
   return collection->OpenCursor(entry->query(), options, scatter,
                                 std::move(opener));
 }
@@ -303,21 +497,41 @@ void QueryService::CountChurnOverlap(uint64_t epoch_at_open) {
 
 Result<BlasCollection::CollectionResult> QueryService::RunCollection(
     const QueryRequest& request) {
+  Stopwatch watch;
+  std::shared_ptr<obs::TraceContext> trace = MaybeStartTrace(request);
+  obs::TraceContext::Scope scope(trace.get());
   uint64_t epoch_at_open = 0;
   Result<CollectionCursor> cursor =
-      MakeCollectionCursor(request, &epoch_at_open);
+      MakeCollectionCursor(request, &epoch_at_open, trace);
   if (!cursor.ok()) {
     failed_.fetch_add(1, std::memory_order_relaxed);
     return std::move(cursor).status();
   }
-  Result<BlasCollection::CollectionResult> result = cursor->Drain();
+  Result<BlasCollection::CollectionResult> result = [&] {
+    obs::SpanTimer span(trace.get(), "merge");
+    Result<BlasCollection::CollectionResult> drained = cursor->Drain();
+    if (trace != nullptr && drained.ok()) {
+      span.set_counters(drained->stats.elements, drained->stats.page_fetches,
+                        drained->stats.page_misses, drained->stats.io_reads);
+    }
+    return drained;
+  }();
   if (!result.ok()) {
     failed_.fetch_add(1, std::memory_order_relaxed);
     return result;
   }
   completed_.fetch_add(1, std::memory_order_relaxed);
   RollUp(result->stats);
+  offset_skipped_.fetch_add(result->offset_skipped,
+                            std::memory_order_relaxed);
+  CollectionCursor::ScatterStats scatter = cursor->scatter_stats();
+  docs_executed_.fetch_add(scatter.docs_executed, std::memory_order_relaxed);
+  docs_cancelled_.fetch_add(scatter.docs_cancelled,
+                            std::memory_order_relaxed);
   CountChurnOverlap(epoch_at_open);
+  FinishQueryObs(request, watch.ElapsedMillis(), collection_latency_ns_,
+                 result->stats, result->total_matches,
+                 EngineName(request.options.engine), trace.get());
   return result;
 }
 
@@ -347,19 +561,24 @@ std::future<Result<StreamSummary>> QueryService::SubmitCollection(
       [this, request = std::move(request),
        on_match = std::move(on_match)]() -> Result<StreamSummary> {
         Stopwatch watch;
+        std::shared_ptr<obs::TraceContext> trace = MaybeStartTrace(request);
+        obs::TraceContext::Scope scope(trace.get());
         uint64_t epoch_at_open = 0;
         Result<CollectionCursor> cursor =
-            MakeCollectionCursor(request, &epoch_at_open);
+            MakeCollectionCursor(request, &epoch_at_open, trace);
         if (!cursor.ok()) {
           failed_.fetch_add(1, std::memory_order_relaxed);
           return std::move(cursor).status();
         }
         StreamSummary summary;
-        while (std::optional<CollectionMatch> match = cursor->Next()) {
-          ++summary.delivered;
-          if (!on_match(*match)) {
-            summary.cancelled = true;
-            break;
+        {
+          obs::SpanTimer span(trace.get(), "merge");
+          while (std::optional<CollectionMatch> match = cursor->Next()) {
+            ++summary.delivered;
+            if (!on_match(*match)) {
+              summary.cancelled = true;
+              break;
+            }
           }
         }
         if (!cursor->status().ok()) {
@@ -373,7 +592,17 @@ std::future<Result<StreamSummary>> QueryService::SubmitCollection(
         } else {
           completed_.fetch_add(1, std::memory_order_relaxed);
           RollUp(summary.stats);
+          offset_skipped_.fetch_add(cursor->offset_skipped(),
+                                    std::memory_order_relaxed);
+          CollectionCursor::ScatterStats scatter = cursor->scatter_stats();
+          docs_executed_.fetch_add(scatter.docs_executed,
+                                   std::memory_order_relaxed);
+          docs_cancelled_.fetch_add(scatter.docs_cancelled,
+                                    std::memory_order_relaxed);
           CountChurnOverlap(epoch_at_open);
+          FinishQueryObs(request, summary.millis, collection_latency_ns_,
+                         summary.stats, summary.delivered,
+                         EngineName(request.options.engine), trace.get());
         }
         return summary;
       });
@@ -451,14 +680,32 @@ void QueryService::RollUp(const ExecStats& stats) {
 }
 
 Result<QueryResult> QueryService::Run(const QueryRequest& request) {
-  Result<ResultCursor> cursor = MakeCursor(request);
+  Stopwatch watch;
+  std::shared_ptr<obs::TraceContext> trace = MaybeStartTrace(request);
+  obs::TraceContext::Scope scope(trace.get());
+  Result<ResultCursor> cursor = MakeCursor(request, trace.get());
   if (!cursor.ok()) {
     failed_.fetch_add(1, std::memory_order_relaxed);
     return std::move(cursor).status();
   }
-  QueryResult result = cursor->Drain();
+  const ExecStats open_stats = cursor->stats();
+  QueryResult result;
+  {
+    obs::SpanTimer span(trace.get(), "drain");
+    result = cursor->Drain();
+    if (trace != nullptr) {
+      span.set_counters(result.stats.elements - open_stats.elements,
+                        result.stats.page_fetches - open_stats.page_fetches,
+                        result.stats.page_misses - open_stats.page_misses,
+                        result.stats.io_reads - open_stats.io_reads);
+    }
+  }
   completed_.fetch_add(1, std::memory_order_relaxed);
   RollUp(result.stats);
+  offset_skipped_.fetch_add(result.offset_skipped, std::memory_order_relaxed);
+  result.trace = FinishQueryObs(
+      request, watch.ElapsedMillis(), query_latency_ns_, result.stats,
+      result.stats.output_rows, EngineName(cursor->engine()), trace.get());
   return result;
 }
 
@@ -481,6 +728,8 @@ ServiceStats QueryService::stats() const {
   s.doc_plan_misses = doc_plan_misses_.load(std::memory_order_relaxed);
   s.queries_served_during_churn =
       churn_queries_.load(std::memory_order_relaxed);
+  s.docs_executed = docs_executed_.load(std::memory_order_relaxed);
+  s.docs_cancelled = docs_cancelled_.load(std::memory_order_relaxed);
   if (live_ != nullptr) {
     LiveCollection::Stats live = live_->stats();
     s.docs_ingested = live.docs_ingested;
@@ -496,7 +745,76 @@ ServiceStats QueryService::stats() const {
   s.exec.intermediate_rows =
       intermediate_rows_.load(std::memory_order_relaxed);
   s.exec.output_rows = output_rows_.load(std::memory_order_relaxed);
+  s.exec.offset_skipped = offset_skipped_.load(std::memory_order_relaxed);
   return s;
+}
+
+namespace {
+
+/// (name, value) pairs of every ServiceStats field — the single source
+/// both exporters walk, so JSON and Prometheus can never disagree on
+/// coverage.
+std::vector<std::pair<const char*, uint64_t>> ServiceStatsFields(
+    const ServiceStats& s) {
+  return {
+      {"submitted", s.submitted},
+      {"completed", s.completed},
+      {"failed", s.failed},
+      {"rejected", s.rejected},
+      {"cursors_opened", s.cursors_opened},
+      {"cancelled", s.cancelled},
+      {"plan_cache_hits", s.plan_cache_hits},
+      {"plan_cache_misses", s.plan_cache_misses},
+      {"plan_cache_evictions", s.plan_cache_evictions},
+      {"doc_plan_hits", s.doc_plan_hits},
+      {"doc_plan_misses", s.doc_plan_misses},
+      {"docs_ingested", s.docs_ingested},
+      {"docs_removed", s.docs_removed},
+      {"epochs_published", s.epochs_published},
+      {"manifest_bytes", s.manifest_bytes},
+      {"queries_served_during_churn", s.queries_served_during_churn},
+      {"docs_executed", s.docs_executed},
+      {"docs_cancelled", s.docs_cancelled},
+      {"exec_elements", s.exec.elements},
+      {"exec_page_fetches", s.exec.page_fetches},
+      {"exec_page_misses", s.exec.page_misses},
+      {"exec_io_reads", s.exec.io_reads},
+      {"exec_d_joins", s.exec.d_joins},
+      {"exec_intermediate_rows", s.exec.intermediate_rows},
+      {"exec_output_rows", s.exec.output_rows},
+      {"exec_offset_skipped", s.exec.offset_skipped},
+  };
+}
+
+}  // namespace
+
+std::string QueryService::Statsz() const {
+  ServiceStats s = stats();
+  std::string out = "{\"service\":{";
+  bool first = true;
+  for (const auto& [name, value] : ServiceStatsFields(s)) {
+    AppendF(&out, "%s\"%s\":%" PRIu64, first ? "" : ",", name, value);
+    first = false;
+  }
+  out += "},\"metrics\":";
+  out += metrics_.DumpJson();
+  out += ",\"process\":";
+  out += obs::DefaultRegistry().DumpJson();
+  out += "}";
+  return out;
+}
+
+std::string QueryService::StatszPrometheus() const {
+  ServiceStats s = stats();
+  std::string out;
+  for (const auto& [name, value] : ServiceStatsFields(s)) {
+    AppendF(&out, "# TYPE blas_service_%s counter\nblas_service_%s %" PRIu64
+                  "\n",
+            name, name, value);
+  }
+  out += metrics_.DumpPrometheus();
+  out += obs::DefaultRegistry().DumpPrometheus();
+  return out;
 }
 
 }  // namespace blas

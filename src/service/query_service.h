@@ -13,6 +13,9 @@
 #include "blas/collection.h"
 #include "ingest/ingest_queue.h"
 #include "ingest/live_collection.h"
+#include "obs/metrics.h"
+#include "obs/slow_query_log.h"
+#include "obs/trace.h"
 #include "service/plan_cache.h"
 #include "service/thread_pool.h"
 
@@ -29,6 +32,17 @@ struct ServiceOptions {
   /// Bounded per-document match queue of collection scatter-gather
   /// cursors (see BlasCollection::ScatterOptions::queue_capacity).
   size_t scatter_queue_capacity = 256;
+  /// Trace every Nth completed query in addition to explicit
+  /// QueryOptions::trace requests (1 = every query, 0 = explicit only).
+  /// Finished traces land in recent_traces().
+  size_t trace_sample_every = 0;
+  /// Finished traces kept for recent_traces() (oldest evicted first).
+  size_t trace_ring_capacity = 32;
+  /// Completed queries slower than this (wall milliseconds) land in the
+  /// slow-query log with their per-stage breakdown; <= 0 disables it.
+  double slow_query_millis = 0.0;
+  /// Most recent slow-query entries kept.
+  size_t slow_query_log_capacity = 64;
 };
 
 /// One client request: an XPath query plus the unified per-query knobs
@@ -94,6 +108,12 @@ struct ServiceStats {
   /// headline number of the live-ingestion design — readers kept
   /// streaming while the data changed under them.
   uint64_t queries_served_during_churn = 0;
+  /// Scatter-side collection accounting, summed over completed collection
+  /// queries (see CollectionCursor::ScatterStats): documents whose
+  /// per-document cursor actually ran, and documents cancelled while
+  /// still queued because the limit budget was already spent.
+  uint64_t docs_executed = 0;
+  uint64_t docs_cancelled = 0;
   // Roll-up of every completed query's ExecStats.
   struct ExecRollup {
     uint64_t elements = 0;
@@ -104,6 +124,9 @@ struct ServiceStats {
     uint64_t d_joins = 0;
     uint64_t intermediate_rows = 0;
     uint64_t output_rows = 0;
+    /// Matches consumed by `offset` before the first delivered one,
+    /// summed over completed queries (single-document and collection).
+    uint64_t offset_skipped = 0;
   };
   ExecRollup exec;
 };
@@ -250,6 +273,33 @@ class QueryService {
   void Shutdown();
 
   ServiceStats stats() const;
+
+  // ---------------------------------------------------- observability ---
+
+  /// Machine-readable status page: one JSON object with the ServiceStats
+  /// counters ("service"), this service's metric registry ("metrics" —
+  /// query/stage latency histograms with percentiles) and the
+  /// process-wide registry ("process" — storage + ingest metrics).
+  std::string Statsz() const;
+
+  /// Prometheus text exposition (format 0.0.4) of the same three groups;
+  /// ServiceStats counters are exported as `blas_service_*`.
+  std::string StatszPrometheus() const;
+
+  /// This service's metric registry (query latency, per-stage latency,
+  /// plan-cache gauges). Stable pointers; safe to read concurrently.
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+  obs::MetricsRegistry& metrics() { return metrics_; }
+
+  /// Recently finished traces, oldest first (sampled via
+  /// ServiceOptions::trace_sample_every or requested via
+  /// QueryOptions::trace).
+  std::vector<std::shared_ptr<const obs::Trace>> recent_traces() const {
+    return trace_ring_.Recent();
+  }
+  const obs::TraceRing& trace_ring() const { return trace_ring_; }
+  const obs::SlowQueryLog& slow_query_log() const { return slow_query_log_; }
+
   const PlanCache& plan_cache() const { return plan_cache_; }
   const CollectionPlanCache& collection_plan_cache() const {
     return collection_plan_cache_;
@@ -268,15 +318,20 @@ class QueryService {
   /// SubmitTask).
   Result<ResultCursor> RunOpenCursor(const QueryRequest& request);
   /// Shared front half of every single-document path: plan-cache lookup /
-  /// translation, engine resolution, cursor creation.
-  Result<ResultCursor> MakeCursor(const QueryRequest& request);
+  /// translation, engine resolution, cursor creation. With a non-null
+  /// `trace` each stage (plan_cache / parse / translate / optimize /
+  /// execute) records a span.
+  Result<ResultCursor> MakeCursor(const QueryRequest& request,
+                                  obs::TraceContext* trace = nullptr);
   /// Collection counterpart: collection plan-cache lookup (parsed query +
   /// per-document plans), scatter-gather cursor creation over the pool.
   /// On a live service the cursor is opened over the pinned current
-  /// snapshot; `epoch_at_open` (optional) receives its epoch.
-  Result<CollectionCursor> MakeCollectionCursor(const QueryRequest& request,
-                                                uint64_t* epoch_at_open =
-                                                    nullptr);
+  /// snapshot; `epoch_at_open` (optional) receives its epoch. `trace` is
+  /// shared because the per-document opener reports spans from scatter
+  /// workers that may outlive this call's frame.
+  Result<CollectionCursor> MakeCollectionCursor(
+      const QueryRequest& request, uint64_t* epoch_at_open = nullptr,
+      std::shared_ptr<obs::TraceContext> trace = nullptr);
   /// Counts a completed live-collection query that overlapped a publish.
   void CountChurnOverlap(uint64_t epoch_at_open);
   Result<BlasCollection::CollectionResult> RunCollection(
@@ -284,6 +339,21 @@ class QueryService {
   Result<CollectionCursor> RunOpenCollectionCursor(
       const QueryRequest& request);
   void RollUp(const ExecStats& stats);
+
+  /// Registers this service's metrics (latency histograms, plan-cache
+  /// gauges). Called from every constructor.
+  void InitMetrics();
+  /// A new trace context when this query is traced (explicit
+  /// QueryOptions::trace or every-Nth sampling); null otherwise.
+  std::shared_ptr<obs::TraceContext> MaybeStartTrace(
+      const QueryRequest& request);
+  /// Completion hook of every non-cancelled query: records the latency
+  /// histogram, seals + rings the trace (when any) and feeds the
+  /// slow-query log. Returns the sealed trace (null when untraced).
+  std::shared_ptr<const obs::Trace> FinishQueryObs(
+      const QueryRequest& request, double millis, obs::Histogram* latency,
+      const ExecStats& stats, uint64_t output_rows, const char* engine,
+      obs::TraceContext* trace);
 
   template <typename T>
   std::future<Result<T>> SubmitTask(
@@ -301,6 +371,20 @@ class QueryService {
   std::unique_ptr<IngestQueue> ingest_;
   ThreadPool pool_;
 
+  // Observability state. The registry member keeps metric pointers stable
+  // for the service's lifetime; InitMetrics caches the hot ones below.
+  obs::MetricsRegistry metrics_;
+  obs::TraceRing trace_ring_;
+  obs::SlowQueryLog slow_query_log_;
+  const size_t trace_sample_every_;
+  std::atomic<uint64_t> trace_ticker_{0};
+  obs::Histogram* query_latency_ns_ = nullptr;
+  obs::Histogram* collection_latency_ns_ = nullptr;
+  obs::Histogram* stage_parse_ns_ = nullptr;
+  obs::Histogram* stage_translate_ns_ = nullptr;
+  obs::Histogram* stage_optimize_ns_ = nullptr;
+  obs::Histogram* stage_execute_ns_ = nullptr;
+
   std::atomic<uint64_t> submitted_{0};
   std::atomic<uint64_t> completed_{0};
   std::atomic<uint64_t> failed_{0};
@@ -310,6 +394,8 @@ class QueryService {
   std::atomic<uint64_t> doc_plan_hits_{0};
   std::atomic<uint64_t> doc_plan_misses_{0};
   std::atomic<uint64_t> churn_queries_{0};
+  std::atomic<uint64_t> docs_executed_{0};
+  std::atomic<uint64_t> docs_cancelled_{0};
   std::atomic<uint64_t> elements_{0};
   std::atomic<uint64_t> page_fetches_{0};
   std::atomic<uint64_t> page_misses_{0};
@@ -317,6 +403,7 @@ class QueryService {
   std::atomic<uint64_t> d_joins_{0};
   std::atomic<uint64_t> intermediate_rows_{0};
   std::atomic<uint64_t> output_rows_{0};
+  std::atomic<uint64_t> offset_skipped_{0};
 };
 
 }  // namespace blas

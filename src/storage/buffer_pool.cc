@@ -14,11 +14,40 @@
 #include <unordered_set>
 #include <utility>
 
+#include "common/stopwatch.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace blas {
 
 namespace {
 
 thread_local ReadCounters* tls_read_counters = nullptr;
+
+// Process-wide storage metrics (see obs/metrics.h). Registered once; the
+// hot paths below pay one relaxed atomic per event. The pread histogram
+// is only touched on misses, which already pay a disk read.
+struct StorageMetrics {
+  obs::Histogram* pread_ns;
+  obs::Counter* evictions;
+  obs::Gauge* frames_in_use;
+
+  StorageMetrics() {
+    auto& reg = obs::DefaultRegistry();
+    pread_ns = reg.GetHistogram(
+        "blas_storage_pread_ns", "Latency of one paged 8 KiB pread");
+    evictions = reg.GetCounter(
+        "blas_storage_evictions_total", "Buffer-pool frames evicted");
+    frames_in_use = reg.GetGauge(
+        "blas_storage_frames_in_use",
+        "Buffer-pool frames currently resident across all paged pools");
+  }
+};
+
+StorageMetrics& storage_metrics() {
+  static StorageMetrics* m = new StorageMetrics();
+  return *m;
+}
 
 /// One shard per 128 frames, capped at 16: tiny pools (including the unit
 /// tests' 2-frame pools) keep exact single-LRU semantics, while the
@@ -267,10 +296,13 @@ BufferPool::BufferPool(PagedFile file, const StorageOptions& options)
 }
 
 BufferPool::~BufferPool() {
+  size_t resident = 0;
+  for (auto& shard : shards_) resident += shard->frames.size();
+  if (resident > 0) {
+    storage_metrics().frames_in_use->Add(-static_cast<int64_t>(resident));
+  }
   if (budget_ != nullptr) {
     budget_->Unregister(this);
-    size_t resident = 0;
-    for (auto& shard : shards_) resident += shard->frames.size();
     if (resident > 0) budget_->Release(resident * kPageSize);
   }
 }
@@ -322,6 +354,11 @@ size_t BufferPool::EvictDownTo(Shard& shard, size_t target) const {
     ++shard.stats.evictions;
     ++evicted;
     if (budget_ != nullptr) budget_->Release(kPageSize);
+  }
+  if (evicted > 0) {
+    StorageMetrics& metrics = storage_metrics();
+    metrics.evictions->Add(evicted);
+    metrics.frames_in_use->Add(-static_cast<int64_t>(evicted));
   }
   return evicted;
 }
@@ -423,7 +460,15 @@ PageRef BufferPool::FetchPaged(PageId id, bool counted) const {
   auto frame = std::make_unique<Frame>();
   frame->id = id;
   frame->pins.store(1, std::memory_order_relaxed);
+  Stopwatch pread_timer;
   Status read = file_->Read(id, &frame->page);
+  {
+    const uint64_t ns = pread_timer.ElapsedNanos();
+    storage_metrics().pread_ns->Record(ns);
+    if (obs::TraceContext* trace = obs::TraceContext::Current()) {
+      trace->RecordPageRead(ns);
+    }
+  }
 
   std::lock_guard<std::mutex> lock(shard.mu);
   shard.pending.erase(id);
@@ -445,6 +490,7 @@ PageRef BufferPool::FetchPaged(PageId id, bool counted) const {
   Frame* raw = frame.get();
   shard.clock.push_back(id);
   shard.frames.emplace(id, std::move(frame));
+  storage_metrics().frames_in_use->Add(1);
   if (shard.frames.size() > shard.peak) shard.peak = shard.frames.size();
   if (counted) {
     if (ReadCounters* counters = ReadCounterScope::Current()) {

@@ -1,0 +1,393 @@
+// Tests of the observability layer (src/obs): histogram bucketing and
+// percentiles against a sorted-vector oracle, concurrent recording,
+// trace span nesting, the slow-query log's threshold and ring bounds,
+// and both machine-readable exporters.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "obs/metrics.h"
+#include "obs/slow_query_log.h"
+#include "obs/trace.h"
+
+namespace blas {
+namespace obs {
+namespace {
+
+// ------------------------------------------------------------ histogram ---
+
+TEST(HistogramBuckets, SmallValuesAreExact) {
+  for (uint64_t v = 0; v < 16; ++v) {
+    const size_t i = Histogram::BucketIndex(v);
+    EXPECT_EQ(i, v);
+    EXPECT_EQ(Histogram::BucketLo(i), v);
+    EXPECT_EQ(Histogram::BucketHi(i), v + 1);
+  }
+}
+
+TEST(HistogramBuckets, EveryValueLandsInItsBucket) {
+  Rng rng(42);
+  for (int trial = 0; trial < 10000; ++trial) {
+    // Spread samples across the full magnitude range, not just small ints.
+    const int shift = static_cast<int>(rng.Next() % 63);
+    const uint64_t v = rng.Next() >> shift;
+    const size_t i = Histogram::BucketIndex(v);
+    ASSERT_LT(i, Histogram::kBuckets);
+    EXPECT_GE(v, Histogram::BucketLo(i)) << "value " << v;
+    if (Histogram::BucketHi(i) != UINT64_MAX) {
+      EXPECT_LT(v, Histogram::BucketHi(i)) << "value " << v;
+    }
+  }
+}
+
+TEST(HistogramBuckets, BoundsAreContiguousAndMonotonic) {
+  for (size_t i = 0; i + 1 < Histogram::kBuckets; ++i) {
+    EXPECT_EQ(Histogram::BucketHi(i), Histogram::BucketLo(i + 1));
+    EXPECT_LT(Histogram::BucketLo(i), Histogram::BucketLo(i + 1));
+  }
+}
+
+TEST(Histogram, CountSumMax) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("h");
+  ASSERT_NE(h, nullptr);
+  h->Record(1);
+  h->Record(10);
+  h->Record(100);
+  EXPECT_EQ(h->count(), 3u);
+  EXPECT_EQ(h->sum(), 111u);
+  EXPECT_EQ(h->max_recorded(), 100u);
+}
+
+TEST(Histogram, PercentilesMatchSortedVectorOracle) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("h");
+  Rng rng(7);
+  std::vector<uint64_t> samples;
+  samples.reserve(50000);
+  for (int i = 0; i < 50000; ++i) {
+    // Log-uniform latencies from ~100 ns to ~100 ms.
+    const double exponent =
+        2.0 + 4.0 * static_cast<double>(rng.Below(1000000)) / 1e6;
+    samples.push_back(static_cast<uint64_t>(std::pow(10.0, exponent)));
+    h->Record(samples.back());
+  }
+  std::sort(samples.begin(), samples.end());
+  for (double q : {0.50, 0.90, 0.99, 0.999}) {
+    uint64_t rank = static_cast<uint64_t>(
+        q * static_cast<double>(samples.size()));
+    if (rank < 1) rank = 1;
+    const uint64_t oracle = samples[rank - 1];
+    const uint64_t estimate = h->ValueAtQuantile(q);
+    // One 1/8-octave sub-bucket of error, plus midpoint rounding: 13%.
+    EXPECT_NEAR(static_cast<double>(estimate), static_cast<double>(oracle),
+                0.13 * static_cast<double>(oracle))
+        << "q=" << q;
+  }
+}
+
+TEST(Histogram, EmptyPercentilesAreZero) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("h");
+  EXPECT_EQ(h->p50(), 0u);
+  EXPECT_EQ(h->p999(), 0u);
+  EXPECT_EQ(h->count(), 0u);
+}
+
+TEST(Histogram, ConcurrentRecordingLosesNothing) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("h");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h->Record(static_cast<uint64_t>(t * kPerThread + i));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(h->count(), static_cast<uint64_t>(kThreads) * kPerThread);
+  // Sum of 0..N-1.
+  const uint64_t n = static_cast<uint64_t>(kThreads) * kPerThread;
+  EXPECT_EQ(h->sum(), n * (n - 1) / 2);
+  EXPECT_EQ(h->max_recorded(), n - 1);
+}
+
+// ------------------------------------------------------------- registry ---
+
+TEST(MetricsRegistry, PointersAreStableAndShared) {
+  MetricsRegistry registry;
+  Counter* c1 = registry.GetCounter("requests", "help text");
+  Counter* c2 = registry.GetCounter("requests");
+  EXPECT_EQ(c1, c2);
+  c1->Add(3);
+  EXPECT_EQ(c2->value(), 3u);
+}
+
+TEST(MetricsRegistry, KindMismatchReturnsNull) {
+  MetricsRegistry registry;
+  ASSERT_NE(registry.GetCounter("x"), nullptr);
+  EXPECT_EQ(registry.GetGauge("x"), nullptr);
+  EXPECT_EQ(registry.GetHistogram("x"), nullptr);
+}
+
+TEST(MetricsRegistry, PrometheusGolden) {
+  MetricsRegistry registry;
+  registry.GetCounter("reqs_total", "Requests served")->Add(5);
+  registry.GetGauge("depth")->Set(-2);
+  Histogram* h = registry.GetHistogram("lat_ns");
+  h->Record(3);
+  h->Record(3);
+  h->Record(20);
+  // Bucket 3 holds [3,4) -> le="3"; value 20 lands in [20,22) -> le="21".
+  const std::string expected =
+      "# TYPE depth gauge\n"
+      "depth -2\n"
+      "# TYPE lat_ns histogram\n"
+      "lat_ns_bucket{le=\"3\"} 2\n"
+      "lat_ns_bucket{le=\"21\"} 3\n"
+      "lat_ns_bucket{le=\"+Inf\"} 3\n"
+      "lat_ns_sum 26\n"
+      "lat_ns_count 3\n"
+      "# HELP reqs_total Requests served\n"
+      "# TYPE reqs_total counter\n"
+      "reqs_total 5\n";
+  EXPECT_EQ(registry.DumpPrometheus(), expected);
+}
+
+TEST(MetricsRegistry, JsonGolden) {
+  MetricsRegistry registry;
+  registry.GetCounter("hits")->Add(7);
+  registry.GetGauge("frames")->Set(12);
+  registry.GetHistogram("lat");  // empty histogram still listed
+  registry.RegisterCallbackGauge("cb", "", [] { return int64_t{9}; });
+  const std::string expected =
+      "{\"counters\":{\"hits\":7},"
+      "\"gauges\":{\"cb\":9,\"frames\":12},"
+      "\"histograms\":{\"lat\":{\"count\":0,\"sum\":0,\"max\":0,"
+      "\"p50\":0,\"p90\":0,\"p99\":0,\"p999\":0}}}";
+  EXPECT_EQ(registry.DumpJson(), expected);
+}
+
+TEST(MetricsRegistry, PrometheusHistogramBucketsAreCumulative) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("h");
+  for (uint64_t v = 0; v < 10; ++v) h->Record(v);
+  const std::string dump = registry.DumpPrometheus();
+  // Ten exact buckets, each cumulative count one higher than the last.
+  for (uint64_t v = 0; v < 10; ++v) {
+    char line[64];
+    std::snprintf(line, sizeof(line), "h_bucket{le=\"%llu\"} %llu\n",
+                  static_cast<unsigned long long>(v),
+                  static_cast<unsigned long long>(v + 1));
+    EXPECT_NE(dump.find(line), std::string::npos) << dump;
+  }
+  EXPECT_NE(dump.find("h_bucket{le=\"+Inf\"} 10\n"), std::string::npos);
+}
+
+// ---------------------------------------------------------------- trace ---
+
+TEST(Trace, SpansNestAndOrder) {
+  TraceContext context("//item");
+  {
+    SpanTimer outer(&context, "execute");
+    outer.set_note("twig");
+    {
+      SpanTimer inner(&context, "scan");
+      inner.set_counters(100, 4, 1, 1);
+    }
+    { SpanTimer inner2(&context, "join"); }
+  }
+  std::shared_ptr<const Trace> trace = context.Finish();
+  ASSERT_EQ(trace->spans.size(), 3u);
+  // Sorted by start: outer starts first, then its children in order.
+  EXPECT_EQ(trace->spans[0].name, "execute");
+  EXPECT_EQ(trace->spans[0].depth, 0);
+  EXPECT_EQ(trace->spans[0].note, "twig");
+  EXPECT_EQ(trace->spans[1].name, "scan");
+  EXPECT_EQ(trace->spans[1].depth, 1);
+  EXPECT_EQ(trace->spans[1].elements, 100u);
+  EXPECT_EQ(trace->spans[2].name, "join");
+  EXPECT_EQ(trace->spans[2].depth, 1);
+  EXPECT_LE(trace->spans[1].start_ns, trace->spans[2].start_ns);
+  // Children start within the parent's window.
+  EXPECT_GE(trace->spans[1].start_ns, trace->spans[0].start_ns);
+  EXPECT_LE(trace->spans[2].start_ns + trace->spans[2].duration_ns,
+            trace->spans[0].start_ns + trace->spans[0].duration_ns);
+  EXPECT_EQ(trace->label, "//item");
+  EXPECT_GT(trace->total_ns, 0u);
+  // Render shows every span, indented.
+  const std::string rendered = trace->Render();
+  EXPECT_NE(rendered.find("execute [twig]"), std::string::npos);
+  EXPECT_NE(rendered.find("    scan"), std::string::npos);
+}
+
+TEST(Trace, NullSpanTimerIsNoop) {
+  // Must not crash nor record anything anywhere.
+  SpanTimer timer(nullptr, "ignored");
+  timer.set_note("x");
+  timer.set_counters(1, 2, 3, 4);
+}
+
+TEST(Trace, PageReadsAggregateIntoOneSpan) {
+  TraceContext context("q");
+  context.RecordPageRead(1000);
+  context.RecordPageRead(2000);
+  context.RecordPageRead(500);
+  std::shared_ptr<const Trace> trace = context.Finish();
+  ASSERT_EQ(trace->spans.size(), 1u);
+  const TraceSpan& io = trace->spans[0];
+  EXPECT_EQ(io.name, "page_io");
+  EXPECT_EQ(io.note, "3 preads");
+  EXPECT_EQ(io.io_reads, 3u);
+  EXPECT_EQ(io.duration_ns, 3500u);
+  EXPECT_EQ(io.depth, 1);
+}
+
+TEST(Trace, CurrentFollowsScopeNesting) {
+  EXPECT_EQ(TraceContext::Current(), nullptr);
+  TraceContext outer("outer");
+  {
+    TraceContext::Scope scope(&outer);
+    EXPECT_EQ(TraceContext::Current(), &outer);
+    {
+      // Null install keeps the outer context visible.
+      TraceContext::Scope noop(nullptr);
+      EXPECT_EQ(TraceContext::Current(), &outer);
+    }
+    TraceContext inner("inner");
+    {
+      TraceContext::Scope nested(&inner);
+      EXPECT_EQ(TraceContext::Current(), &inner);
+    }
+    EXPECT_EQ(TraceContext::Current(), &outer);
+  }
+  EXPECT_EQ(TraceContext::Current(), nullptr);
+}
+
+TEST(Trace, ConcurrentAddSpan) {
+  TraceContext context("fanout");
+  constexpr int kThreads = 8;
+  constexpr int kSpans = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&context] {
+      for (int i = 0; i < kSpans; ++i) {
+        SpanTimer span(&context, "worker");
+        context.RecordPageRead(10);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  std::shared_ptr<const Trace> trace = context.Finish();
+  // kThreads * kSpans worker spans plus the aggregated page_io span.
+  EXPECT_EQ(trace->spans.size(),
+            static_cast<size_t>(kThreads) * kSpans + 1);
+}
+
+TEST(TraceRing, BoundedOldestFirst) {
+  TraceRing ring(3);
+  for (int i = 0; i < 5; ++i) {
+    TraceContext context("q" + std::to_string(i));
+    ring.Push(context.Finish());
+  }
+  std::vector<std::shared_ptr<const Trace>> recent = ring.Recent();
+  ASSERT_EQ(recent.size(), 3u);
+  EXPECT_EQ(recent[0]->label, "q2");
+  EXPECT_EQ(recent[2]->label, "q4");
+  EXPECT_EQ(ring.total_pushed(), 5u);
+}
+
+// ------------------------------------------------------- slow-query log ---
+
+TEST(SlowQueryLog, ThresholdGates) {
+  SlowQueryLog log(/*threshold_millis=*/10.0, /*capacity=*/4);
+  EXPECT_TRUE(log.enabled());
+  SlowQueryEntry fast;
+  fast.query = "//fast";
+  fast.millis = 9.99;
+  EXPECT_FALSE(log.MaybeRecord(fast));
+  SlowQueryEntry slow;
+  slow.query = "//slow";
+  slow.millis = 10.0;
+  EXPECT_TRUE(log.MaybeRecord(slow));
+  ASSERT_EQ(log.Entries().size(), 1u);
+  EXPECT_EQ(log.Entries()[0].query, "//slow");
+  EXPECT_EQ(log.total_recorded(), 1u);
+}
+
+TEST(SlowQueryLog, DisabledByZeroThreshold) {
+  SlowQueryLog log(0.0, 4);
+  EXPECT_FALSE(log.enabled());
+  SlowQueryEntry entry;
+  entry.millis = 1e9;
+  EXPECT_FALSE(log.MaybeRecord(entry));
+  EXPECT_TRUE(log.Entries().empty());
+}
+
+TEST(SlowQueryLog, RingKeepsMostRecent) {
+  SlowQueryLog log(1.0, 2);
+  for (int i = 0; i < 5; ++i) {
+    SlowQueryEntry entry;
+    entry.query = "q" + std::to_string(i);
+    entry.millis = 2.0;
+    EXPECT_TRUE(log.MaybeRecord(entry));
+  }
+  std::vector<SlowQueryEntry> entries = log.Entries();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].query, "q3");
+  EXPECT_EQ(entries[1].query, "q4");
+  EXPECT_EQ(log.total_recorded(), 5u);
+}
+
+TEST(SlowQueryLog, ToStringCarriesBreakdown) {
+  SlowQueryEntry entry;
+  entry.query = "//item[price]";
+  entry.translator = "pushup";
+  entry.engine = "twig";
+  entry.millis = 12.5;
+  entry.elements = 1000;
+  entry.page_fetches = 40;
+  entry.page_misses = 5;
+  entry.io_reads = 5;
+  entry.output_rows = 17;
+  TraceContext context("//item[price]");
+  { SpanTimer span(&context, "execute"); }
+  entry.trace = context.Finish();
+  const std::string text = entry.ToString();
+  EXPECT_NE(text.find("12.5"), std::string::npos);
+  EXPECT_NE(text.find("//item[price]"), std::string::npos);
+  EXPECT_NE(text.find("translator=pushup"), std::string::npos);
+  EXPECT_NE(text.find("engine=twig"), std::string::npos);
+  EXPECT_NE(text.find("execute"), std::string::npos);
+}
+
+// ------------------------------------------------------------ stopwatch ---
+
+TEST(Stopwatch, ElapsedNanosIsMonotonicAndConsistent) {
+  Stopwatch watch;
+  const uint64_t a = watch.ElapsedNanos();
+  const uint64_t b = watch.ElapsedNanos();
+  EXPECT_LE(a, b);
+  // Nanos and millis come off the same clock: within 10 ms of each other
+  // even on a loaded machine.
+  const double millis = watch.ElapsedMillis();
+  const double from_nanos = static_cast<double>(watch.ElapsedNanos()) / 1e6;
+  EXPECT_LT(millis - 10.0, from_nanos);
+  EXPECT_GE(from_nanos + 10.0, millis);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace blas

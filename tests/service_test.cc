@@ -377,5 +377,207 @@ TEST(QueryServiceConcurrencyTest, StatsRollUpMatchesStoreCounters) {
             sys.store().stats().page_fetches);
 }
 
+// ------------------------------------------------------- observability ---
+
+/// Statsz()'s exec roll-up must equal the sum of the per-query ExecStats
+/// the callers saw — no double count, no leak.
+TEST(QueryServiceObsTest, StatszCountersMatchPerQueryExecStatsSums) {
+  BlasSystem sys = MustBuild(kDoc);
+  QueryService service(&sys, ServiceOptions{.worker_threads = 2});
+
+  ExecStats sum;
+  uint64_t completed = 0;
+  for (int i = 0; i < 12; ++i) {
+    QueryRequest request;
+    request.xpath = i % 2 == 0 ? "//item/name" : "//person/name";
+    Result<QueryResult> result = service.Execute(request);
+    ASSERT_TRUE(result.ok());
+    sum.elements += result->stats.elements;
+    sum.page_fetches += result->stats.page_fetches;
+    sum.output_rows += result->stats.output_rows;
+    ++completed;
+  }
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.completed, completed);
+  EXPECT_EQ(stats.exec.elements, sum.elements);
+  EXPECT_EQ(stats.exec.page_fetches, sum.page_fetches);
+  EXPECT_EQ(stats.exec.output_rows, sum.output_rows);
+
+  // The latency histogram saw exactly one sample per completed query.
+  const obs::Histogram* latency =
+      service.metrics().GetHistogram("blas_query_latency_ns");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_EQ(latency->count(), completed);
+
+  // Both exporters carry the same numbers.
+  const std::string json = service.Statsz();
+  EXPECT_NE(json.find("\"completed\":" + std::to_string(completed)),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"exec_elements\":" + std::to_string(sum.elements)),
+            std::string::npos)
+      << json;
+  const std::string prom = service.StatszPrometheus();
+  EXPECT_NE(prom.find("blas_service_completed " + std::to_string(completed)),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("blas_query_latency_ns_bucket"), std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("blas_query_latency_ns_count " +
+                      std::to_string(completed)),
+            std::string::npos)
+      << prom;
+}
+
+/// QueryOptions::trace yields the full stage span tree on a cold plan:
+/// plan_cache(miss) -> parse -> translate -> optimize -> execute -> drain.
+TEST(QueryServiceObsTest, ExplicitTraceYieldsStageSpans) {
+  BlasSystem sys = MustBuild(kDoc);
+  QueryService service(&sys, ServiceOptions{.worker_threads = 1});
+
+  QueryRequest request;
+  request.xpath = "//item/name";
+  request.options.trace = true;
+  Result<QueryResult> result = service.Execute(request);
+  ASSERT_TRUE(result.ok());
+  ASSERT_NE(result->trace, nullptr);
+  EXPECT_EQ(result->trace->label, NormalizeXPath(request.xpath));
+  EXPECT_GT(result->trace->total_ns, 0u);
+
+  std::map<std::string, const obs::TraceSpan*> by_name;
+  for (const obs::TraceSpan& span : result->trace->spans) {
+    by_name[span.name] = &span;
+  }
+  for (const char* stage :
+       {"plan_cache", "parse", "translate", "optimize", "execute", "drain"}) {
+    ASSERT_TRUE(by_name.count(stage)) << "missing span " << stage << "\n"
+                                      << result->trace->Render();
+  }
+  EXPECT_EQ(by_name["plan_cache"]->note, "miss");
+  // Stages run in order.
+  EXPECT_LE(by_name["parse"]->start_ns, by_name["translate"]->start_ns);
+  EXPECT_LE(by_name["translate"]->start_ns, by_name["optimize"]->start_ns);
+  EXPECT_LE(by_name["optimize"]->start_ns, by_name["execute"]->start_ns);
+  EXPECT_LE(by_name["execute"]->start_ns, by_name["drain"]->start_ns);
+  // The engine ran during execute: its counter delta is attributed there.
+  EXPECT_GT(by_name["execute"]->elements, 0u);
+
+  // Warm plan: the cache hit skips parse/translate/optimize entirely.
+  Result<QueryResult> warm = service.Execute(request);
+  ASSERT_TRUE(warm.ok());
+  ASSERT_NE(warm->trace, nullptr);
+  bool saw_parse = false;
+  for (const obs::TraceSpan& span : warm->trace->spans) {
+    if (span.name == "parse") saw_parse = true;
+    if (span.name == "plan_cache") EXPECT_EQ(span.note, "hit");
+  }
+  EXPECT_FALSE(saw_parse);
+
+  // Both traces landed in the ring, oldest first.
+  auto recent = service.recent_traces();
+  ASSERT_EQ(recent.size(), 2u);
+  EXPECT_EQ(recent[0], result->trace);
+  EXPECT_EQ(recent[1], warm->trace);
+}
+
+/// Sampling traces every query without the per-request flag, and the ring
+/// stays bounded.
+TEST(QueryServiceObsTest, SampledTracesStayInBoundedRing) {
+  BlasSystem sys = MustBuild(kDoc);
+  ServiceOptions options;
+  options.worker_threads = 1;
+  options.trace_sample_every = 1;
+  options.trace_ring_capacity = 3;
+  QueryService service(&sys, options);
+
+  for (int i = 0; i < 7; ++i) {
+    QueryRequest request;
+    request.xpath = "//person/name";
+    ASSERT_TRUE(service.Execute(request).ok());
+  }
+  EXPECT_EQ(service.recent_traces().size(), 3u);
+  EXPECT_EQ(service.trace_ring().total_pushed(), 7u);
+}
+
+TEST(QueryServiceObsTest, SlowQueryLogCapturesBreakdown) {
+  BlasSystem sys = MustBuild(kDoc);
+  ServiceOptions options;
+  options.worker_threads = 1;
+  // Every query is "slow" at a 0+ threshold, so one completed query must
+  // produce one entry.
+  options.slow_query_millis = 1e-9;
+  options.slow_query_log_capacity = 2;
+  QueryService service(&sys, options);
+
+  QueryRequest request;
+  request.xpath = "  //item/name  ";
+  request.options.trace = true;
+  ASSERT_TRUE(service.Execute(request).ok());
+  auto entries = service.slow_query_log().Entries();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].query, "//item/name");  // normalized
+  EXPECT_GT(entries[0].output_rows, 0u);
+  ASSERT_NE(entries[0].trace, nullptr);
+  EXPECT_NE(entries[0].ToString().find("translate"), std::string::npos);
+
+  // The ring stays bounded.
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(service.Execute(request).ok());
+  }
+  EXPECT_EQ(service.slow_query_log().Entries().size(), 2u);
+  EXPECT_EQ(service.slow_query_log().total_recorded(), 6u);
+}
+
+/// The offset satellite: matches consumed by `offset` surface in the exec
+/// roll-up instead of vanishing.
+TEST(QueryServiceObsTest, OffsetSkippedReachesRollup) {
+  BlasSystem sys = MustBuild(kDoc);
+  QueryService service(&sys, ServiceOptions{.worker_threads = 1});
+
+  QueryRequest request;
+  request.xpath = "//person/name";  // two matches
+  request.options.offset = 1;
+  Result<QueryResult> result = service.Execute(request);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->offset_skipped, 1u);
+  EXPECT_EQ(service.stats().exec.offset_skipped, 1u);
+}
+
+/// Collection queries report scatter accounting (docs_executed) and
+/// feed the collection latency histogram.
+TEST(QueryServiceObsTest, CollectionQueryRecordsScatterStats) {
+  BlasCollection coll;
+  ASSERT_TRUE(coll.AddXml("a", kDoc).ok());
+  ASSERT_TRUE(coll.AddXml("b", kDoc).ok());
+  QueryService service(&coll, ServiceOptions{.worker_threads = 2});
+
+  QueryRequest request;
+  request.xpath = "//item/name";
+  request.options.trace = true;
+  Result<BlasCollection::CollectionResult> result =
+      service.ExecuteCollection(request);
+  ASSERT_TRUE(result.ok());
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.docs_executed, 2u);
+  EXPECT_EQ(stats.docs_cancelled, 0u);
+  const obs::Histogram* latency =
+      service.metrics().GetHistogram("blas_collection_query_latency_ns");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_EQ(latency->count(), 1u);
+
+  // The trace carries one open_doc span per scattered document plus the
+  // gather-side merge span.
+  auto recent = service.recent_traces();
+  ASSERT_EQ(recent.size(), 1u);
+  size_t open_docs = 0;
+  bool merged = false;
+  for (const obs::TraceSpan& span : recent[0]->spans) {
+    if (span.name == "open_doc") ++open_docs;
+    if (span.name == "merge") merged = true;
+  }
+  EXPECT_EQ(open_docs, 2u);
+  EXPECT_TRUE(merged);
+}
+
 }  // namespace
 }  // namespace blas
