@@ -1,10 +1,10 @@
 #include "blas/collection.h"
 
 #include <algorithm>
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <utility>
+
+#include "common/thread_annotations.h"
 
 #include "service/thread_pool.h"
 #include "xpath/parser.h"
@@ -133,31 +133,39 @@ struct CollectionCursor::Shared {
   size_t queue_capacity = 256;
   bool parallel = false;
 
-  std::mutex mu;
-  std::condition_variable items;  // merge waits: matches or completion
-  std::condition_variable space;  // producers wait: queue space or cancel
-  bool cancelled = false;
-  std::vector<Doc> docs;  // name order == merge order
+  Mutex mu;
+  CondVar items;  // merge waits: matches or completion
+  CondVar space;  // producers wait: queue space or cancel
+  bool cancelled BLAS_GUARDED_BY(mu) = false;
+  /// Populated once at OpenCursor time, before any producer exists; name
+  /// order == merge order. The analysis cannot express "each Doc's mutable
+  /// fields are guarded by the enclosing Shared's mu", so the vector itself
+  /// is the guarded unit: take a Doc* under the lock and touch only the
+  /// setup-immutable identity fields (name, sys) after release.
+  std::vector<Doc> docs BLAS_GUARDED_BY(mu);
+  /// == docs.size(); immutable after OpenCursor, readable without mu.
+  size_t doc_count = 0;
 
   /// Producer body: claims the document, opens its cursor with the
   /// per-document budget, and streams matches into the bounded queue.
   /// `bounded` is false when the merge runs a document inline on its own
   /// thread (nobody would drain the queue meanwhile).
-  void RunDoc(size_t index, bool bounded);
+  void RunDoc(size_t index, bool bounded) BLAS_EXCLUDES(mu);
 };
 
 void CollectionCursor::Shared::RunDoc(size_t index, bool bounded) {
-  Doc& doc = docs[index];
+  Doc* doc;
   {
-    std::lock_guard<std::mutex> lock(mu);
-    if (cancelled || doc.state != DocState::kPending) {
-      if (doc.state == DocState::kPending) {
-        doc.state = DocState::kCancelled;
-        items.notify_all();
+    MutexLock lock(mu);
+    doc = &docs[index];
+    if (cancelled || doc->state != DocState::kPending) {
+      if (doc->state == DocState::kPending) {
+        doc->state = DocState::kCancelled;
+        items.NotifyAll();
       }
       return;
     }
-    doc.state = DocState::kRunning;
+    doc->state = DocState::kRunning;
   }
 
   QueryOptions doc_options = base;
@@ -174,14 +182,14 @@ void CollectionCursor::Shared::RunDoc(size_t index, bool bounded) {
   }
 
   Result<ResultCursor> cursor =
-      opener(doc.name, *doc.sys, query, doc_options);
+      opener(doc->name, *doc->sys, query, doc_options);
   {
-    std::lock_guard<std::mutex> lock(mu);
-    doc.executed = true;
+    MutexLock lock(mu);
+    doc->executed = true;
     if (!cursor.ok()) {
-      doc.status = std::move(cursor).status();
-      doc.state = DocState::kDone;
-      items.notify_all();
+      doc->status = std::move(cursor).status();
+      doc->state = DocState::kDone;
+      items.NotifyAll();
       return;
     }
   }
@@ -197,14 +205,14 @@ void CollectionCursor::Shared::RunDoc(size_t index, bool bounded) {
   bool stop = false;
   auto flush = [&]() -> bool {  // false = cancelled
     if (batch.empty()) return true;
-    std::unique_lock<std::mutex> lock(mu);
-    space.wait(lock, [&] {
-      return cancelled || !bounded || doc.queue.size() < queue_capacity;
-    });
+    MutexLock lock(mu);
+    while (!cancelled && bounded && doc->queue.size() >= queue_capacity) {
+      space.Wait(lock);
+    }
     if (cancelled) return false;
-    for (Match& m : batch) doc.queue.push_back(std::move(m));
+    for (Match& m : batch) doc->queue.push_back(std::move(m));
     batch.clear();
-    items.notify_one();
+    items.NotifyOne();
     return true;
   };
   while (!stop) {
@@ -215,10 +223,10 @@ void CollectionCursor::Shared::RunDoc(size_t index, bool bounded) {
   }
   if (!stop) flush();
 
-  std::lock_guard<std::mutex> lock(mu);
-  doc.stats = cursor->stats();
-  doc.state = DocState::kDone;
-  items.notify_all();
+  MutexLock lock(mu);
+  doc->stats = cursor->stats();
+  doc->state = DocState::kDone;
+  items.NotifyAll();
 }
 
 // ------------------------------------------------------ collection API ---
@@ -246,17 +254,23 @@ Result<CollectionCursor> BlasCollection::OpenCursor(
   shared->queue_capacity =
       scatter.queue_capacity == 0 ? 1 : scatter.queue_capacity;
   shared->parallel = scatter.pool != nullptr;
-  shared->docs.reserve(docs_.size());
-  for (const auto& [name, sys] : docs_) {
-    CollectionCursor::Shared::Doc doc;
-    doc.name = name;
-    doc.sys = sys;
-    shared->docs.push_back(std::move(doc));
+  {
+    // No producer exists yet, but docs is publish-guarded; the lock is
+    // uncontended by construction.
+    MutexLock lock(shared->mu);
+    shared->docs.reserve(docs_.size());
+    for (const auto& [name, sys] : docs_) {
+      CollectionCursor::Shared::Doc doc;
+      doc.name = name;
+      doc.sys = sys;
+      shared->docs.push_back(std::move(doc));
+    }
   }
+  shared->doc_count = docs_.size();
 
   CollectionCursor cursor(shared);
   if (shared->parallel) {
-    for (size_t i = 0; i < shared->docs.size(); ++i) {
+    for (size_t i = 0; i < shared->doc_count; ++i) {
       // Never block the opener on a full pool: a rejected document stays
       // kPending and the merge claims it inline when reached.
       (void)scatter.pool->TrySubmit(
@@ -314,15 +328,15 @@ CollectionCursor::~CollectionCursor() {
 void CollectionCursor::Cancel() {
   if (shared_ == nullptr) return;
   Shared& s = *shared_;
-  std::lock_guard<std::mutex> lock(s.mu);
+  MutexLock lock(s.mu);
   s.cancelled = true;
   for (Shared::Doc& doc : s.docs) {
     if (doc.state == Shared::DocState::kPending) {
       doc.state = Shared::DocState::kCancelled;
     }
   }
-  s.space.notify_all();
-  s.items.notify_all();
+  s.space.NotifyAll();
+  s.items.NotifyAll();
 }
 
 std::optional<CollectionMatch> CollectionCursor::Next() {
@@ -332,9 +346,9 @@ std::optional<CollectionMatch> CollectionCursor::Next() {
 
 void CollectionCursor::CloseSequentialDoc() {
   Shared& s = *shared_;
-  Shared::Doc& doc = s.docs[doc_index_];
   {
-    std::lock_guard<std::mutex> lock(s.mu);
+    MutexLock lock(s.mu);
+    Shared::Doc& doc = s.docs[doc_index_];
     doc.stats = seq_cursor_->stats();
     doc.state = Shared::DocState::kDone;
   }
@@ -352,12 +366,17 @@ std::optional<CollectionMatch> CollectionCursor::NextSequential() {
     if (seq_cursor_.has_value()) {
       if (std::optional<Match> match = seq_cursor_->Next()) {
         ++delivered_;
-        return CollectionMatch{s.docs[doc_index_].name, std::move(*match)};
+        const std::string* name;
+        {
+          MutexLock lock(s.mu);
+          name = &s.docs[doc_index_].name;  // identity field: stable
+        }
+        return CollectionMatch{*name, std::move(*match)};
       }
       CloseSequentialDoc();
       ++doc_index_;
     }
-    if (doc_index_ >= s.docs.size()) {
+    if (doc_index_ >= s.doc_count) {
       exhausted_ = true;
       return std::nullopt;
     }
@@ -366,22 +385,23 @@ std::optional<CollectionMatch> CollectionCursor::NextSequential() {
       Cancel();  // unvisited documents were never opened
       return std::nullopt;
     }
-    Shared::Doc& doc = s.docs[doc_index_];
+    Shared::Doc* doc;
     {
-      std::lock_guard<std::mutex> lock(s.mu);
-      doc.state = Shared::DocState::kRunning;
+      MutexLock lock(s.mu);
+      doc = &s.docs[doc_index_];
+      doc->state = Shared::DocState::kRunning;
     }
     QueryOptions doc_options = s.base;
     doc_options.offset = seq_to_skip_;
     doc_options.limit = s.base.limit > 0 ? seq_remaining_ : 0;
     Result<ResultCursor> cursor =
-        s.opener(doc.name, *doc.sys, s.query, doc_options);
+        s.opener(doc->name, *doc->sys, s.query, doc_options);
     {
-      std::lock_guard<std::mutex> lock(s.mu);
-      doc.executed = true;
+      MutexLock lock(s.mu);
+      doc->executed = true;
       if (!cursor.ok()) {
-        doc.status = cursor.status();
-        doc.state = Shared::DocState::kDone;
+        doc->status = cursor.status();
+        doc->state = Shared::DocState::kDone;
       }
     }
     if (!cursor.ok()) {
@@ -411,15 +431,21 @@ std::optional<CollectionMatch> CollectionCursor::NextParallel() {
         continue;
       }
       ++delivered_;
-      return CollectionMatch{s.docs[doc_index_].name, std::move(match)};
+      const std::string* name;
+      {
+        MutexLock lock(s.mu);
+        name = &s.docs[doc_index_].name;  // identity field: stable
+      }
+      return CollectionMatch{*name, std::move(match)};
     }
-    if (doc_index_ >= s.docs.size()) {
+    if (doc_index_ >= s.doc_count) {
       exhausted_ = true;
       return std::nullopt;
     }
     bool run_inline = false;
+    bool failed = false;
     {
-      std::unique_lock<std::mutex> lock(s.mu);
+      MutexLock lock(s.mu);
       Shared::Doc& doc = s.docs[doc_index_];
       if (!doc.queue.empty()) {
         // Grab everything queued in one lock acquisition; serve from
@@ -427,7 +453,7 @@ std::optional<CollectionMatch> CollectionCursor::NextParallel() {
         // so wake them all: notify_one could pick a producer whose own
         // queue is still full and strand the one this grab freed.
         local_.swap(doc.queue);
-        s.space.notify_all();
+        s.space.NotifyAll();
         continue;
       }
       switch (doc.state) {
@@ -435,11 +461,13 @@ std::optional<CollectionMatch> CollectionCursor::NextParallel() {
           if (!doc.status.ok()) {
             // Same abort semantics as the sequential path: the error
             // surfaces when the merge reaches the failing document.
+            // Cancel re-acquires mu, so leave the critical section first
+            // and cancel outside (no relockable-lock tricks: the scoped
+            // lock covers exactly this block).
             status_ = doc.status;
             exhausted_ = true;
-            lock.unlock();
-            Cancel();
-            return std::nullopt;
+            failed = true;
+            break;
           }
           ++doc_index_;
           continue;
@@ -453,9 +481,13 @@ std::optional<CollectionMatch> CollectionCursor::NextParallel() {
           run_inline = true;
           break;
         case Shared::DocState::kRunning:
-          s.items.wait(lock);
+          s.items.Wait(lock);
           continue;
       }
+    }
+    if (failed) {
+      Cancel();
+      return std::nullopt;
     }
     if (run_inline) s.RunDoc(doc_index_, /*bounded=*/false);
   }
@@ -463,13 +495,19 @@ std::optional<CollectionMatch> CollectionCursor::NextParallel() {
 
 void CollectionCursor::WaitSettled() {
   Shared& s = *shared_;
-  std::unique_lock<std::mutex> lock(s.mu);
-  s.items.wait(lock, [&] {
-    return std::all_of(s.docs.begin(), s.docs.end(), [](const Shared::Doc& d) {
-      return d.state == Shared::DocState::kDone ||
-             d.state == Shared::DocState::kCancelled;
-    });
-  });
+  MutexLock lock(s.mu);
+  for (;;) {
+    bool settled = true;
+    for (const Shared::Doc& d : s.docs) {
+      if (d.state != Shared::DocState::kDone &&
+          d.state != Shared::DocState::kCancelled) {
+        settled = false;
+        break;
+      }
+    }
+    if (settled) return;
+    s.items.Wait(lock);
+  }
 }
 
 Result<BlasCollection::CollectionResult> CollectionCursor::Drain() {
@@ -491,7 +529,7 @@ Result<BlasCollection::CollectionResult> CollectionCursor::Drain() {
   // unwind; wait for every document to settle before summing.
   WaitSettled();
   {
-    std::lock_guard<std::mutex> lock(shared_->mu);
+    MutexLock lock(shared_->mu);
     for (const Shared::Doc& doc : shared_->docs) {
       if (doc.executed) result.stats += doc.stats;
     }
@@ -511,7 +549,7 @@ ExecStats CollectionCursor::SettledStats() {
     exhausted_ = true;
   }
   WaitSettled();
-  std::lock_guard<std::mutex> lock(shared_->mu);
+  MutexLock lock(shared_->mu);
   for (const Shared::Doc& doc : shared_->docs) {
     if (doc.executed) out += doc.stats;
   }
@@ -526,7 +564,7 @@ uint64_t CollectionCursor::offset_skipped() const {
 CollectionCursor::ScatterStats CollectionCursor::scatter_stats() const {
   ScatterStats out;
   if (shared_ == nullptr) return out;
-  std::lock_guard<std::mutex> lock(shared_->mu);
+  MutexLock lock(shared_->mu);
   out.docs_total = shared_->docs.size();
   for (const Shared::Doc& doc : shared_->docs) {
     if (doc.executed) {

@@ -14,7 +14,7 @@ namespace blas {
 /// A `Result<T>` is either an OK status with a `T`, or a non-OK status.
 /// Accessing `value()` on an error result aborts in debug builds.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value (success).
   Result(T value)  // NOLINT(google-explicit-constructor)

@@ -25,7 +25,7 @@ enum class StatusCode {
 /// Library functions that can fail return `Status` (or `Result<T>`, see
 /// result.h). An OK status carries no allocation; error statuses carry a
 /// code and a human-readable message.
-class Status {
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;

@@ -1,0 +1,163 @@
+#ifndef BLAS_COMMON_THREAD_ANNOTATIONS_H_
+#define BLAS_COMMON_THREAD_ANNOTATIONS_H_
+
+#include <condition_variable>
+#include <mutex>
+
+// ---------------------------------------------------------------------------
+// Clang thread-safety annotations + the annotated synchronization vocabulary
+// of this codebase.
+//
+// Every mutex in src/ is a blas::Mutex, every scoped acquisition a
+// blas::MutexLock, every condition variable a blas::CondVar (enforced by
+// tools/lint.py invariant 1: no raw std::mutex outside this header). Members
+// protected by a mutex carry BLAS_GUARDED_BY(mu_); functions that expect a
+// lock already held carry BLAS_REQUIRES(mu_). Under Clang with
+// -Wthread-safety (the BLAS_WERROR_THREAD_SAFETY CMake option turns it into
+// an error), the compiler then proves, per function, that every guarded
+// access happens under its lock — a new race is a compile error, not a TSan
+// coin flip. Under GCC (and any compiler without the attributes) everything
+// expands to nothing and the wrappers are zero-cost forwarding shims.
+//
+// Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+//
+// Analysis-friendliness rules used across src/ (the analysis is strictly
+// function-local):
+//   * condition-variable predicates are written as explicit `while (!cond)
+//     cv.Wait(lock);` loops, never wait-with-lambda — a lambda body is
+//     analyzed as a separate function that does not hold the lock;
+//   * a reference into a guarded container that must outlive the critical
+//     section (e.g. a pinned frame, an immutable Doc name) is taken *under*
+//     the lock and only immutable-or-atomic fields are touched after;
+//   * try-lock sites use `if (mu.TryLock()) { ... mu.Unlock(); }` — the
+//     analysis understands the branch.
+// ---------------------------------------------------------------------------
+
+#if defined(__clang__) && defined(__has_attribute)
+#define BLAS_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define BLAS_THREAD_ANNOTATION__(x)  // no-op outside Clang
+#endif
+
+/// Marks a class as a lockable capability ("mutex" names it in diagnostics).
+#define BLAS_CAPABILITY(x) BLAS_THREAD_ANNOTATION__(capability(x))
+
+/// Marks an RAII class whose lifetime equals a capability acquisition.
+#define BLAS_SCOPED_CAPABILITY BLAS_THREAD_ANNOTATION__(scoped_lockable)
+
+/// Member may only be accessed while holding the given capability.
+#define BLAS_GUARDED_BY(x) BLAS_THREAD_ANNOTATION__(guarded_by(x))
+
+/// Pointer member: the *pointee* may only be accessed while holding `x`.
+#define BLAS_PT_GUARDED_BY(x) BLAS_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+/// Lock-ordering declarations (checked under -Wthread-safety-beta).
+#define BLAS_ACQUIRED_BEFORE(...) \
+  BLAS_THREAD_ANNOTATION__(acquired_before(__VA_ARGS__))
+#define BLAS_ACQUIRED_AFTER(...) \
+  BLAS_THREAD_ANNOTATION__(acquired_after(__VA_ARGS__))
+
+/// Function requires the capability to be held on entry (and keeps it).
+#define BLAS_REQUIRES(...) \
+  BLAS_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+#define BLAS_REQUIRES_SHARED(...) \
+  BLAS_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability (held on return, not on entry).
+#define BLAS_ACQUIRE(...) \
+  BLAS_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+#define BLAS_ACQUIRE_SHARED(...) \
+  BLAS_THREAD_ANNOTATION__(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the capability (held on entry, not on return).
+#define BLAS_RELEASE(...) \
+  BLAS_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+#define BLAS_RELEASE_SHARED(...) \
+  BLAS_THREAD_ANNOTATION__(release_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability iff it returns `b`.
+#define BLAS_TRY_ACQUIRE(b, ...) \
+  BLAS_THREAD_ANNOTATION__(try_acquire_capability(b, __VA_ARGS__))
+
+/// Function must NOT be called with the capability held (deadlock guard).
+#define BLAS_EXCLUDES(...) BLAS_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held (trusted by the analysis).
+#define BLAS_ASSERT_CAPABILITY(x) \
+  BLAS_THREAD_ANNOTATION__(assert_capability(x))
+
+/// Function returns a reference to the named capability.
+#define BLAS_RETURN_CAPABILITY(x) BLAS_THREAD_ANNOTATION__(lock_returned(x))
+
+/// Escape hatch. Must not appear outside this header (lint invariant 1) —
+/// a function that cannot be proven safe gets restructured, not silenced.
+#define BLAS_NO_THREAD_SAFETY_ANALYSIS \
+  BLAS_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+namespace blas {
+
+class CondVar;
+class MutexLock;
+
+/// \brief Annotated exclusive mutex: a std::mutex the analysis can see.
+///
+/// Prefer MutexLock for scoped acquisition; the manual Lock/TryLock/Unlock
+/// surface exists for the try-lock probing patterns (FrameBudget reclaim)
+/// where RAII does not fit.
+class BLAS_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() BLAS_ACQUIRE() { mu_.lock(); }
+  void Unlock() BLAS_RELEASE() { mu_.unlock(); }
+  bool TryLock() BLAS_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  friend class MutexLock;
+  std::mutex mu_;
+};
+
+/// \brief RAII acquisition of a Mutex (std::lock_guard / std::unique_lock
+/// replacement). The capability is held from construction to destruction.
+class BLAS_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) BLAS_ACQUIRE(mu) : lock_(mu.mu_) {}
+  // User-provided (not `= default`): an attribute cannot precede a
+  // defaulted definition, and the release annotation must be visible.
+  ~MutexLock() BLAS_RELEASE() {}
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// \brief Condition variable waiting on a MutexLock.
+///
+/// Wait atomically releases and reacquires the lock; from the analysis'
+/// point of view the capability stays held across the call (sound: it is
+/// held again before Wait returns, and the caller's predicate loop re-reads
+/// guarded state only after reacquisition). Write predicates as explicit
+/// loops — see the header comment.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace blas
+
+#endif  // BLAS_COMMON_THREAD_ANNOTATIONS_H_

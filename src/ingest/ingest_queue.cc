@@ -38,17 +38,17 @@ std::future<Status> IngestQueue::SubmitOps(std::vector<DocOp> ops) {
       [this, ops = std::move(ops)]() { return RunOps(ops); });
   std::future<Status> future = task->get_future();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++submitted_;
     ++pending_;
   }
   if (!pool_->Submit([task] { (*task)(); })) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       ++failed_;
       --pending_;
     }
-    settled_.notify_all();
+    settled_.NotifyAll();
     std::promise<Status> refused;
     refused.set_value(Status::Unsupported("ingest pool is shut down"));
     return refused.get_future();
@@ -75,21 +75,21 @@ Status IngestQueue::RunOps(const std::vector<DocOp>& ops) {
     return collection_->PublishBatch(std::move(batch));
   }();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     result.ok() ? ++published_ : ++failed_;
     --pending_;
   }
-  settled_.notify_all();
+  settled_.NotifyAll();
   return result;
 }
 
 void IngestQueue::Drain() {
-  std::unique_lock<std::mutex> lock(mu_);
-  settled_.wait(lock, [this] { return pending_ == 0; });
+  MutexLock lock(mu_);
+  while (pending_ != 0) settled_.Wait(lock);
 }
 
 IngestQueue::Stats IngestQueue::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return Stats{submitted_, published_, failed_, pending_};
 }
 

@@ -1,13 +1,12 @@
 #ifndef BLAS_INGEST_INGEST_QUEUE_H_
 #define BLAS_INGEST_INGEST_QUEUE_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <future>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "ingest/live_collection.h"
 #include "service/thread_pool.h"
 
@@ -72,12 +71,12 @@ class IngestQueue {
   LiveCollection* collection_;
   ThreadPool* pool_;
 
-  mutable std::mutex mu_;
-  std::condition_variable settled_;
-  uint64_t submitted_ = 0;
-  uint64_t published_ = 0;
-  uint64_t failed_ = 0;
-  uint64_t pending_ = 0;
+  mutable Mutex mu_;
+  CondVar settled_;
+  uint64_t submitted_ BLAS_GUARDED_BY(mu_) = 0;
+  uint64_t published_ BLAS_GUARDED_BY(mu_) = 0;
+  uint64_t failed_ BLAS_GUARDED_BY(mu_) = 0;
+  uint64_t pending_ BLAS_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace blas

@@ -75,6 +75,10 @@ Result<std::unique_ptr<LiveCollection>> LiveCollection::Open(
   // unique_ptr because the publish machinery (mutexes, atomics) pins the
   // object in place.
   std::unique_ptr<LiveCollection> live(new LiveCollection(dir, options));
+  // Nobody else can reach `live` yet, but recovery writes publish-guarded
+  // fields (writer_, tombs_, state_), so hold the locks anyway: uncontended
+  // by construction, and it keeps this function inside the proven protocol.
+  MutexLock publish_lock(live->publish_mu_);
   live->budget_ =
       options.storage.shared_budget != nullptr
           ? options.storage.shared_budget
@@ -123,7 +127,10 @@ Result<std::unique_ptr<LiveCollection>> LiveCollection::Open(
   }
   live->file_seq_.store(max_seg, std::memory_order_relaxed);
   live->SweepOrphans(recovered.files);
-  live->state_ = std::move(state);
+  {
+    MutexLock state_lock(live->state_mu_);
+    live->state_ = std::move(state);
+  }
   return live;
 }
 
@@ -162,7 +169,7 @@ void LiveCollection::SweepOrphans(
 }
 
 std::shared_ptr<const CollectionState> LiveCollection::Snapshot() const {
-  std::lock_guard<std::mutex> lock(state_mu_);
+  MutexLock lock(state_mu_);
   return state_;
 }
 
@@ -200,7 +207,7 @@ Result<LiveCollection::PreparedDoc> LiveCollection::Prepare(
 Status LiveCollection::PublishBatch(std::vector<BatchOp> ops) {
   if (ops.empty()) return Status::InvalidArgument("empty publish batch");
   Stopwatch publish_timer;
-  std::lock_guard<std::mutex> publish_lock(publish_mu_);
+  MutexLock publish_lock(publish_mu_);
   std::shared_ptr<const CollectionState> current = Snapshot();
 
   // Validate the whole batch against the current state before anything
@@ -284,7 +291,7 @@ Status LiveCollection::PublishBatch(std::vector<BatchOp> ops) {
   }
 
   {
-    std::lock_guard<std::mutex> state_lock(state_mu_);
+    MutexLock state_lock(state_mu_);
     state_ = next;
   }
   epochs_published_.fetch_add(1, std::memory_order_relaxed);
@@ -346,7 +353,7 @@ Status LiveCollection::RemoveDocument(const std::string& name) {
 }
 
 Status LiveCollection::Checkpoint() {
-  std::lock_guard<std::mutex> publish_lock(publish_mu_);
+  MutexLock publish_lock(publish_mu_);
   std::shared_ptr<const CollectionState> current = Snapshot();
   BLAS_RETURN_NOT_OK(writer_->Compact(current->epoch, current->files));
   checkpoints_.fetch_add(1, std::memory_order_relaxed);
@@ -354,7 +361,7 @@ Status LiveCollection::Checkpoint() {
 }
 
 void LiveCollection::SetChangeListener(ChangeListener listener) {
-  std::lock_guard<std::mutex> publish_lock(publish_mu_);
+  MutexLock publish_lock(publish_mu_);
   listener_ = std::move(listener);
 }
 
@@ -387,7 +394,7 @@ LiveCollection::Stats LiveCollection::stats() const {
   s.files_reclaimed = files_reclaimed_->load(std::memory_order_relaxed);
   s.files_swept = files_swept_.load(std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> publish_lock(publish_mu_);
+    MutexLock publish_lock(publish_mu_);
     if (writer_.has_value()) s.manifest_bytes = writer_->bytes();
   }
   return s;

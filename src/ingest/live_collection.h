@@ -6,13 +6,13 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "blas/collection.h"
+#include "common/thread_annotations.h"
 #include "ingest/manifest.h"
 
 namespace blas {
@@ -212,16 +212,25 @@ class LiveCollection {
   std::shared_ptr<std::atomic<uint64_t>> files_reclaimed_;
 
   /// Serializes publishes (manifest append + state swap + tombstones).
-  mutable std::mutex publish_mu_;
-  std::optional<ManifestWriter> writer_;
+  /// The annotations encode the fsync-before-publish protocol: the
+  /// manifest writer (durability) is guarded by publish_mu_ and the
+  /// published-state pointer (visibility) by state_mu_, with publish_mu_
+  /// ordered strictly before state_mu_ — so the only way to swap state_
+  /// during a publish is from inside the publish critical section, i.e.
+  /// *after* the fsync'ed manifest append that made the epoch durable.
+  /// A crash at any point therefore never exposes state the log cannot
+  /// replay.
+  mutable Mutex publish_mu_ BLAS_ACQUIRED_BEFORE(state_mu_);
+  std::optional<ManifestWriter> writer_ BLAS_GUARDED_BY(publish_mu_);
   /// Tombs of live (published, non-obsolete) files, keyed by relative
   /// file name.
-  std::map<std::string, std::shared_ptr<FileTomb>> tombs_;
-  ChangeListener listener_;
+  std::map<std::string, std::shared_ptr<FileTomb>> tombs_
+      BLAS_GUARDED_BY(publish_mu_);
+  ChangeListener listener_ BLAS_GUARDED_BY(publish_mu_);
 
   /// Guards the published-state pointer only (reader pin path).
-  mutable std::mutex state_mu_;
-  std::shared_ptr<const CollectionState> state_;
+  mutable Mutex state_mu_;
+  std::shared_ptr<const CollectionState> state_ BLAS_GUARDED_BY(state_mu_);
 
   /// Next seg-<n>.blasidx suffix.
   mutable std::atomic<uint64_t> file_seq_{0};

@@ -114,7 +114,7 @@ uint64_t Histogram::ValueAtQuantile(double q) const {
 MetricsRegistry::Entry* MetricsRegistry::GetOrCreate(std::string_view name,
                                                      std::string_view help,
                                                      Entry::Kind kind) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = entries_.find(name);
   if (it != entries_.end()) {
     return it->second.kind == kind ? &it->second : nullptr;
@@ -178,7 +178,7 @@ void AppendF(std::string* out, const char* fmt, ...) {
 }  // namespace
 
 std::string MetricsRegistry::DumpPrometheus() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::string out;
   for (const auto& [name, entry] : entries_) {
     if (!entry.help.empty()) {
@@ -225,7 +225,7 @@ std::string MetricsRegistry::DumpPrometheus() const {
 }
 
 std::string MetricsRegistry::DumpJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::string counters, gauges, histograms;
   for (const auto& [name, entry] : entries_) {
     switch (entry.kind) {

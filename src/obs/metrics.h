@@ -7,10 +7,11 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace blas {
 namespace obs {
@@ -151,9 +152,12 @@ class MetricsRegistry {
   Entry* GetOrCreate(std::string_view name, std::string_view help,
                      Entry::Kind kind);
 
-  mutable std::mutex mu_;
-  /// std::map: stable iteration order -> deterministic exposition.
-  std::map<std::string, Entry, std::less<>> entries_;
+  mutable Mutex mu_;
+  /// std::map: stable iteration order -> deterministic exposition. The
+  /// map is guarded; the metric objects it owns are deliberately not —
+  /// their pointers are handed out for the registry's lifetime and are
+  /// internally synchronized (atomics / sharded atomics).
+  std::map<std::string, Entry, std::less<>> entries_ BLAS_GUARDED_BY(mu_);
 };
 
 /// The process-wide registry. Layers without a service handle (buffer

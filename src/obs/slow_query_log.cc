@@ -23,7 +23,7 @@ std::string SlowQueryEntry::ToString() const {
 
 bool SlowQueryLog::MaybeRecord(SlowQueryEntry entry) {
   if (!enabled() || entry.millis < threshold_millis_) return false;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ring_.push_back(std::move(entry));
   ++recorded_;
   while (ring_.size() > capacity_) ring_.pop_front();
@@ -31,12 +31,12 @@ bool SlowQueryLog::MaybeRecord(SlowQueryEntry entry) {
 }
 
 std::vector<SlowQueryEntry> SlowQueryLog::Entries() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return {ring_.begin(), ring_.end()};
 }
 
 uint64_t SlowQueryLog::total_recorded() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return recorded_;
 }
 

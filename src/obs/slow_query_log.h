@@ -4,10 +4,10 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "obs/trace.h"
 
 namespace blas {
@@ -61,9 +61,9 @@ class SlowQueryLog {
  private:
   const double threshold_millis_;
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::deque<SlowQueryEntry> ring_;
-  uint64_t recorded_ = 0;
+  mutable Mutex mu_;
+  std::deque<SlowQueryEntry> ring_ BLAS_GUARDED_BY(mu_);
+  uint64_t recorded_ BLAS_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace obs

@@ -68,7 +68,7 @@ uint64_t TraceContext::ElapsedNanos() const {
 }
 
 void TraceContext::AddSpan(TraceSpan span) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   spans_.push_back(std::move(span));
 }
 
@@ -90,7 +90,7 @@ std::shared_ptr<const Trace> TraceContext::Finish() {
   trace->started_unix_ms = started_unix_ms_;
   const uint64_t reads = page_reads_.load(std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (reads > 0) {
       TraceSpan io;
       io.name = "page_io";
@@ -154,19 +154,19 @@ void SpanTimer::set_counters(uint64_t elements, uint64_t page_fetches,
 
 void TraceRing::Push(std::shared_ptr<const Trace> trace) {
   if (capacity_ == 0) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ring_.push_back(std::move(trace));
   ++pushed_;
   while (ring_.size() > capacity_) ring_.pop_front();
 }
 
 std::vector<std::shared_ptr<const Trace>> TraceRing::Recent() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return {ring_.begin(), ring_.end()};
 }
 
 uint64_t TraceRing::total_pushed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return pushed_;
 }
 

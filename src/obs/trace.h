@@ -6,9 +6,11 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/thread_annotations.h"
+
 
 namespace blas {
 namespace obs {
@@ -100,8 +102,8 @@ class TraceContext {
   const int64_t started_unix_ms_;
   std::string label_;
 
-  std::mutex mu_;
-  std::vector<TraceSpan> spans_;
+  Mutex mu_;
+  std::vector<TraceSpan> spans_ BLAS_GUARDED_BY(mu_);
 
   std::atomic<uint64_t> page_reads_{0};
   std::atomic<uint64_t> page_read_ns_{0};
@@ -149,9 +151,9 @@ class TraceRing {
 
  private:
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::deque<std::shared_ptr<const Trace>> ring_;
-  uint64_t pushed_ = 0;
+  mutable Mutex mu_;
+  std::deque<std::shared_ptr<const Trace>> ring_ BLAS_GUARDED_BY(mu_);
+  uint64_t pushed_ BLAS_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace obs

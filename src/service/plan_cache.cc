@@ -6,7 +6,7 @@ namespace blas {
 
 std::shared_ptr<const CachedPlan> CachedCollectionPlan::ForDoc(
     const std::string& doc, uint64_t epoch) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = per_doc_.find(doc);
   if (it == per_doc_.end() || it->second.epoch != epoch) {
     // Not translated for this generation. The mismatched entry (if any)
@@ -21,7 +21,7 @@ std::shared_ptr<const CachedPlan> CachedCollectionPlan::ForDoc(
 void CachedCollectionPlan::PutDoc(
     const std::string& doc, uint64_t epoch,
     std::shared_ptr<const CachedPlan> plan) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto [it, inserted] = per_doc_.try_emplace(doc);
   if (inserted || epoch > it->second.epoch) {
     it->second = TaggedPlan{epoch, std::move(plan)};
@@ -33,7 +33,7 @@ void CachedCollectionPlan::PutDoc(
 }
 
 void CachedCollectionPlan::InvalidateDocument(const std::string& doc) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   per_doc_.erase(doc);
 }
 

@@ -4,13 +4,13 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "blas/blas.h"
+#include "common/thread_annotations.h"
 #include "exec/plan.h"
 #include "xpath/ast.h"
 
@@ -77,8 +77,9 @@ class CachedCollectionPlan {
   };
 
   const Query query_;
-  mutable std::mutex mu_;
-  mutable std::unordered_map<std::string, TaggedPlan> per_doc_;
+  mutable Mutex mu_;
+  mutable std::unordered_map<std::string, TaggedPlan> per_doc_
+      BLAS_GUARDED_BY(mu_);
 };
 
 namespace internal {
@@ -97,7 +98,7 @@ class LruCache {
   /// Returns the cached value and promotes it to most-recently-used, or
   /// nullptr on miss. Counts one hit or one miss.
   std::shared_ptr<const V> Get(const std::string& key) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = index_.find(key);
     if (it == index_.end()) {
       ++stats_.misses;
@@ -112,7 +113,7 @@ class LruCache {
   /// least-recently-used entry when over capacity.
   void Put(const std::string& key, std::shared_ptr<const V> value) {
     if (capacity_ == 0) return;
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = index_.find(key);
     if (it != index_.end()) {
       it->second->value = std::move(value);
@@ -136,19 +137,19 @@ class LruCache {
     uint64_t evictions = 0;
   };
   Stats stats() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return stats_;
   }
 
   size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return lru_.size();
   }
   size_t capacity() const { return capacity_; }
 
   /// Drops all entries (stats are kept).
   void Clear() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     lru_.clear();
     index_.clear();
   }
@@ -157,13 +158,13 @@ class LruCache {
   /// order). For sweep-style maintenance — keep `fn` cheap.
   template <typename Fn>
   void ForEachValue(Fn fn) const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (const Entry& entry : lru_) fn(*entry.value);
   }
 
   /// Keys in recency order, most recent first (tests of eviction order).
   std::vector<std::string> KeysMruToLru() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     std::vector<std::string> keys;
     keys.reserve(lru_.size());
     for (const Entry& entry : lru_) keys.push_back(entry.key);
@@ -177,10 +178,11 @@ class LruCache {
   };
 
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::list<Entry> lru_;  // front = most recent
-  std::unordered_map<std::string, typename std::list<Entry>::iterator> index_;
-  Stats stats_;
+  mutable Mutex mu_;
+  std::list<Entry> lru_ BLAS_GUARDED_BY(mu_);  // front = most recent
+  std::unordered_map<std::string, typename std::list<Entry>::iterator> index_
+      BLAS_GUARDED_BY(mu_);
+  Stats stats_ BLAS_GUARDED_BY(mu_);
 };
 
 }  // namespace internal

@@ -10,6 +10,8 @@ ThreadPool::ThreadPool(size_t num_threads, size_t queue_capacity)
     num_threads = std::thread::hardware_concurrency();
     if (num_threads == 0) num_threads = 1;
   }
+  thread_count_ = num_threads;
+  MutexLock join_lock(join_mu_);
   workers_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -20,47 +22,48 @@ ThreadPool::~ThreadPool() { Shutdown(); }
 
 bool ThreadPool::Submit(std::function<void()> task) {
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    space_free_.wait(lock, [this] {
-      return shutdown_ || queue_.size() < queue_capacity_;
-    });
+    MutexLock lock(mu_);
+    while (!shutdown_ && queue_.size() >= queue_capacity_) {
+      space_free_.Wait(lock);
+    }
     if (shutdown_) return false;
     queue_.push_back(std::move(task));
   }
-  work_ready_.notify_one();
+  work_ready_.NotifyOne();
   return true;
 }
 
 bool ThreadPool::TrySubmit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (shutdown_ || queue_.size() >= queue_capacity_) return false;
     queue_.push_back(std::move(task));
   }
-  work_ready_.notify_one();
+  work_ready_.NotifyOne();
   return true;
 }
 
 size_t ThreadPool::queue_size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return queue_.size();
 }
 
 void ThreadPool::WaitIdle() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_.wait(lock,
-             [this] { return shutdown_ || (queue_.empty() && active_ == 0); });
+  MutexLock lock(mu_);
+  while (!shutdown_ && !(queue_.empty() && active_ == 0)) {
+    idle_.Wait(lock);
+  }
 }
 
 void ThreadPool::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
-  work_ready_.notify_all();
-  space_free_.notify_all();
-  idle_.notify_all();
-  std::lock_guard<std::mutex> join_lock(join_mu_);
+  work_ready_.NotifyAll();
+  space_free_.NotifyAll();
+  idle_.NotifyAll();
+  MutexLock join_lock(join_mu_);
   for (std::thread& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
@@ -70,19 +73,19 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_ready_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!shutdown_ && queue_.empty()) work_ready_.Wait(lock);
       if (queue_.empty()) return;  // shutdown with a drained queue
       task = std::move(queue_.front());
       queue_.pop_front();
       ++active_;
     }
-    space_free_.notify_one();
+    space_free_.NotifyOne();
     task();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       --active_;
-      if (queue_.empty() && active_ == 0) idle_.notify_all();
+      if (queue_.empty() && active_ == 0) idle_.NotifyAll();
     }
   }
 }

@@ -1,13 +1,13 @@
 #ifndef BLAS_SERVICE_THREAD_POOL_H_
 #define BLAS_SERVICE_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace blas {
 
@@ -27,43 +27,49 @@ class ThreadPool {
 
   /// Enqueues `task`, waiting for queue space if necessary. Returns false
   /// (dropping the task) only after Shutdown has begun.
-  bool Submit(std::function<void()> task);
+  bool Submit(std::function<void()> task) BLAS_EXCLUDES(mu_);
 
   /// Enqueues `task` only if space is free right now; never blocks.
-  bool TrySubmit(std::function<void()> task);
+  bool TrySubmit(std::function<void()> task) BLAS_EXCLUDES(mu_);
 
   /// Stops accepting work, runs everything already queued, joins workers.
   /// Idempotent.
-  void Shutdown();
+  void Shutdown() BLAS_EXCLUDES(mu_, join_mu_);
 
   /// Blocks until the queue is empty and every worker is idle (or the
   /// pool is shut down). Tasks submitted by still-running tasks are
   /// waited for too — the pool settles before this returns, so tests can
   /// assert post-drain state deterministically instead of sleeping. Only
   /// a snapshot: another thread may submit again right after.
-  void WaitIdle();
+  void WaitIdle() BLAS_EXCLUDES(mu_);
 
-  size_t thread_count() const { return workers_.size(); }
+  size_t thread_count() const { return thread_count_; }
   size_t queue_capacity() const { return queue_capacity_; }
 
   /// Tasks accepted but not yet picked up by a worker. A snapshot only —
   /// workers dequeue concurrently — useful for backpressure diagnostics
   /// and for tests that stage a known queue state.
-  size_t queue_size() const;
+  size_t queue_size() const BLAS_EXCLUDES(mu_);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() BLAS_EXCLUDES(mu_);
 
   const size_t queue_capacity_;
-  mutable std::mutex mu_;
-  std::mutex join_mu_;  // serializes concurrent Shutdown callers
-  std::condition_variable work_ready_;
-  std::condition_variable space_free_;
-  std::condition_variable idle_;
-  std::deque<std::function<void()>> queue_;
-  size_t active_ = 0;  // workers currently running a task
-  bool shutdown_ = false;
-  std::vector<std::thread> workers_;
+  /// Fixed at construction (workers_.size() may only be read under
+  /// join_mu_, so the count is mirrored here for lock-free accessors).
+  size_t thread_count_ = 0;
+  mutable Mutex mu_;
+  /// Serializes concurrent Shutdown callers (thread::join is not
+  /// concurrently callable on the same thread object). Never nested with
+  /// mu_: Shutdown flips the flag under mu_, releases, then joins.
+  Mutex join_mu_;
+  CondVar work_ready_;
+  CondVar space_free_;
+  CondVar idle_;
+  std::deque<std::function<void()>> queue_ BLAS_GUARDED_BY(mu_);
+  size_t active_ BLAS_GUARDED_BY(mu_) = 0;  // workers currently running a task
+  bool shutdown_ BLAS_GUARDED_BY(mu_) = false;
+  std::vector<std::thread> workers_ BLAS_GUARDED_BY(join_mu_);
 };
 
 }  // namespace blas

@@ -5,7 +5,6 @@
 
 #include <cassert>
 #include <cerrno>
-#include <condition_variable>
 #include <thread>
 #include <cstring>
 #include <list>
@@ -172,7 +171,7 @@ void FrameBudget::Release(size_t bytes) {
 }
 
 bool FrameBudget::ReclaimOne(BufferPool* preferred) {
-  std::lock_guard<std::mutex> lock(pools_mu_);
+  MutexLock lock(pools_mu_);
   if (preferred != nullptr && preferred->TryEvictOne()) return true;
   for (BufferPool* pool : pools_) {
     if (pool == preferred) continue;
@@ -182,12 +181,12 @@ bool FrameBudget::ReclaimOne(BufferPool* preferred) {
 }
 
 void FrameBudget::Register(BufferPool* pool) {
-  std::lock_guard<std::mutex> lock(pools_mu_);
+  MutexLock lock(pools_mu_);
   pools_.push_back(pool);
 }
 
 void FrameBudget::Unregister(BufferPool* pool) {
-  std::lock_guard<std::mutex> lock(pools_mu_);
+  MutexLock lock(pools_mu_);
   for (auto it = pools_.begin(); it != pools_.end(); ++it) {
     if (*it == pool) {
       pools_.erase(it);
@@ -240,21 +239,26 @@ struct BufferPool::Frame {
 };
 
 struct BufferPool::Shard {
-  std::mutex mu;
+  Mutex mu;
   // In-memory mode: counting LRU over resident-anyway pages.
-  std::list<PageId> lru;  // front = most recent
-  std::unordered_map<PageId, std::list<PageId>::iterator> cached;
+  std::list<PageId> lru BLAS_GUARDED_BY(mu);  // front = most recent
+  std::unordered_map<PageId, std::list<PageId>::iterator> cached
+      BLAS_GUARDED_BY(mu);
   // Paged mode: real frames plus a second-chance clock ring. Pages whose
   // pread is in flight sit in `pending` (the disk read happens with the
   // latch dropped, so hits on other pages proceed); concurrent fetchers
-  // of the same page wait on `ready`.
-  std::unordered_map<PageId, std::unique_ptr<Frame>> frames;
-  std::list<PageId> clock;  // front = next eviction candidate
-  std::unordered_set<PageId> pending;
-  std::condition_variable ready;
-  size_t capacity = 1;
-  size_t peak = 0;
-  Stats stats;
+  // of the same page wait on `ready`. Frame pointers taken out of
+  // `frames` under the latch stay valid while pinned: eviction skips any
+  // frame whose pin count (an atomic, deliberately *not* latch-guarded —
+  // pins drop lock-free in PageRef::Release) is non-zero.
+  std::unordered_map<PageId, std::unique_ptr<Frame>> frames
+      BLAS_GUARDED_BY(mu);
+  std::list<PageId> clock BLAS_GUARDED_BY(mu);  // next eviction at front
+  std::unordered_set<PageId> pending BLAS_GUARDED_BY(mu);
+  CondVar ready;
+  size_t capacity = 1;  // set at construction, immutable after
+  size_t peak BLAS_GUARDED_BY(mu) = 0;
+  Stats stats BLAS_GUARDED_BY(mu);
 };
 
 BufferPool::BufferPool(size_t cache_capacity, size_t shards)
@@ -296,14 +300,24 @@ BufferPool::BufferPool(PagedFile file, const StorageOptions& options)
 }
 
 BufferPool::~BufferPool() {
+  // Unregister FIRST: ReclaimOne holds pools_mu_ for the whole cross-pool
+  // probe, so once Unregister returns, no other pool's fetch can evict
+  // frames here. Counting before that leaves a window where a concurrent
+  // probe evicts (releasing budget and decrementing the metric itself) and
+  // the stale count below double-releases both.
+  if (budget_ != nullptr) budget_->Unregister(this);
+  // The latches are taken even though no reader should be live at
+  // destruction: "the pool is idle now" is exactly the class of implicit
+  // assumption the thread-safety analysis exists to retire, and an
+  // uncontended lock costs nothing here.
   size_t resident = 0;
-  for (auto& shard : shards_) resident += shard->frames.size();
+  for (auto& shard : shards_) {
+    MutexLock lock(shard->mu);
+    resident += shard->frames.size();
+  }
   if (resident > 0) {
     storage_metrics().frames_in_use->Add(-static_cast<int64_t>(resident));
-  }
-  if (budget_ != nullptr) {
-    budget_->Unregister(this);
-    if (resident > 0) budget_->Release(resident * kPageSize);
+    if (budget_ != nullptr) budget_->Release(resident * kPageSize);
   }
 }
 
@@ -331,7 +345,8 @@ Page* BufferPool::MutablePage(PageId id) {
   return pages_[id].get();
 }
 
-size_t BufferPool::EvictDownTo(Shard& shard, size_t target) const {
+size_t BufferPool::EvictDownTo(Shard& shard, size_t target) const
+    BLAS_REQUIRES(shard.mu) {
   size_t evicted = 0;
   // Two full rotations: the first clears referenced bits, the second can
   // then evict; beyond that everything left is pinned.
@@ -372,7 +387,7 @@ PageRef BufferPool::Fetch(PageId id) const {
     Shard& shard = shard_for(id);
     bool miss = false;
     {
-      std::lock_guard<std::mutex> lock(shard.mu);
+      MutexLock lock(shard.mu);
       ++shard.stats.fetches;
       auto it = shard.cached.find(id);
       if (it != shard.cached.end()) {
@@ -406,7 +421,7 @@ PageRef BufferPool::FetchPaged(PageId id, bool counted) const {
   }
   Shard& shard = shard_for(id);
   {
-    std::unique_lock<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     if (counted) ++shard.stats.fetches;
     while (true) {
       auto it = shard.frames.find(id);
@@ -424,7 +439,7 @@ PageRef BufferPool::FetchPaged(PageId id, bool counted) const {
       if (shard.pending.count(id) == 0) break;  // this thread reads it
       // Another thread's pread for this page is in flight; wait for it
       // to publish (or fail — then this thread retries the read).
-      shard.ready.wait(lock);
+      shard.ready.Wait(lock);
     }
     shard.pending.insert(id);
   }
@@ -470,9 +485,9 @@ PageRef BufferPool::FetchPaged(PageId id, bool counted) const {
     }
   }
 
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   shard.pending.erase(id);
-  shard.ready.notify_all();
+  shard.ready.NotifyAll();
   if (!read.ok()) {
     if (charged) budget_->Release(kPageSize);
     ++shard.stats.io_errors;
@@ -523,10 +538,14 @@ bool BufferPool::TryEvictOne() {
   if (!paged()) return false;
   for (auto& shard_ptr : shards_) {
     Shard& shard = *shard_ptr;
-    std::unique_lock<std::mutex> lock(shard.mu, std::try_to_lock);
-    if (!lock.owns_lock()) continue;
+    // Probe, never block: the caller (FrameBudget::ReclaimOne) holds
+    // pools_mu_, and a blocking latch acquisition here could deadlock
+    // against a shard holder waiting on the budget.
+    if (!shard.mu.TryLock()) continue;
     size_t target = shard.frames.empty() ? 0 : shard.frames.size() - 1;
-    if (EvictDownTo(shard, target) > 0) return true;
+    bool evicted = EvictDownTo(shard, target) > 0;
+    shard.mu.Unlock();
+    if (evicted) return true;
   }
   return false;
 }
@@ -534,7 +553,7 @@ bool BufferPool::TryEvictOne() {
 BufferPool::Stats BufferPool::stats() const {
   Stats total;
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     total.fetches += shard->stats.fetches;
     total.misses += shard->stats.misses;
     total.io_reads += shard->stats.io_reads;
@@ -546,7 +565,7 @@ BufferPool::Stats BufferPool::stats() const {
 
 void BufferPool::ResetStats() {
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     shard->stats = Stats();
     shard->peak = shard->frames.size();
   }
@@ -554,7 +573,7 @@ void BufferPool::ResetStats() {
 
 void BufferPool::DropCache() {
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     shard->lru.clear();
     shard->cached.clear();
     // Paged mode: free every unpinned frame. Pinned frames stay resident
@@ -567,7 +586,7 @@ void BufferPool::DropCache() {
 size_t BufferPool::frames_in_use() const {
   size_t total = 0;
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     total += shard->frames.size();
   }
   return total;
@@ -576,7 +595,7 @@ size_t BufferPool::frames_in_use() const {
 size_t BufferPool::peak_frames() const {
   size_t total = 0;
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     total += shard->peak;
   }
   return total;

@@ -4,13 +4,13 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "storage/page.h"
 
 namespace blas {
@@ -92,17 +92,20 @@ class FrameBudget {
   void ForceCharge(size_t bytes);
   void Release(size_t bytes);
   /// Evicts one unpinned frame from some registered pool (preferring
-  /// `preferred`). False when nothing in the group is evictable.
-  bool ReclaimOne(BufferPool* preferred);
+  /// `preferred`). False when nothing in the group is evictable. Holds
+  /// pools_mu_ while try-lock probing shard latches; the probes never
+  /// block, so the pools_mu_ -> shard.mu order cannot deadlock against a
+  /// charging fetcher (which holds no latch while it reclaims).
+  bool ReclaimOne(BufferPool* preferred) BLAS_EXCLUDES(pools_mu_);
 
-  void Register(BufferPool* pool);
-  void Unregister(BufferPool* pool);
+  void Register(BufferPool* pool) BLAS_EXCLUDES(pools_mu_);
+  void Unregister(BufferPool* pool) BLAS_EXCLUDES(pools_mu_);
 
   const size_t limit_;
   std::atomic<size_t> used_{0};
   std::atomic<size_t> peak_{0};
-  std::mutex pools_mu_;
-  std::vector<BufferPool*> pools_;
+  Mutex pools_mu_;
+  std::vector<BufferPool*> pools_ BLAS_GUARDED_BY(pools_mu_);
 };
 
 /// \brief Read-only page file: the on-disk backing of a paged BufferPool.
@@ -146,7 +149,7 @@ class PagedFile {
 /// an in-memory pool pages are never freed and the ref is a plain
 /// pointer. An empty ref (`!ref`) means the page id was out of range or
 /// the backing read failed — treat it as end-of-data.
-class PageRef {
+class [[nodiscard]] PageRef {
  public:
   PageRef() = default;
   PageRef(PageRef&& other) noexcept;

@@ -243,7 +243,10 @@ void WriteTreeMeta(AtomicFile& os, const BPlusTreeMeta& m) {
 }
 
 bool ReadTreeMeta(BufReader& r, BPlusTreeMeta* m) {
-  uint32_t height, pad;
+  // Initialized: a short read short-circuits the chain before r.U32(&height)
+  // ever runs, and the assignment below happens regardless.
+  uint32_t height = 0;
+  uint32_t pad = 0;
   bool ok = r.U32(&m->root) && r.U32(&m->first_leaf) && r.U64(&m->size) &&
             r.U32(&height) && r.U32(&m->first_page) && r.U32(&m->page_count) &&
             r.U32(&pad);

@@ -67,7 +67,7 @@ const std::string& StringDict::PagedGet(uint32_t id) const {
   uint32_t page_index =
       static_cast<uint32_t>(it - layout_.page_first_ids.begin() - 1);
 
-  std::lock_guard<std::mutex> lock(decode_mu_);
+  MutexLock lock(decode_mu_);
   auto cached = decoded_.find(page_index);
   if (cached == decoded_.end()) {
     PageRef ref = pool_->Fetch(layout_.first_value_page + page_index);

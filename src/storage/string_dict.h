@@ -2,13 +2,13 @@
 #define BLAS_STORAGE_STRING_DICT_H_
 
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "storage/buffer_pool.h"
 #include "storage/page.h"
 
@@ -139,8 +139,9 @@ class StringDict {
   /// References returned by Get point into these vectors; entries are
   /// never removed, so they stay valid. (A rehash moves the vectors, not
   /// their heap buffers.)
-  mutable std::mutex decode_mu_;
-  mutable std::unordered_map<uint32_t, std::vector<std::string>> decoded_;
+  mutable Mutex decode_mu_;
+  mutable std::unordered_map<uint32_t, std::vector<std::string>> decoded_
+      BLAS_GUARDED_BY(decode_mu_);
 };
 
 }  // namespace blas

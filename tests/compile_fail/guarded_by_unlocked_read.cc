@@ -1,0 +1,30 @@
+// MUST NOT COMPILE under -Werror=thread-safety (see CMakeLists.txt: the
+// ctest wrapper inverts the build result). Reading a guarded member
+// without its mutex is the canonical race this PR's annotations exist to
+// reject at compile time.
+
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+    blas::MutexLock lock(mu_);
+    ++value_;
+  }
+  // BUG under test: reads value_ with no lock held.
+  long Peek() const { return value_; }
+
+ private:
+  mutable blas::Mutex mu_;
+  long value_ BLAS_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Increment();
+  return static_cast<int>(c.Peek());
+}

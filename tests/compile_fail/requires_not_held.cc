@@ -1,0 +1,28 @@
+// MUST NOT COMPILE under -Werror=thread-safety. Calling a
+// BLAS_REQUIRES(mu) function without holding mu is how lock protocols
+// decay — a helper written for "latch already held" leaks into an
+// unlatched path (exactly the BufferPool::EvictDownTo contract).
+
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Shard {
+ public:
+  void EvictLocked() BLAS_REQUIRES(mu_) { --frames_; }
+
+  // BUG under test: calls the REQUIRES helper without acquiring mu_.
+  void EvictUnlocked() { EvictLocked(); }
+
+ private:
+  blas::Mutex mu_;
+  long frames_ BLAS_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Shard s;
+  s.EvictUnlocked();
+  return 0;
+}

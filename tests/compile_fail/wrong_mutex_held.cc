@@ -1,0 +1,30 @@
+// MUST NOT COMPILE under -Werror=thread-safety. Holding *a* lock is not
+// holding *the* lock: writing a state_mu_-guarded field under publish_mu_
+// alone must be rejected (the LiveCollection protocol nests state_mu_
+// inside publish_mu_ for exactly this reason).
+
+#include "common/thread_annotations.h"
+
+namespace {
+
+class TwoPhase {
+ public:
+  void Publish(int next) {
+    blas::MutexLock publish_lock(publish_mu_);
+    // BUG under test: state_ is guarded by state_mu_, not publish_mu_.
+    state_ = next;
+  }
+
+ private:
+  blas::Mutex publish_mu_ BLAS_ACQUIRED_BEFORE(state_mu_);
+  blas::Mutex state_mu_;
+  int state_ BLAS_GUARDED_BY(state_mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  TwoPhase t;
+  t.Publish(1);
+  return 0;
+}

@@ -584,6 +584,55 @@ TEST(PagedStorageTest, CollectionLargerThanSharedBudgetAnswersEverything) {
   EXPECT_LE(budget->peak_used(), budget->limit());
 }
 
+// Regression: the pool destructor must leave the shared-budget group
+// BEFORE counting resident frames. Counted-then-unregistered, a reclaim
+// probe from a sibling pool could evict frames in the window (releasing
+// their bytes itself), and the destructor's stale count double-released —
+// used() drifted low, eventually wrapping, and the whole group stopped
+// evicting. Pools churn open/close under query pressure; exact books or
+// the budget is fiction.
+TEST(PagedStorageTest, SharedBudgetBooksStayExactAcrossPoolTeardown) {
+  auto budget = std::make_shared<FrameBudget>(6 * kPageSize);
+
+  BlasSystem original = BuildAuction();
+  std::string path_a = TempPath("teardown_a.idx2");
+  std::string path_b = TempPath("teardown_b.idx2");
+  ASSERT_TRUE(original.SavePagedIndex(path_a).ok());
+  ASSERT_TRUE(original.SavePagedIndex(path_b).ok());
+
+  StorageOptions storage = TinyBudget(4);
+  storage.shared_budget = budget;
+
+  // A long-lived system keeps pressure on the budget while short-lived
+  // siblings open, fault pages in, and tear down.
+  Result<BlasSystem> keeper = BlasSystem::OpenPaged(path_a, storage);
+  ASSERT_TRUE(keeper.ok());
+
+  std::thread churn([&] {
+    for (int i = 0; i < 12; ++i) {
+      Result<BlasSystem> ephemeral = BlasSystem::OpenPaged(path_b, storage);
+      ASSERT_TRUE(ephemeral.ok());
+      Result<QueryResult> r = ephemeral->Execute("//item/name", QueryOptions{});
+      ASSERT_TRUE(r.ok());
+      // ~BlasSystem here: the pool unregisters and refunds its frames
+      // while the keeper thread is mid-reclaim.
+    }
+  });
+  for (int i = 0; i < 12; ++i) {
+    Result<QueryResult> r =
+        keeper->Execute(kAuctionQueries[i % 5], QueryOptions{});
+    ASSERT_TRUE(r.ok());
+  }
+  churn.join();
+
+  // Only the keeper's residents remain charged; never more than the
+  // limit was ever oversubscribed by teardown refunds (an underflowed
+  // counter would read as a huge number here).
+  EXPECT_LE(budget->used(), budget->limit());
+  keeper = Status::Internal("drop");  // destroys the keeper's pool
+  EXPECT_EQ(budget->used(), 0u);
+}
+
 // ------------------------------------------------ bounds satellites ---
 
 TEST(PagedStorageTest, OutOfRangePageIdsAreRejected) {

@@ -1,0 +1,261 @@
+#!/usr/bin/env python3
+"""Project-invariant linter for blas.
+
+Checks invariants the compiler cannot (or that must hold even in GCC
+builds where the thread-safety attributes compile to nothing):
+
+  1. lock-vocabulary   No raw std::mutex / std::shared_mutex /
+                       std::condition_variable / std::lock_guard /
+                       std::unique_lock / std::scoped_lock, and no
+                       BLAS_NO_THREAD_SAFETY_ANALYSIS, anywhere in src/
+                       outside common/thread_annotations.h. Every lock
+                       must be a blas::Mutex the analysis can see.
+  2. status-consumed   Every call to a Status- or Result-returning
+                       function in src/ is consumed (assigned, returned,
+                       tested, wrapped in BLAS_RETURN_NOT_OK /
+                       BLAS_ASSIGN_OR_RETURN, or explicitly cast to
+                       void). Backstops [[nodiscard]] for translation
+                       units a compiler pass might miss.
+  3. pageref-publish   No function scope holds a live PageRef local
+                       while calling DropCache() or PublishBatch(): both
+                       invalidate or recycle frames, so a pin held
+                       across them is a stale-page read (or a deadlock
+                       against eviction) waiting to happen.
+  4. no-clock-in-lock  No wall/steady-clock reads inside a MutexLock
+                       scope. Clock syscalls are unbounded (vDSO fast
+                       path is not guaranteed); timing happens outside
+                       the critical section, then gets recorded inside.
+
+Exit code 0 = clean, 1 = findings (one "file:line: [rule] message" per
+line), 2 = usage error. Run from the repo root: python3 tools/lint.py
+"""
+
+import os
+import re
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO, "src")
+ANNOTATIONS_HEADER = os.path.join("src", "common", "thread_annotations.h")
+
+RAW_LOCK_RE = re.compile(
+    r"std::(mutex|shared_mutex|recursive_mutex|timed_mutex|condition_variable"
+    r"|condition_variable_any|lock_guard|unique_lock|scoped_lock|shared_lock)\b"
+)
+ESCAPE_HATCH_RE = re.compile(r"BLAS_NO_THREAD_SAFETY_ANALYSIS\b")
+
+CLOCK_RE = re.compile(
+    r"(std::chrono::(system_clock|steady_clock|high_resolution_clock)::now"
+    r"|\bgettimeofday\s*\(|\bclock_gettime\s*\(|\btime\s*\(\s*(nullptr|NULL|0)\s*\))"
+)
+
+# Consumption contexts for invariant 2: anything on the line that shows the
+# return value is used or deliberately dropped.
+CONSUMED_RE = re.compile(
+    r"(\breturn\b|=|\bif\b|\bwhile\b|\bfor\b|\(void\)|BLAS_RETURN_NOT_OK"
+    r"|BLAS_ASSIGN_OR_RETURN|BLAS_CHECK|EXPECT_|ASSERT_|\.ok\(\)|\.status\(\))"
+)
+
+
+def source_files(exts):
+    out = []
+    for root, _dirs, files in os.walk(SRC):
+        for f in sorted(files):
+            if os.path.splitext(f)[1] in exts:
+                out.append(os.path.relpath(os.path.join(root, f), REPO))
+    return out
+
+
+def strip_comments_and_strings(line):
+    """Removes // comments and string/char literal bodies (keeps quotes)."""
+    out = []
+    i, n = 0, len(line)
+    in_str = None
+    while i < n:
+        c = line[i]
+        if in_str:
+            if c == "\\":
+                i += 2
+                continue
+            if c == in_str:
+                in_str = None
+                out.append(c)
+            i += 1
+            continue
+        if c in "\"'":
+            in_str = c
+            out.append(c)
+            i += 1
+            continue
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            break
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def clean_lines(path):
+    """Yields (lineno, cleaned_line) with block comments blanked."""
+    with open(os.path.join(REPO, path), encoding="utf-8") as f:
+        text = f.read()
+    # Blank block comments but keep newlines so line numbers survive.
+    def blank(m):
+        return re.sub(r"[^\n]", " ", m.group(0))
+    text = re.sub(r"/\*.*?\*/", blank, text, flags=re.S)
+    for i, line in enumerate(text.splitlines(), start=1):
+        yield i, strip_comments_and_strings(line)
+
+
+def check_lock_vocabulary(findings):
+    for path in source_files({".h", ".cc"}):
+        if path == ANNOTATIONS_HEADER:
+            continue
+        for lineno, line in clean_lines(path):
+            if RAW_LOCK_RE.search(line):
+                findings.append(
+                    f"{path}:{lineno}: [lock-vocabulary] raw std:: lock "
+                    "primitive; use blas::Mutex/MutexLock/CondVar from "
+                    "common/thread_annotations.h")
+            if ESCAPE_HATCH_RE.search(line) and "#define" not in line:
+                findings.append(
+                    f"{path}:{lineno}: [lock-vocabulary] "
+                    "BLAS_NO_THREAD_SAFETY_ANALYSIS outside "
+                    "thread_annotations.h; restructure instead of silencing")
+
+
+def status_returning_functions():
+    """Harvests names of Status/Result-returning functions from src headers.
+
+    The check is name-based (no type resolution), so any name that is ALSO
+    declared with a different return type somewhere (e.g. XmlBuilder::Open
+    returns void, BlasSystem::Open returns Result) is dropped entirely —
+    better to miss those than to flag correct code.
+    """
+    names = set()
+    decl = re.compile(r"\b(?:Status|Result<[^;{]*>)\s+([A-Za-z_]\w*)\s*\(")
+    other_decl = re.compile(
+        r"\b(?:void|bool|int|size_t|uint32_t|uint64_t|auto|std::\w+[^;{(]*?)"
+        r"\s+([A-Za-z_]\w*)\s*\(")
+    ambiguous = set()
+    for path in source_files({".h"}):
+        for _lineno, line in clean_lines(path):
+            for m in decl.finditer(line):
+                names.add(m.group(1))
+            for m in other_decl.finditer(line):
+                ambiguous.add(m.group(1))
+    names -= ambiguous
+    # Factory names that read like accessors and constructors of Status
+    # itself are never bare statements worth flagging.
+    names.discard("OK")
+    return names
+
+
+def check_status_consumed(findings):
+    names = status_returning_functions()
+    if not names:
+        return
+    call = re.compile(
+        r"^\s*(?:[A-Za-z_]\w*(?:\.|->|::))*(" + "|".join(
+            sorted(re.escape(n) for n in names)) + r")\s*\(")
+    for path in source_files({".cc"}):
+        prev = ""
+        for lineno, line in clean_lines(path):
+            # A continuation line like "Foo::Bar(..." inside a multi-line
+            # call is not a statement: only lines following a ; { } or label
+            # start one, and only those are candidates.
+            starts_statement = prev == "" or prev.endswith((";", "{", "}", ":"))
+            prev = line.strip() or prev
+            if not starts_statement:
+                continue
+            m = call.match(line)
+            if m is None:
+                continue
+            if CONSUMED_RE.search(line):
+                continue
+            findings.append(
+                f"{path}:{lineno}: [status-consumed] return value of "
+                f"'{m.group(1)}' (Status/Result) is dropped; consume it or "
+                "cast to (void) with a comment")
+
+
+def function_scopes(path):
+    """Yields (start_line, [(lineno, line), ...]) per top-level brace scope."""
+    lines = list(clean_lines(path))
+    depth = 0
+    current = None
+    for lineno, line in lines:
+        opens = line.count("{")
+        closes = line.count("}")
+        if depth == 0 and opens > closes:
+            current = (lineno, [])
+        if current is not None:
+            current[1].append((lineno, line))
+        depth += opens - closes
+        if depth <= 0 and current is not None:
+            yield current
+            current = None
+            depth = max(depth, 0)
+
+
+def check_pageref_publish(findings):
+    pageref_decl = re.compile(r"\bPageRef\s+[a-z_]\w*\s*[=({]")
+    invalidator = re.compile(r"\b(DropCache|PublishBatch)\s*\(")
+    for path in source_files({".cc", ".h"}):
+        for _start, body in function_scopes(path):
+            ref_line = None
+            for lineno, line in body:
+                if ref_line is None and pageref_decl.search(line):
+                    ref_line = lineno
+                elif ref_line is not None:
+                    m = invalidator.search(line)
+                    if m:
+                        findings.append(
+                            f"{path}:{lineno}: [pageref-publish] "
+                            f"{m.group(1)}() called while a PageRef "
+                            f"(declared line {ref_line}) may still pin a "
+                            "frame in this scope; drop the ref first")
+                        break
+
+
+def check_no_clock_in_lock(findings):
+    lock_decl = re.compile(r"\bMutexLock\s+\w+\s*\(")
+    for path in source_files({".cc", ".h"}):
+        # Track brace depth; remember the depth at which each MutexLock
+        # scope began, and flag clock reads while any such scope is open.
+        depth = 0
+        lock_depths = []
+        for lineno, line in clean_lines(path):
+            if lock_depths and CLOCK_RE.search(line):
+                findings.append(
+                    f"{path}:{lineno}: [no-clock-in-lock] clock read inside "
+                    "a MutexLock critical section; sample the clock outside "
+                    "the lock and record the value inside")
+            if lock_decl.search(line):
+                lock_depths.append(depth)
+            depth += line.count("{") - line.count("}")
+            # A lock declared at depth d dies when its enclosing brace
+            # closes, i.e. when depth drops below d.
+            while lock_depths and depth < lock_depths[-1]:
+                lock_depths.pop()
+    return findings
+
+
+def main():
+    if not os.path.isdir(SRC):
+        print("lint.py: src/ not found; run from the repo checkout",
+              file=sys.stderr)
+        return 2
+    findings = []
+    check_lock_vocabulary(findings)
+    check_status_consumed(findings)
+    check_pageref_publish(findings)
+    check_no_clock_in_lock(findings)
+    for f in findings:
+        print(f)
+    print(f"lint.py: {len(findings)} finding(s) in "
+          f"{len(source_files({'.h', '.cc'}))} files")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
