@@ -1,7 +1,13 @@
 // Demand-paged storage: cold-open latency of OpenPaged (O(1) in document
-// size) vs the materializing FromIndexFile, and query cost under a real
-// memory budget — page misses that are actual disk reads — vs the
-// in-memory store's simulated misses.
+// size) vs the materializing FromIndexFile, cold-open + first-scan wall
+// time per storage backend (the pread-vs-mmap read-path comparison), and
+// query cost under a real memory budget — page misses that are actual
+// disk reads — vs the in-memory store's simulated misses.
+//
+// Every paged benchmark runs on a backend={inmem,pread,mmap} axis: the
+// backend appears in the benchmark name and as the `backend` user
+// counter in BENCH_paged_storage.json (0 = inmem, 1 = pread, 2 = mmap),
+// so the perf trajectory tracks the backend split.
 //
 // Knobs: BLAS_BENCH_REPLICATE (corpus scale, default 4),
 //        BLAS_BENCH_FRAMES (paged frames per shard, default 16).
@@ -12,6 +18,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_util.h"
+#include "storage/page_source.h"
 #include "storage/persist.h"
 
 namespace blas {
@@ -42,31 +49,55 @@ const Corpus& GetCorpus() {
   return *corpus;
 }
 
-StorageOptions BenchStorage() {
+double BackendCounter(StorageBackend backend) {
+  switch (backend) {
+    case StorageBackend::kInMemory:
+      return 0;
+    case StorageBackend::kPread:
+      return 1;
+    case StorageBackend::kMmap:
+      return 2;
+    default:
+      return -1;
+  }
+}
+
+/// Query benchmarks run under real frame pressure.
+StorageOptions BenchStorage(StorageBackend backend) {
   StorageOptions storage;
   storage.frames_per_shard =
       static_cast<size_t>(EnvInt("BLAS_BENCH_FRAMES", 16));
   storage.shards = 1;
+  storage.backend = backend;
+  return storage;
+}
+
+/// First-scan benchmarks run with an ample budget: the comparison is the
+/// raw read path (syscall + copy per page vs minor fault, zero-copy),
+/// not eviction policy.
+StorageOptions ScanStorage(StorageBackend backend) {
+  StorageOptions storage;
+  storage.backend = backend;
   return storage;
 }
 
 /// Cold open: header + schema segments only. Document size does not
 /// enter the loop body.
-void BM_ColdOpenPaged(benchmark::State& state) {
+void BM_ColdOpenPaged(benchmark::State& state, StorageBackend backend) {
   const Corpus& corpus = GetCorpus();
   for (auto _ : state) {
-    Result<BlasSystem> sys = BlasSystem::OpenPaged(corpus.blas2_path,
-                                                   BenchStorage());
+    Result<BlasSystem> sys =
+        BlasSystem::OpenPaged(corpus.blas2_path, BenchStorage(backend));
     if (!sys.ok()) {
       state.SkipWithError(sys.status().ToString().c_str());
       return;
     }
     benchmark::DoNotOptimize(sys->doc_stats().tags);
   }
+  state.counters["backend"] = BackendCounter(backend);
   state.counters["index_pages"] =
       static_cast<double>(GetCorpus().memory->doc_stats().pages);
 }
-BENCHMARK(BM_ColdOpenPaged)->Unit(benchmark::kMillisecond);
 
 /// Cold open of the materializing path: every record is parsed and all
 /// four trees rebuilt before the first query can run.
@@ -80,11 +111,59 @@ void BM_ColdOpenMaterialized(benchmark::State& state) {
     }
     benchmark::DoNotOptimize(sys->doc_stats().tags);
   }
+  state.counters["backend"] = BackendCounter(StorageBackend::kInMemory);
 }
-BENCHMARK(BM_ColdOpenMaterialized)->Unit(benchmark::kMillisecond);
+
+/// Touches every pool page once, in order, through the pool's read path.
+uint64_t ScanAllPages(const BufferPool& pool) {
+  const size_t pages = pool.page_count();
+  pool.Readahead(0, pages);  // one ranged cold-start readahead batch
+  uint64_t sum = 0;
+  for (size_t id = 0; id < pages; ++id) {
+    PageRef ref = pool.Fetch(static_cast<PageId>(id));
+    if (!ref) break;
+    sum += static_cast<uint64_t>(ref->bytes[0]);
+  }
+  return sum;
+}
+
+/// The acceptance benchmark: open the snapshot cold and stream every
+/// index page once — the startup cost a replica or cache-warming pass
+/// pays. pread pays one syscall + 8 KiB copy per page; mmap pays a page
+/// fault on a prefetched mapping, zero-copy.
+void BM_ColdOpenFirstScan(benchmark::State& state, StorageBackend backend) {
+  const Corpus& corpus = GetCorpus();
+  size_t pages = 0;
+  for (auto _ : state) {
+    uint64_t sum = 0;
+    if (backend == StorageBackend::kInMemory) {
+      // The in-memory "backend" has no paged open: its cold start is the
+      // materializing load.
+      Result<BlasSystem> sys = BlasSystem::FromIndexFile(corpus.blas1_path);
+      if (!sys.ok()) {
+        state.SkipWithError(sys.status().ToString().c_str());
+        return;
+      }
+      sum = ScanAllPages(sys->store().pool());
+      pages = sys->store().pool().page_count();
+    } else {
+      Result<BlasSystem> sys =
+          BlasSystem::OpenPaged(corpus.blas2_path, ScanStorage(backend));
+      if (!sys.ok()) {
+        state.SkipWithError(sys.status().ToString().c_str());
+        return;
+      }
+      sum = ScanAllPages(sys->store().pool());
+      pages = sys->store().pool().page_count();
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.counters["backend"] = BackendCounter(backend);
+  state.counters["pool_pages"] = static_cast<double>(pages);
+}
 
 void RunColdQuery(benchmark::State& state, const BlasSystem& sys,
-                  const std::string& xpath) {
+                  const std::string& xpath, StorageBackend backend) {
   QueryResult last;
   for (auto _ : state) {
     state.PauseTiming();
@@ -98,27 +177,30 @@ void RunColdQuery(benchmark::State& state, const BlasSystem& sys,
     last = std::move(result).value();
     benchmark::DoNotOptimize(last.starts.data());
   }
+  state.counters["backend"] = BackendCounter(backend);
   state.counters["pages"] = static_cast<double>(last.stats.page_fetches);
   state.counters["misses"] = static_cast<double>(last.stats.page_misses);
   state.counters["io_reads"] = static_cast<double>(last.stats.io_reads);
   state.counters["results"] = static_cast<double>(last.stats.output_rows);
 }
 
-/// Cold-cache query over the paged store: misses are real preads.
-void BM_ColdQueryPaged(benchmark::State& state, const std::string& xpath) {
+/// Cold-cache query, paged backends: misses are real disk reads.
+void BM_ColdQueryPaged(benchmark::State& state, const std::string& xpath,
+                       StorageBackend backend) {
   const Corpus& corpus = GetCorpus();
-  Result<BlasSystem> sys = BlasSystem::OpenPaged(corpus.blas2_path,
-                                                 BenchStorage());
+  Result<BlasSystem> sys =
+      BlasSystem::OpenPaged(corpus.blas2_path, BenchStorage(backend));
   if (!sys.ok()) {
     state.SkipWithError(sys.status().ToString().c_str());
     return;
   }
-  RunColdQuery(state, *sys, xpath);
+  RunColdQuery(state, *sys, xpath, backend);
 }
 
 /// Cold-cache query over the in-memory store: misses are simulated.
 void BM_ColdQueryMemory(benchmark::State& state, const std::string& xpath) {
-  RunColdQuery(state, *GetCorpus().memory, xpath);
+  RunColdQuery(state, *GetCorpus().memory, xpath,
+               StorageBackend::kInMemory);
 }
 
 }  // namespace
@@ -126,29 +208,66 @@ void BM_ColdQueryMemory(benchmark::State& state, const std::string& xpath) {
 }  // namespace blas
 
 int main(int argc, char** argv) {
+  using blas::StorageBackend;
+  using blas::bench::BM_ColdOpenFirstScan;
+  using blas::bench::BM_ColdOpenMaterialized;
+  using blas::bench::BM_ColdOpenPaged;
   using blas::bench::BM_ColdQueryMemory;
   using blas::bench::BM_ColdQueryPaged;
+
+  const std::pair<const char*, StorageBackend> backends[] = {
+      {"pread", StorageBackend::kPread},
+      {"mmap", StorageBackend::kMmap},
+  };
+  for (const auto& [name, backend] : backends) {
+    benchmark::RegisterBenchmark(
+        (std::string("ColdOpenPaged/") + name).c_str(),
+        [backend = backend](benchmark::State& state) {
+          BM_ColdOpenPaged(state, backend);
+        })
+        ->Unit(benchmark::kMillisecond);
+  }
+  benchmark::RegisterBenchmark("ColdOpenMaterialized",
+                               BM_ColdOpenMaterialized)
+      ->Unit(benchmark::kMillisecond);
+
+  const std::pair<const char*, StorageBackend> scan_backends[] = {
+      {"inmem", StorageBackend::kInMemory},
+      {"pread", StorageBackend::kPread},
+      {"mmap", StorageBackend::kMmap},
+  };
+  for (const auto& [name, backend] : scan_backends) {
+    benchmark::RegisterBenchmark(
+        (std::string("ColdOpenFirstScan/") + name).c_str(),
+        [backend = backend](benchmark::State& state) {
+          BM_ColdOpenFirstScan(state, backend);
+        })
+        ->Unit(benchmark::kMillisecond);
+  }
+
   const char* queries[][2] = {
       {"item_name", "//item/name"},
       {"asia_desc", "/site/regions/asia/item[shipping]/description"},
       {"keywords", "/site//keyword"},
   };
   for (const auto& q : queries) {
+    for (const auto& [name, backend] : backends) {
+      benchmark::RegisterBenchmark(
+          (std::string("ColdQuery/") + name + "/" + q[0]).c_str(),
+          [xpath = std::string(q[1]),
+           backend = backend](benchmark::State& state) {
+            BM_ColdQueryPaged(state, xpath, backend);
+          })
+          ->Unit(benchmark::kMillisecond);
+    }
     benchmark::RegisterBenchmark(
-        (std::string("ColdQuery/paged/") + q[0]).c_str(),
-        [xpath = std::string(q[1])](benchmark::State& state) {
-          BM_ColdQueryPaged(state, xpath);
-        })
-        ->Unit(benchmark::kMillisecond);
-    benchmark::RegisterBenchmark(
-        (std::string("ColdQuery/memory/") + q[0]).c_str(),
+        (std::string("ColdQuery/inmem/") + q[0]).c_str(),
         [xpath = std::string(q[1])](benchmark::State& state) {
           BM_ColdQueryMemory(state, xpath);
         })
         ->Unit(benchmark::kMillisecond);
   }
   benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
+  blas::bench::RunBenchmarksToJson("paged_storage");
   return 0;
 }

@@ -350,4 +350,9 @@ void BlasSystem::ResetCounters() {
   store_->DropCache();
 }
 
+bool BlasSystem::DeferUnlinkToMapping(const std::string& path) const {
+  if (store_ == nullptr) return false;
+  return store_->pool().DeferUnlinkToMapping(path);
+}
+
 }  // namespace blas

@@ -139,6 +139,14 @@ class BPlusTree {
   PageId root() const { return root_; }
   PageId first_leaf() const { return first_leaf_; }
 
+  /// Number of leaf pages. Build allocates all leaves consecutively
+  /// before any internal node, so they occupy exactly
+  /// [first_leaf, first_leaf + leaf_pages()) — the contiguous range that
+  /// bounds a forward scan's readahead window.
+  size_t leaf_pages() const {
+    return size_ == 0 ? 0 : (size_ + kLeafCap - 1) / kLeafCap;
+  }
+
   /// True when the fetched page plausibly is a leaf of this tree — the
   /// snapshot preflight validates directories, not page payloads, so the
   /// tag and count are untrusted until checked (an overrun count would
@@ -202,6 +210,12 @@ class BPlusTree {
     }
 
     bool at_end() const { return page_ == kInvalidPage; }
+
+    /// Page the iterator currently stands on (kInvalidPage at end).
+    /// Scans use this to anchor batched readahead: leaves are allocated
+    /// consecutively by Build, so the pages ahead of a forward scan are
+    /// the ids ahead of this one.
+    PageId page() const { return page_; }
 
     const Record& operator*() const {
       assert(!at_end());

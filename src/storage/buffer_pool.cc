@@ -1,61 +1,21 @@
 #include "storage/buffer_pool.h"
 
 #include <fcntl.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <cassert>
 #include <cerrno>
-#include <thread>
 #include <cstring>
-#include <list>
-#include <sys/stat.h>
-#include <unordered_map>
-#include <unordered_set>
 #include <utility>
 
-#include "common/stopwatch.h"
-#include "obs/metrics.h"
-#include "obs/trace.h"
+#include "storage/page_source.h"
 
 namespace blas {
 
 namespace {
 
 thread_local ReadCounters* tls_read_counters = nullptr;
-
-// Process-wide storage metrics (see obs/metrics.h). Registered once; the
-// hot paths below pay one relaxed atomic per event. The pread histogram
-// is only touched on misses, which already pay a disk read.
-struct StorageMetrics {
-  obs::Histogram* pread_ns;
-  obs::Counter* evictions;
-  obs::Gauge* frames_in_use;
-
-  StorageMetrics() {
-    auto& reg = obs::DefaultRegistry();
-    pread_ns = reg.GetHistogram(
-        "blas_storage_pread_ns", "Latency of one paged 8 KiB pread");
-    evictions = reg.GetCounter(
-        "blas_storage_evictions_total", "Buffer-pool frames evicted");
-    frames_in_use = reg.GetGauge(
-        "blas_storage_frames_in_use",
-        "Buffer-pool frames currently resident across all paged pools");
-  }
-};
-
-StorageMetrics& storage_metrics() {
-  static StorageMetrics* m = new StorageMetrics();
-  return *m;
-}
-
-/// One shard per 128 frames, capped at 16: tiny pools (including the unit
-/// tests' 2-frame pools) keep exact single-LRU semantics, while the
-/// default 4096-frame pool spreads readers over 16 latches.
-size_t PickShardCount(size_t capacity) {
-  size_t shards = 1;
-  while (shards < 16 && capacity / (shards * 2) >= 64) shards *= 2;
-  return shards;
-}
 
 }  // namespace
 
@@ -82,6 +42,9 @@ Result<PagedFile> PagedFile::Open(const std::string& path,
     ::close(fd);
     return Status::Internal("fstat failed: " + path);
   }
+  // This preflight is what makes the mmap backend safe as well as pread:
+  // a truncated file behind a valid header fails here with Corruption
+  // instead of SIGBUS-ing on first touch of an unbacked mapped page.
   const uint64_t needed = base_offset + page_count * kPageSize;
   if (static_cast<uint64_t>(st.st_size) < needed) {
     ::close(fd);
@@ -136,6 +99,19 @@ Status PagedFile::Read(PageId id, Page* out) const {
     done += static_cast<size_t>(n);
   }
   return Status::OK();
+}
+
+void PagedFile::ReadaheadHint(PageId first, uint64_t count) const {
+  if (fd_ < 0 || first >= pages_ || count == 0) return;
+  if (count > pages_ - first) count = pages_ - first;
+  const uint64_t offset = base_ + uint64_t{first} * kPageSize;
+#if defined(POSIX_FADV_WILLNEED)
+  ::posix_fadvise(fd_, static_cast<off_t>(offset),
+                  static_cast<off_t>(count * kPageSize),
+                  POSIX_FADV_WILLNEED);
+#else
+  (void)offset;
+#endif
 }
 
 // ---------------------------------------------------------- FrameBudget ---
@@ -198,21 +174,21 @@ void FrameBudget::Unregister(BufferPool* pool) {
 // -------------------------------------------------------------- PageRef ---
 
 PageRef::PageRef(PageRef&& other) noexcept
-    : page_(other.page_), frame_(other.frame_), pool_(other.pool_) {
+    : page_(other.page_), pin_(other.pin_), owner_(other.owner_) {
   other.page_ = nullptr;
-  other.frame_ = nullptr;
-  other.pool_ = nullptr;
+  other.pin_ = nullptr;
+  other.owner_ = nullptr;
 }
 
 PageRef& PageRef::operator=(PageRef&& other) noexcept {
   if (this != &other) {
     Release();
     page_ = other.page_;
-    frame_ = other.frame_;
-    pool_ = other.pool_;
+    pin_ = other.pin_;
+    owner_ = other.owner_;
     other.page_ = nullptr;
-    other.frame_ = nullptr;
-    other.pool_ = nullptr;
+    other.pin_ = nullptr;
+    other.owner_ = nullptr;
   }
   return *this;
 }
@@ -220,385 +196,76 @@ PageRef& PageRef::operator=(PageRef&& other) noexcept {
 PageRef::~PageRef() { Release(); }
 
 void PageRef::Release() {
-  if (frame_ != nullptr) pool_->Unpin(frame_);
+  if (pin_ != nullptr) owner_->Unpin(pin_);
   page_ = nullptr;
-  frame_ = nullptr;
-  pool_ = nullptr;
+  pin_ = nullptr;
+  owner_ = nullptr;
 }
 
 // ----------------------------------------------------------- BufferPool ---
-
-struct BufferPool::Frame {
-  Page page;
-  PageId id = kInvalidPage;
-  /// Pins are taken under the shard latch but dropped lock-free; the
-  /// release/acquire pair orders the reader's last access before any
-  /// eviction that observes the zero.
-  std::atomic<uint32_t> pins{0};
-  bool referenced = false;  // second-chance bit, under the shard latch
-};
-
-struct BufferPool::Shard {
-  Mutex mu;
-  // In-memory mode: counting LRU over resident-anyway pages.
-  std::list<PageId> lru BLAS_GUARDED_BY(mu);  // front = most recent
-  std::unordered_map<PageId, std::list<PageId>::iterator> cached
-      BLAS_GUARDED_BY(mu);
-  // Paged mode: real frames plus a second-chance clock ring. Pages whose
-  // pread is in flight sit in `pending` (the disk read happens with the
-  // latch dropped, so hits on other pages proceed); concurrent fetchers
-  // of the same page wait on `ready`. Frame pointers taken out of
-  // `frames` under the latch stay valid while pinned: eviction skips any
-  // frame whose pin count (an atomic, deliberately *not* latch-guarded —
-  // pins drop lock-free in PageRef::Release) is non-zero.
-  std::unordered_map<PageId, std::unique_ptr<Frame>> frames
-      BLAS_GUARDED_BY(mu);
-  std::list<PageId> clock BLAS_GUARDED_BY(mu);  // next eviction at front
-  std::unordered_set<PageId> pending BLAS_GUARDED_BY(mu);
-  CondVar ready;
-  size_t capacity = 1;  // set at construction, immutable after
-  size_t peak BLAS_GUARDED_BY(mu) = 0;
-  Stats stats BLAS_GUARDED_BY(mu);
-};
+//
+// The facade: all mechanism lives in the PageSource backend
+// (page_source.cc); BufferPool owns the source, the shared-budget
+// registration, and nothing else.
 
 BufferPool::BufferPool(size_t cache_capacity, size_t shards)
-    : cache_capacity_(cache_capacity == 0 ? 1 : cache_capacity) {
-  size_t n = shards == 0 ? PickShardCount(cache_capacity_) : shards;
-  if (n > cache_capacity_) n = cache_capacity_;
-  shards_.reserve(n);
-  for (size_t i = 0; i < n; ++i) {
-    auto shard = std::make_unique<Shard>();
-    shard->capacity = cache_capacity_ / n + (i < cache_capacity_ % n ? 1 : 0);
-    if (shard->capacity == 0) shard->capacity = 1;
-    shards_.push_back(std::move(shard));
-  }
-}
+    : source_(MakeInMemorySource(cache_capacity, shards)) {}
 
 BufferPool::BufferPool(PagedFile file, const StorageOptions& options)
-    : file_(std::move(file)), budget_(options.shared_budget) {
-  size_t total_frames;
-  size_t n;
-  if (options.frames_per_shard > 0) {
-    n = options.shards == 0 ? 1 : options.shards;
-    total_frames = options.frames_per_shard * n;
-  } else {
-    total_frames = options.memory_budget / kPageSize;
-    if (total_frames == 0) total_frames = 1;
-    n = options.shards == 0 ? PickShardCount(total_frames) : options.shards;
-    if (n > total_frames) n = total_frames;
-  }
-  if (n == 0) n = 1;
-  cache_capacity_ = total_frames;
-  shards_.reserve(n);
-  for (size_t i = 0; i < n; ++i) {
-    auto shard = std::make_unique<Shard>();
-    shard->capacity = total_frames / n + (i < total_frames % n ? 1 : 0);
-    if (shard->capacity == 0) shard->capacity = 1;
-    shards_.push_back(std::move(shard));
-  }
+    : budget_(options.shared_budget) {
+  source_ = MakePagedSource(std::move(file), options, this, budget_.get());
   if (budget_ != nullptr) budget_->Register(this);
 }
 
 BufferPool::~BufferPool() {
   // Unregister FIRST: ReclaimOne holds pools_mu_ for the whole cross-pool
   // probe, so once Unregister returns, no other pool's fetch can evict
-  // frames here. Counting before that leaves a window where a concurrent
-  // probe evicts (releasing budget and decrementing the metric itself) and
-  // the stale count below double-releases both.
+  // frames here. The source destructor then releases this pool's
+  // remaining budget charges exactly once.
   if (budget_ != nullptr) budget_->Unregister(this);
-  // The latches are taken even though no reader should be live at
-  // destruction: "the pool is idle now" is exactly the class of implicit
-  // assumption the thread-safety analysis exists to retire, and an
-  // uncontended lock costs nothing here.
-  size_t resident = 0;
-  for (auto& shard : shards_) {
-    MutexLock lock(shard->mu);
-    resident += shard->frames.size();
-  }
-  if (resident > 0) {
-    storage_metrics().frames_in_use->Add(-static_cast<int64_t>(resident));
-    if (budget_ != nullptr) budget_->Release(resident * kPageSize);
-  }
+  source_.reset();
 }
 
-size_t BufferPool::page_count() const {
-  return paged() ? file_->page_count() : pages_.size();
-}
+bool BufferPool::paged() const { return source_->paged(); }
 
-BufferPool::Shard& BufferPool::shard_for(PageId id) const {
-  return *shards_[id % shards_.size()];
-}
+StorageBackend BufferPool::backend() const { return source_->backend(); }
 
-PageId BufferPool::Allocate() {
-  assert(!paged() && "Allocate on a paged (immutable) pool");
-  if (paged()) return kInvalidPage;
-  pages_.push_back(std::make_unique<Page>());
-  return static_cast<PageId>(pages_.size() - 1);
-}
+size_t BufferPool::page_count() const { return source_->page_count(); }
 
-Page* BufferPool::MutablePage(PageId id) {
-  assert(!paged() && "MutablePage on a paged (immutable) pool");
-  // An out-of-range id (e.g. from a corrupt snapshot directory) must not
-  // index unallocated memory.
-  assert(id < pages_.size() && "MutablePage out of range");
-  if (paged() || id >= pages_.size()) return nullptr;
-  return pages_[id].get();
-}
+size_t BufferPool::shard_count() const { return source_->shard_count(); }
 
-size_t BufferPool::EvictDownTo(Shard& shard, size_t target) const
-    BLAS_REQUIRES(shard.mu) {
-  size_t evicted = 0;
-  // Two full rotations: the first clears referenced bits, the second can
-  // then evict; beyond that everything left is pinned.
-  size_t attempts = 2 * shard.clock.size() + 1;
-  while (shard.frames.size() > target && attempts-- > 0 &&
-         !shard.clock.empty()) {
-    PageId victim = shard.clock.front();
-    auto it = shard.frames.find(victim);
-    assert(it != shard.frames.end());
-    Frame* frame = it->second.get();
-    if (frame->pins.load(std::memory_order_acquire) > 0 ||
-        frame->referenced) {
-      frame->referenced = false;
-      shard.clock.splice(shard.clock.end(), shard.clock,
-                         shard.clock.begin());
-      continue;
-    }
-    shard.clock.pop_front();
-    shard.frames.erase(it);
-    ++shard.stats.evictions;
-    ++evicted;
-    if (budget_ != nullptr) budget_->Release(kPageSize);
-  }
-  if (evicted > 0) {
-    StorageMetrics& metrics = storage_metrics();
-    metrics.evictions->Add(evicted);
-    metrics.frames_in_use->Add(-static_cast<int64_t>(evicted));
-  }
-  return evicted;
-}
+PageId BufferPool::Allocate() { return source_->Allocate(); }
+
+Page* BufferPool::MutablePage(PageId id) { return source_->MutablePage(id); }
 
 PageRef BufferPool::Fetch(PageId id) const {
-  if (!paged()) {
-    if (id >= pages_.size()) {
-      assert(false && "Fetch out of range");
-      return PageRef();
-    }
-    Shard& shard = shard_for(id);
-    bool miss = false;
-    {
-      MutexLock lock(shard.mu);
-      ++shard.stats.fetches;
-      auto it = shard.cached.find(id);
-      if (it != shard.cached.end()) {
-        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-      } else {
-        miss = true;
-        ++shard.stats.misses;
-        if (shard.cached.size() >= shard.capacity) {
-          PageId victim = shard.lru.back();
-          shard.lru.pop_back();
-          shard.cached.erase(victim);
-        }
-        shard.lru.push_front(id);
-        shard.cached[id] = shard.lru.begin();
-      }
-    }
-    if (ReadCounters* counters = ReadCounterScope::Current()) {
-      ++counters->fetches;
-      if (miss) ++counters->misses;
-    }
-    return PageRef(pages_[id].get(), nullptr, nullptr);
-  }
-
-  return FetchPaged(id, /*counted=*/true);
-}
-
-PageRef BufferPool::FetchPaged(PageId id, bool counted) const {
-  if (id >= file_->page_count()) {
-    assert(false && "Fetch out of range");
-    return PageRef();
-  }
-  Shard& shard = shard_for(id);
-  {
-    MutexLock lock(shard.mu);
-    if (counted) ++shard.stats.fetches;
-    while (true) {
-      auto it = shard.frames.find(id);
-      if (it != shard.frames.end()) {
-        Frame* frame = it->second.get();
-        frame->referenced = true;
-        frame->pins.fetch_add(1, std::memory_order_relaxed);
-        if (counted) {
-          if (ReadCounters* counters = ReadCounterScope::Current()) {
-            ++counters->fetches;
-          }
-        }
-        return PageRef(&frame->page, frame, this);
-      }
-      if (shard.pending.count(id) == 0) break;  // this thread reads it
-      // Another thread's pread for this page is in flight; wait for it
-      // to publish (or fail — then this thread retries the read).
-      shard.ready.Wait(lock);
-    }
-    shard.pending.insert(id);
-  }
-
-  // Miss. Reserve budget first (reclaim may probe other shards and
-  // pools; no latch may be held while it does), then pread with the
-  // latch dropped — a slow disk must not block hits on this shard. The
-  // pending marker keeps the read exclusive.
-  bool charged = false;
-  if (budget_ != nullptr) {
-    int failed_probes = 0;
-    while (!(charged = budget_->TryCharge(kPageSize))) {
-      if (budget_->ReclaimOne(const_cast<BufferPool*>(this))) {
-        failed_probes = 0;
-        continue;
-      }
-      // Reclaim probes shards with try-locks, so a failed round may just
-      // mean evictable frames sat behind momentarily-held latches —
-      // yield and retry before concluding the group is truly pinned.
-      if (++failed_probes < 16) {
-        std::this_thread::yield();
-        continue;
-      }
-      // Every frame in the group stayed unavailable across repeated
-      // probes (in practice: all pinned): overshoot rather than
-      // deadlock; the next eviction rebalances.
-      budget_->ForceCharge(kPageSize);
-      charged = true;
-      break;
-    }
-  }
-
-  auto frame = std::make_unique<Frame>();
-  frame->id = id;
-  frame->pins.store(1, std::memory_order_relaxed);
-  Stopwatch pread_timer;
-  Status read = file_->Read(id, &frame->page);
-  {
-    const uint64_t ns = pread_timer.ElapsedNanos();
-    storage_metrics().pread_ns->Record(ns);
-    if (obs::TraceContext* trace = obs::TraceContext::Current()) {
-      trace->RecordPageRead(ns);
-    }
-  }
-
-  MutexLock lock(shard.mu);
-  shard.pending.erase(id);
-  shard.ready.NotifyAll();
-  if (!read.ok()) {
-    if (charged) budget_->Release(kPageSize);
-    ++shard.stats.io_errors;
-    io_error_.store(true, std::memory_order_relaxed);
-    assert(false && "paged read failed");
-    return PageRef();
-  }
-  if (shard.frames.size() >= shard.capacity) {
-    EvictDownTo(shard, shard.capacity - 1);
-  }
-  if (counted) {
-    ++shard.stats.misses;
-    ++shard.stats.io_reads;
-  }
-  Frame* raw = frame.get();
-  shard.clock.push_back(id);
-  shard.frames.emplace(id, std::move(frame));
-  storage_metrics().frames_in_use->Add(1);
-  if (shard.frames.size() > shard.peak) shard.peak = shard.frames.size();
-  if (counted) {
-    if (ReadCounters* counters = ReadCounterScope::Current()) {
-      ++counters->fetches;
-      ++counters->misses;
-      ++counters->io_reads;
-    }
-  }
-  return PageRef(&raw->page, raw, this);
+  return source_->Fetch(id, /*counted=*/true);
 }
 
 PageRef BufferPool::Peek(PageId id) const {
-  if (!paged()) {
-    if (id >= pages_.size()) {
-      assert(false && "Peek out of range");
-      return PageRef();
-    }
-    return PageRef(pages_[id].get(), nullptr, nullptr);
-  }
-  // Paged pools have no always-resident copy; the bytes still come
-  // through the frame table, just uncounted.
-  return FetchPaged(id, /*counted=*/false);
+  return source_->Fetch(id, /*counted=*/false);
 }
 
-void BufferPool::Unpin(void* frame) const {
-  static_cast<Frame*>(frame)->pins.fetch_sub(1, std::memory_order_release);
+void BufferPool::Readahead(PageId first, size_t count) const {
+  source_->Readahead(first, count);
 }
 
-bool BufferPool::TryEvictOne() {
-  if (!paged()) return false;
-  for (auto& shard_ptr : shards_) {
-    Shard& shard = *shard_ptr;
-    // Probe, never block: the caller (FrameBudget::ReclaimOne) holds
-    // pools_mu_, and a blocking latch acquisition here could deadlock
-    // against a shard holder waiting on the budget.
-    if (!shard.mu.TryLock()) continue;
-    size_t target = shard.frames.empty() ? 0 : shard.frames.size() - 1;
-    bool evicted = EvictDownTo(shard, target) > 0;
-    shard.mu.Unlock();
-    if (evicted) return true;
-  }
-  return false;
-}
+bool BufferPool::TryEvictOne() { return source_->TryEvictOne(); }
 
-BufferPool::Stats BufferPool::stats() const {
-  Stats total;
-  for (auto& shard : shards_) {
-    MutexLock lock(shard->mu);
-    total.fetches += shard->stats.fetches;
-    total.misses += shard->stats.misses;
-    total.io_reads += shard->stats.io_reads;
-    total.evictions += shard->stats.evictions;
-    total.io_errors += shard->stats.io_errors;
-  }
-  return total;
-}
+BufferPool::Stats BufferPool::stats() const { return source_->stats(); }
 
-void BufferPool::ResetStats() {
-  for (auto& shard : shards_) {
-    MutexLock lock(shard->mu);
-    shard->stats = Stats();
-    shard->peak = shard->frames.size();
-  }
-}
+void BufferPool::ResetStats() { source_->ResetStats(); }
 
-void BufferPool::DropCache() {
-  for (auto& shard : shards_) {
-    MutexLock lock(shard->mu);
-    shard->lru.clear();
-    shard->cached.clear();
-    // Paged mode: free every unpinned frame. Pinned frames stay resident
-    // (and mapped, so their refs keep reading valid bytes); their next
-    // unpin makes them evictable again.
-    EvictDownTo(*shard, 0);
-  }
-}
+bool BufferPool::io_error() const { return source_->io_error(); }
 
-size_t BufferPool::frames_in_use() const {
-  size_t total = 0;
-  for (auto& shard : shards_) {
-    MutexLock lock(shard->mu);
-    total += shard->frames.size();
-  }
-  return total;
-}
+void BufferPool::DropCache() { source_->DropCache(); }
 
-size_t BufferPool::peak_frames() const {
-  size_t total = 0;
-  for (auto& shard : shards_) {
-    MutexLock lock(shard->mu);
-    total += shard->peak;
-  }
-  return total;
+size_t BufferPool::frames_in_use() const { return source_->frames_in_use(); }
+
+size_t BufferPool::peak_frames() const { return source_->peak_frames(); }
+
+bool BufferPool::DeferUnlinkToMapping(const std::string& path) const {
+  return source_->AdoptUnlinkOnRelease(path);
 }
 
 }  // namespace blas

@@ -4,7 +4,6 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <optional>
 #include <string>
 #include <vector>
 
@@ -16,6 +15,7 @@
 namespace blas {
 
 class BufferPool;
+class PageSource;
 
 /// Per-thread storage access counters. Scans and page fetches add to the
 /// scope installed on the current thread (if any) in addition to the
@@ -48,16 +48,21 @@ class ReadCounterScope {
   ReadCounters* prev_;
 };
 
-/// Sizing of a paged (disk-backed) BufferPool.
+/// Sizing and backend selection of a paged (disk-backed) BufferPool.
 struct StorageOptions {
   /// Total bytes of page frames this pool (or, with `shared_budget`, the
   /// whole pool group) may keep resident. Rounded down to whole frames;
   /// at least one frame per shard is always kept so progress is possible.
+  /// Under the mmap backend the same allowance bounds mapped-resident
+  /// bytes (pages touched since the last madvise eviction).
   size_t memory_budget = size_t{64} << 20;
   /// Explicit per-shard frame cap; 0 derives it from `memory_budget`.
   size_t frames_per_shard = 0;
   /// Latch shards (0 = auto-scale with the frame count, up to 16).
   size_t shards = 0;
+  /// Read-path backend for paged pools (see StorageBackend in page.h).
+  /// kDefault resolves BLAS_STORAGE_BACKEND, falling back to kPread.
+  StorageBackend backend = StorageBackend::kDefault;
   /// Optional budget shared between several pools (a collection of paged
   /// documents drawing on one memory allowance). When set, a miss that
   /// would exceed the group budget first evicts an unpinned frame from
@@ -67,8 +72,9 @@ struct StorageOptions {
 
 /// \brief Byte budget shared by a group of paged BufferPools.
 ///
-/// Each pool charges one frame on every page brought in and releases it
-/// on eviction. When a charge would exceed the limit, the charging pool
+/// Each pool charges one frame on every page brought in (pread frames and
+/// mapped-resident mmap pages charge identically) and releases it on
+/// eviction. When a charge would exceed the limit, the charging pool
 /// asks the group to reclaim: registered pools are probed (try-lock, no
 /// nested latches) for an unpinned frame to evict, retrying with yields
 /// when a probe round loses every try-lock race. Only when frames stay
@@ -85,6 +91,7 @@ class FrameBudget {
 
  private:
   friend class BufferPool;
+  friend class PageSource;  // backends charge through protected shims
 
   /// Reserves `bytes` if it fits; false when the budget is exhausted.
   bool TryCharge(size_t bytes);
@@ -128,8 +135,17 @@ class PagedFile {
   /// Reads page `id` into `out` (one full-page pread).
   Status Read(PageId id, Page* out) const;
 
+  /// Advises the kernel that pages [first, first + count) will be read
+  /// soon (one ranged POSIX_FADV_WILLNEED; out-of-range tails are
+  /// clamped). Purely a hint: no error surfaces, nothing is charged.
+  void ReadaheadHint(PageId first, uint64_t count) const;
+
   uint64_t page_count() const { return pages_; }
   const std::string& path() const { return path_; }
+  /// Descriptor and placement, for page-source backends (mmap maps the
+  /// prefix [0, base_offset + page_count * kPageSize) of this fd).
+  int fd() const { return fd_; }
+  uint64_t base_offset() const { return base_; }
 
  private:
   PagedFile(int fd, uint64_t base, uint64_t pages, std::string path)
@@ -141,14 +157,34 @@ class PagedFile {
   std::string path_;
 };
 
+/// \brief Releases the pin a PageRef holds. What a "pin" is depends on
+/// the backend: the pread source pins the frame (eviction skips it), the
+/// mmap source pins the mapping epoch (munmap waits for it). In-memory
+/// refs carry no owner at all. Unpin must be callable from any thread,
+/// lock-free, and — for the mmap epoch — valid even after the BufferPool
+/// that minted the ref is gone.
+class PageRefOwner {
+ public:
+  virtual void Unpin(void* pin) const = 0;
+
+ protected:
+  ~PageRefOwner() = default;
+};
+
 /// \brief RAII handle to a fetched page.
 ///
-/// In a paged pool the referenced frame is pinned for the lifetime of the
-/// ref: eviction, DropCache and shard reclaim all skip pinned frames, so
-/// the pointed-to bytes stay valid and immutable until the ref dies. In
-/// an in-memory pool pages are never freed and the ref is a plain
-/// pointer. An empty ref (`!ref`) means the page id was out of range or
-/// the backing read failed — treat it as end-of-data.
+/// Lifetime rules by backend:
+///   * in-memory — pages are never freed; the ref is a plain pointer;
+///   * pread — the referenced frame is pinned: eviction, DropCache and
+///     shard reclaim all skip pinned frames, so the bytes stay valid and
+///     immutable until the ref dies;
+///   * mmap — the ref pins the *mapping epoch*, not the page: eviction
+///     (madvise) may drop the physical page under a live ref, but the
+///     next access simply refaults the identical bytes from the immutable
+///     segment file, and munmap/unlink are deferred until the last ref
+///     drops — an mmap ref even outlives its BufferPool safely.
+/// An empty ref (`!ref`) means the page id was out of range or the
+/// backing read failed — treat it as end-of-data.
 class [[nodiscard]] PageRef {
  public:
   PageRef() = default;
@@ -165,19 +201,18 @@ class [[nodiscard]] PageRef {
 
  private:
   friend class BufferPool;
-  PageRef(const Page* page, void* frame, const BufferPool* pool)
-      : page_(page), frame_(frame), pool_(pool) {}
+  friend class PageSource;
+  PageRef(const Page* page, void* pin, const PageRefOwner* owner)
+      : page_(page), pin_(pin), owner_(owner) {}
 
   void Release();
 
   const Page* page_ = nullptr;
-  void* frame_ = nullptr;  // Frame* when pinned (paged pools)
-  const BufferPool* pool_ = nullptr;
+  void* pin_ = nullptr;  // Frame* (pread) or MappingEpoch* (mmap)
+  const PageRefOwner* owner_ = nullptr;
 };
 
-/// \brief Page store: either an in-memory page array with a counting LRU
-/// that models disk accesses, or a real demand-paging layer over a
-/// snapshot file.
+/// \brief Page store facade over a pluggable PageSource backend.
 ///
 /// **In-memory mode** (the build-time pool): all pages live in memory;
 /// `Fetch` runs every access through an LRU cache so benchmarks can
@@ -185,11 +220,13 @@ class [[nodiscard]] PageRef {
 /// (`fetches`) and simulated disk accesses (`misses`). Nothing is ever
 /// freed, so refs never dangle and `io_reads` stays 0.
 ///
-/// **Paged mode** (`BufferPool(PagedFile, StorageOptions)`): frames are
-/// backed by pread from the snapshot file, a miss costs a real disk read
-/// (counted in `io_reads`), and eviction is real — second-chance per
-/// shard, honoring the frame budget, never evicting a pinned frame.
-/// `Allocate`/`MutablePage` are unavailable (the file is immutable).
+/// **Paged mode** (`BufferPool(PagedFile, StorageOptions)`): the read
+/// path is supplied by the backend `StorageOptions::backend` selects —
+/// pread-into-frame with second-chance eviction, or zero-copy mmap with
+/// madvise eviction (see StorageBackend in page.h). Either way a miss
+/// costs a real disk read (counted in `io_reads`) and residency honors
+/// the frame budget. `Allocate`/`MutablePage` are unavailable (the file
+/// is immutable).
 ///
 /// Concurrency: `Fetch`, `Peek`, `stats`, `DropCache`, `ResetStats` and
 /// the counter scopes are safe to call from any number of threads once
@@ -208,7 +245,9 @@ class BufferPool {
 
   /// Paged pool over `file`. Frame count derives from
   /// `options.memory_budget` (or `frames_per_shard`); at least one frame
-  /// per shard is kept so a pinned descent can always progress.
+  /// per shard is kept so a pinned descent can always progress. The
+  /// backend comes from `options.backend`; if mmap is selected but the
+  /// mapping cannot be established, the pool falls back to pread.
   BufferPool(PagedFile file, const StorageOptions& options);
 
   ~BufferPool();
@@ -218,7 +257,10 @@ class BufferPool {
   BufferPool(BufferPool&&) = delete;
   BufferPool& operator=(BufferPool&&) = delete;
 
-  bool paged() const { return file_.has_value(); }
+  bool paged() const;
+  /// The backend actually serving reads (kInMemory, kPread or kMmap —
+  /// never kDefault; fallback already applied).
+  StorageBackend backend() const;
 
   /// Appends a zeroed page and returns its id. Build-time, in-memory
   /// pools only (kInvalidPage otherwise).
@@ -230,26 +272,33 @@ class BufferPool {
   Page* MutablePage(PageId id);
 
   /// Query-time access; counts one fetch, plus one miss when `id` is not
-  /// resident in its shard (paged pools then pread it in, possibly
+  /// resident in its shard (paged backends then bring it in, possibly
   /// evicting an unpinned frame). An out-of-range id — e.g. from a
   /// corrupt snapshot directory — yields an empty ref, never UB.
   PageRef Fetch(PageId id) const;
 
   /// Maintenance access (export, verification); bypasses the counters
-  /// and, in in-memory pools, the cache. Paged pools still go through
-  /// the frame table (the bytes must come from somewhere) but without
-  /// touching the statistics. Bounds-checked like Fetch.
+  /// and, in in-memory pools, the cache. Paged backends still track
+  /// residency (the bytes must come from somewhere) but without touching
+  /// the statistics. Bounds-checked like Fetch.
   PageRef Peek(PageId id) const;
 
+  /// Hints that pages [first, first + count) are about to be read in
+  /// order (one ranged readahead batch: POSIX_FADV_WILLNEED under pread,
+  /// MADV_WILLNEED under mmap, no-op in memory). Purely advisory; does
+  /// not charge the budget or touch the counters.
+  void Readahead(PageId first, size_t count) const;
+
   size_t page_count() const;
-  size_t shard_count() const { return shards_.size(); }
+  size_t shard_count() const;
 
   struct Stats {
     uint64_t fetches = 0;
     uint64_t misses = 0;
     /// Real disk reads (== misses for paged pools, 0 for in-memory).
     uint64_t io_reads = 0;
-    /// Frames evicted to stay within the budget (paged pools).
+    /// Frames evicted to stay within the budget (paged pools; under mmap
+    /// an eviction is one madvise(MADV_DONTNEED) page drop).
     uint64_t evictions = 0;
     /// preads that failed (see io_error()).
     uint64_t io_errors = 0;
@@ -263,46 +312,38 @@ class BufferPool {
   /// by contract), so results may be truncated from that point on —
   /// callers that must distinguish "no more matches" from "the disk went
   /// away" check this flag (it never resets).
-  bool io_error() const {
-    return io_error_.load(std::memory_order_relaxed);
-  }
+  bool io_error() const;
 
   /// Drops cached state (cold-cache experiments; the paper runs every
   /// query on a cold cache). In-memory pools clear the LRU bookkeeping;
-  /// paged pools evict every unpinned frame — pinned frames survive, so
-  /// concurrent readers holding PageRefs stay valid.
+  /// the pread backend evicts every unpinned frame — pinned frames
+  /// survive, so concurrent readers holding PageRefs stay valid; the
+  /// mmap backend madvises every resident page away — live refs stay
+  /// valid too (they refault from the immutable file).
   void DropCache();
 
-  /// Frames currently resident (paged pools; 0 for in-memory).
+  /// Frames currently resident (paged pools; 0 for in-memory). Under
+  /// mmap: mapped-resident pages still charged to the budget.
   size_t frames_in_use() const;
   /// Sum of the per-shard resident high-water marks since construction
   /// or the last ResetStats() (paged pools; 0 for in-memory).
   size_t peak_frames() const;
 
+  /// Asks the backend to take over unlinking `path` when its mapping
+  /// epoch finally releases (mmap only; false means the caller must
+  /// unlink itself). Lets segment reclamation defer unlink+munmap until
+  /// the last PageRef drops — see LiveCollection::WrapSystem.
+  bool DeferUnlinkToMapping(const std::string& path) const;
+
  private:
-  friend class PageRef;
   friend class FrameBudget;
 
-  struct Frame;
-  struct Shard;
-
-  Shard& shard_for(PageId id) const;
-  void Unpin(void* frame) const;
-  /// Paged fetch; `counted` false bypasses all statistics (Peek).
-  PageRef FetchPaged(PageId id, bool counted) const;
-  /// Second-chance hand: evicts until the shard holds <= `target` frames
-  /// or only pinned frames remain. Caller holds the shard latch.
-  size_t EvictDownTo(Shard& shard, size_t target) const;
   /// Evicts one unpinned frame from any shard (try-lock probing; used by
   /// the shared budget's reclaim). False when everything is pinned.
   bool TryEvictOne();
 
-  std::vector<std::unique_ptr<Page>> pages_;  // in-memory mode
-  std::optional<PagedFile> file_;             // paged mode
-  size_t cache_capacity_;
+  std::unique_ptr<PageSource> source_;
   std::shared_ptr<FrameBudget> budget_;
-  mutable std::atomic<bool> io_error_{false};
-  mutable std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 }  // namespace blas

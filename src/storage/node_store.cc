@@ -101,7 +101,9 @@ std::vector<NodeRecord> NodeStore::ScanPlabelRange(
   std::vector<NodeRecord> out;
   if (range.empty()) return out;
   uint64_t visited = 0;
-  for (auto it = sp_.Seek(SpKey{range.lo, 0}); !it.at_end(); ++it) {
+  auto it = sp_.Seek(SpKey{range.lo, 0});
+  ReadaheadFrom(sp_, it.page());
+  for (; !it.at_end(); ++it) {
     const NodeRecord& rec = *it;
     if (rec.plabel > range.hi) break;
     ++visited;
@@ -117,7 +119,9 @@ std::vector<NodeRecord> NodeStore::ScanTag(TagId tag,
                                            std::optional<uint32_t> data) const {
   std::vector<NodeRecord> out;
   uint64_t visited = 0;
-  for (auto it = sd_.Seek(SdKey{tag, 0}); !it.at_end(); ++it) {
+  auto it = sd_.Seek(SdKey{tag, 0});
+  ReadaheadFrom(sd_, it.page());
+  for (; !it.at_end(); ++it) {
     const NodeRecord& rec = *it;
     if (rec.tag != tag) break;
     ++visited;
@@ -132,7 +136,9 @@ std::vector<NodeRecord> NodeStore::ScanAll(
     std::optional<uint32_t> data) const {
   std::vector<NodeRecord> out;
   uint64_t visited = 0;
-  for (auto it = sd_.Begin(); !it.at_end(); ++it) {
+  auto it = sd_.Begin();
+  ReadaheadFrom(sd_, it.page());
+  for (; !it.at_end(); ++it) {
     const NodeRecord& rec = *it;
     ++visited;
     if (data.has_value() && rec.data != *data) continue;
@@ -145,7 +151,9 @@ std::vector<NodeRecord> NodeStore::ScanAll(
 std::vector<NodeRecord> NodeStore::ScanValue(uint32_t data) const {
   std::vector<NodeRecord> out;
   uint64_t visited = 0;
-  for (auto it = vindex_.Seek(ValKey{data, 0}); !it.at_end(); ++it) {
+  auto it = vindex_.Seek(ValKey{data, 0});
+  ReadaheadFrom(vindex_, it.page());
+  for (; !it.at_end(); ++it) {
     const NodeRecord& rec = *it;
     if (rec.data != data) break;
     ++visited;
@@ -163,7 +171,11 @@ std::optional<NodeRecord> NodeStore::FindByStart(uint32_t start) const {
 }
 
 NodeStore::TagScan::TagScan(const NodeStore* store, TagId tag)
-    : ScanBase(store, store->sd_.Seek(SdKey{tag, 0})), tag_(tag) {}
+    : ScanBase(store, store->sd_.Seek(SdKey{tag, 0})), tag_(tag) {
+  // Cold-start hint: one ranged readahead over the leaf run this cursor
+  // is about to stream, instead of faulting page-by-page.
+  store->ReadaheadFrom(store->sd_, it_.page());
+}
 
 const NodeRecord* NodeStore::TagScan::Next() {
   if (it_.at_end() || it_->tag != tag_) return nullptr;
@@ -171,7 +183,9 @@ const NodeRecord* NodeStore::TagScan::Next() {
 }
 
 NodeStore::DocScan::DocScan(const NodeStore* store, uint32_t lo, uint32_t hi)
-    : ScanBase(store, store->doc_.Seek(lo)), hi_(hi) {}
+    : ScanBase(store, store->doc_.Seek(lo)), hi_(hi) {
+  store->ReadaheadFrom(store->doc_, it_.page());
+}
 
 const NodeRecord* NodeStore::DocScan::Next() {
   if (it_.at_end() || it_->start > hi_) return nullptr;

@@ -289,6 +289,28 @@ class NodeStore {
   void DropCache() const { pool_.DropCache(); }
 
  private:
+  /// Pages hinted ahead of a forward scan in one ranged readahead batch.
+  /// 32 × 8 KiB = 256 KiB per batch: large enough to cover a typical tag
+  /// run's leaves in one hint, small enough not to flood the cache when a
+  /// limit-k cursor abandons the scan early.
+  static constexpr size_t kReadaheadPages = 32;
+
+  /// Issues one batched readahead for the leaf run ahead of a scan that
+  /// just seeked `tree` to `at`. Leaves are contiguous in
+  /// [first_leaf, first_leaf + leaf_pages), so the window is the ids
+  /// ahead of `at`, clamped to that range. No-op for in-memory stores,
+  /// ended scans, and corrupt positions outside the leaf range.
+  template <typename Tree>
+  void ReadaheadFrom(const Tree& tree, PageId at) const {
+    if (!pool_.paged() || at == kInvalidPage) return;
+    const PageId first = tree.first_leaf();
+    const size_t leaves = tree.leaf_pages();
+    if (first == kInvalidPage || at < first || at >= first + leaves) return;
+    size_t window = leaves - (at - first);
+    if (window > kReadaheadPages) window = kReadaheadPages;
+    pool_.Readahead(at, window);
+  }
+
   mutable BufferPool pool_;
   BPlusTree<NodeRecord, SpKey, SpKeyOf> sp_;
   BPlusTree<NodeRecord, SdKey, SdKeyOf> sd_;

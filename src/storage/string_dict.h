@@ -75,6 +75,11 @@ bool DecodeValuePage(const Page& page, uint32_t expected_first,
 ///     probes (worst case the whole dictionary). Lookups serialize on
 ///     one latch per dictionary; value-projection-heavy concurrent
 ///     workloads pay that contention, index scans never do.
+///     The pool's storage backend is transparent here: each raw page is
+///     held only inside one decode call (a short-lived PageRef, valid
+///     across DropCache under every backend — pread pins the frame, mmap
+///     pins the mapping epoch), and everything returned to callers is
+///     copied into the memo.
 ///
 /// Concurrency: both modes are safe for concurrent readers once
 /// construction/attachment finishes (`Intern` is build-time only).
