@@ -86,11 +86,11 @@ void TraceContext::RecordPageRead(uint64_t ns) {
 
 std::shared_ptr<const Trace> TraceContext::Finish() {
   auto trace = std::make_shared<Trace>();
-  trace->label = std::move(label_);
   trace->started_unix_ms = started_unix_ms_;
   const uint64_t reads = page_reads_.load(std::memory_order_relaxed);
   {
     MutexLock lock(mu_);
+    trace->label = std::move(label_);
     if (reads > 0) {
       TraceSpan io;
       io.name = "page_io";

@@ -100,9 +100,9 @@ class TraceContext {
  private:
   const std::chrono::steady_clock::time_point start_;
   const int64_t started_unix_ms_;
-  std::string label_;
 
   Mutex mu_;
+  std::string label_ BLAS_GUARDED_BY(mu_);
   std::vector<TraceSpan> spans_ BLAS_GUARDED_BY(mu_);
 
   std::atomic<uint64_t> page_reads_{0};
