@@ -4,16 +4,20 @@
 
 namespace blas {
 
-ThreadPool::ThreadPool(size_t num_threads, size_t queue_capacity)
-    : queue_capacity_(queue_capacity == 0 ? 1 : queue_capacity) {
+size_t ThreadPool::NormalizeThreadCount(size_t num_threads) {
   if (num_threads == 0) {
     num_threads = std::thread::hardware_concurrency();
     if (num_threads == 0) num_threads = 1;
   }
-  thread_count_ = num_threads;
+  return num_threads;
+}
+
+ThreadPool::ThreadPool(size_t num_threads, size_t queue_capacity)
+    : queue_capacity_(queue_capacity == 0 ? 1 : queue_capacity),
+      thread_count_(NormalizeThreadCount(num_threads)) {
   MutexLock join_lock(join_mu_);
-  workers_.reserve(num_threads);
-  for (size_t i = 0; i < num_threads; ++i) {
+  workers_.reserve(thread_count_);
+  for (size_t i = 0; i < thread_count_; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
 }
@@ -65,6 +69,9 @@ void ThreadPool::Shutdown() {
   idle_.NotifyAll();
   MutexLock join_lock(join_mu_);
   for (std::thread& worker : workers_) {
+    // join_mu_ exists precisely to serialize these joins; no other code
+    // path ever takes it, so blocking here cannot stall anything else.
+    // blas-analyze: allow(blocking-under-lock) -- join_mu_ is join-only
     if (worker.joinable()) worker.join();
   }
 }

@@ -53,11 +53,13 @@ class ThreadPool {
 
  private:
   void WorkerLoop() BLAS_EXCLUDES(mu_);
+  /// 0 -> hardware_concurrency() (itself 0-guarded to 1).
+  static size_t NormalizeThreadCount(size_t num_threads);
 
   const size_t queue_capacity_;
   /// Fixed at construction (workers_.size() may only be read under
   /// join_mu_, so the count is mirrored here for lock-free accessors).
-  size_t thread_count_ = 0;
+  const size_t thread_count_;
   mutable Mutex mu_;
   /// Serializes concurrent Shutdown callers (thread::join is not
   /// concurrently callable on the same thread object). Never nested with
