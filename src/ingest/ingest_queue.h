@@ -68,8 +68,8 @@ class IngestQueue {
   std::future<Status> SubmitOps(std::vector<DocOp> ops);
   Status RunOps(const std::vector<DocOp>& ops);
 
-  LiveCollection* collection_;
-  ThreadPool* pool_;
+  LiveCollection* const collection_;
+  ThreadPool* const pool_;
 
   mutable Mutex mu_;
   CondVar settled_;
