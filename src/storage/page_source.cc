@@ -183,9 +183,8 @@ class InMemorySource final : public PageSource {
     if (n == 0) n = 1;
     shards_.reserve(n);
     for (size_t i = 0; i < n; ++i) {
-      auto shard = std::make_unique<Shard>();
-      shard->capacity = ShardCapacity(cache_capacity_, n, i);
-      shards_.push_back(std::move(shard));
+      shards_.push_back(
+          std::make_unique<Shard>(ShardCapacity(cache_capacity_, n, i)));
     }
   }
 
@@ -278,11 +277,12 @@ class InMemorySource final : public PageSource {
 
  private:
   struct Shard {
+    explicit Shard(size_t cap) : capacity(cap == 0 ? 1 : cap) {}
     Mutex mu;
     std::list<PageId> lru BLAS_GUARDED_BY(mu);  // front = most recent
     std::unordered_map<PageId, std::list<PageId>::iterator> cached
         BLAS_GUARDED_BY(mu);
-    size_t capacity = 1;  // set at construction, immutable after
+    const size_t capacity;
     BufferPool::Stats stats BLAS_GUARDED_BY(mu);
   };
 
@@ -307,9 +307,8 @@ class PreadFrameSource final : public PageSource, public PageRefOwner {
       : file_(std::move(file)), owner_(owner), budget_(budget) {
     shards_.reserve(shard_count);
     for (size_t i = 0; i < shard_count; ++i) {
-      auto shard = std::make_unique<Shard>();
-      shard->capacity = ShardCapacity(total_frames, shard_count, i);
-      shards_.push_back(std::move(shard));
+      shards_.push_back(std::make_unique<Shard>(
+          ShardCapacity(total_frames, shard_count, i)));
     }
   }
 
@@ -517,6 +516,7 @@ class PreadFrameSource final : public PageSource, public PageRefOwner {
   };
 
   struct Shard {
+    explicit Shard(size_t cap) : capacity(cap == 0 ? 1 : cap) {}
     Mutex mu;
     // Real frames plus a second-chance clock ring. Pages whose pread is
     // in flight sit in `pending` (the disk read happens with the latch
@@ -531,7 +531,7 @@ class PreadFrameSource final : public PageSource, public PageRefOwner {
     std::list<PageId> clock BLAS_GUARDED_BY(mu);  // next eviction at front
     std::unordered_set<PageId> pending BLAS_GUARDED_BY(mu);
     CondVar ready;
-    size_t capacity = 1;  // set at construction, immutable after
+    const size_t capacity;
     size_t peak BLAS_GUARDED_BY(mu) = 0;
     BufferPool::Stats stats BLAS_GUARDED_BY(mu);
   };
@@ -817,6 +817,7 @@ class MmapSource final : public PageSource {
 
  private:
   struct Shard {
+    explicit Shard(size_t cap) : capacity(cap == 0 ? 1 : cap) {}
     Mutex mu;
     // Mapped-resident pages (value = second-chance referenced bit) plus
     // the eviction clock. No pins: refs hold the epoch, so every
@@ -827,7 +828,7 @@ class MmapSource final : public PageSource {
     std::list<PageId> clock BLAS_GUARDED_BY(mu);  // next eviction at front
     std::unordered_set<PageId> pending BLAS_GUARDED_BY(mu);
     CondVar ready;
-    size_t capacity = 1;  // set at construction, immutable after
+    const size_t capacity;
     size_t peak BLAS_GUARDED_BY(mu) = 0;
     BufferPool::Stats stats BLAS_GUARDED_BY(mu);
   };
@@ -840,9 +841,8 @@ class MmapSource final : public PageSource {
         epoch_(new MappingEpoch(map, len)) {
     shards_.reserve(shard_count);
     for (size_t i = 0; i < shard_count; ++i) {
-      auto shard = std::make_unique<Shard>();
-      shard->capacity = ShardCapacity(total_frames, shard_count, i);
-      shards_.push_back(std::move(shard));
+      shards_.push_back(std::make_unique<Shard>(
+          ShardCapacity(total_frames, shard_count, i)));
     }
   }
 
