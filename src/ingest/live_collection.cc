@@ -95,8 +95,12 @@ Result<std::unique_ptr<LiveCollection>> LiveCollection::Open(
     live->writer_.emplace(std::move(writer));
   } else if (replayed.status().code() == StatusCode::kNotFound &&
              options.create_if_missing) {
-    BLAS_ASSIGN_OR_RETURN(ManifestWriter writer,
-                          ManifestWriter::Create(manifest_path));
+    BLAS_ASSIGN_OR_RETURN(
+        ManifestWriter writer,
+        // Recovery runs under publish_mu_ by design: nothing serves
+        // until Open returns, so this fsync cannot stall a reader.
+        // blas-analyze: allow(blocking-under-lock) -- recovery I/O
+        ManifestWriter::Create(manifest_path));
     live->writer_.emplace(std::move(writer));
   } else {
     return replayed.status();
@@ -264,6 +268,10 @@ Status LiveCollection::PublishBatch(std::vector<BatchOp> ops) {
   }
   {
     Stopwatch append_timer;
+    // fsync-before-publish: the manifest append MUST be durable before
+    // the state swap below, and both must sit under publish_mu_ — that
+    // ordering is the crash-consistency protocol, not an accident.
+    // blas-analyze: allow(blocking-under-lock) -- fsync-before-publish
     Status appended = writer_->Append(record);
     ingest_metrics().manifest_append_ns->Record(append_timer.ElapsedNanos());
     BLAS_RETURN_NOT_OK(appended);
@@ -317,7 +325,11 @@ Status LiveCollection::PublishBatch(std::vector<BatchOp> ops) {
 
   if (options_.checkpoint_every > 0 &&
       writer_->records_since_compact() >= options_.checkpoint_every) {
-    // Best effort: the uncompacted log is longer, never wrong.
+    // Best effort: the uncompacted log is longer, never wrong. Compact
+    // rewrites + fsyncs the manifest under publish_mu_ deliberately: a
+    // concurrent publish interleaved with the rewrite could drop its
+    // record.
+    // blas-analyze: allow(blocking-under-lock) -- checkpoint durability
     if (writer_->Compact(next->epoch, next->files).ok()) {
       checkpoints_.fetch_add(1, std::memory_order_relaxed);
     }
@@ -364,6 +376,9 @@ Status LiveCollection::RemoveDocument(const std::string& name) {
 Status LiveCollection::Checkpoint() {
   MutexLock publish_lock(publish_mu_);
   std::shared_ptr<const CollectionState> current = Snapshot();
+  // Same protocol as PublishBatch: the compacted manifest must be
+  // durable before the next publish can append to it.
+  // blas-analyze: allow(blocking-under-lock) -- checkpoint durability
   BLAS_RETURN_NOT_OK(writer_->Compact(current->epoch, current->files));
   checkpoints_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();

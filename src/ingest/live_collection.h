@@ -207,8 +207,13 @@ class LiveCollection {
   void SweepOrphans(const std::map<std::string, std::string>& live_files);
 
   const std::string dir_;
+  // The next three are set once inside Open before the collection is
+  // returned to the caller, and never written again.
+  // blas-analyze: allow(guarded-coverage) -- set once in Open
   LiveOptions options_;
+  // blas-analyze: allow(guarded-coverage) -- set once in Open
   std::shared_ptr<FrameBudget> budget_;
+  // blas-analyze: allow(guarded-coverage) -- set once in Open
   std::shared_ptr<std::atomic<uint64_t>> files_reclaimed_;
 
   /// Serializes publishes (manifest append + state swap + tombstones).

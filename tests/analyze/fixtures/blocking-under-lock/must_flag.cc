@@ -1,0 +1,36 @@
+// blas-analyze fixture: every method must produce a blocking-under-lock
+// finding (direct syscall, clock read, transitive call, foreign wait).
+
+namespace blas {
+
+class Blocky {
+ public:
+  void DirectSyscall(int fd) {
+    MutexLock lock(mu_);
+    fsync(fd);
+  }
+  void ClockRead() {
+    MutexLock lock(mu_);
+    last_ = std::chrono::steady_clock::now();
+  }
+  void TransitiveBlock(int fd) {
+    MutexLock lock(mu_);
+    Helper(fd);
+  }
+  void Helper(int fd) {
+    fsync(fd);
+  }
+  void ForeignWait() {
+    MutexLock other(other_mu_);
+    MutexLock lock(mu_);
+    cv_.Wait(lock);
+  }
+
+ private:
+  Mutex mu_;
+  Mutex other_mu_;
+  CondVar cv_;
+  std::chrono::steady_clock::time_point last_ BLAS_GUARDED_BY(mu_);
+};
+
+}  // namespace blas

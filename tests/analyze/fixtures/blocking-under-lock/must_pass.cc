@@ -1,0 +1,41 @@
+// blas-analyze fixture: nothing here may produce a blocking-under-lock
+// finding.
+
+namespace blas {
+
+class Clean {
+ public:
+  // I/O after the critical section closed.
+  void IoOutsideLock(int fd) {
+    {
+      MutexLock lock(mu_);
+      staged_ = true;
+    }
+    fsync(fd);
+  }
+  // Waiting on one's own lock is the normal CondVar protocol.
+  void WaitOwnLock() {
+    MutexLock lock(mu_);
+    while (!staged_) {
+      cv_.Wait(lock);
+    }
+  }
+  // The lambda runs later on another thread; the lock is not held there.
+  void DeferredWork(int fd, TaskQueue& queue) {
+    MutexLock lock(mu_);
+    queue.Post([fd]() { fsync(fd); });
+  }
+  // Clock sampled outside, recorded inside.
+  void SampleThenRecord() {
+    auto now = std::chrono::steady_clock::now();
+    MutexLock lock(mu_);
+    staged_ = true;
+  }
+
+ private:
+  Mutex mu_;
+  CondVar cv_;
+  bool staged_ BLAS_GUARDED_BY(mu_) = false;
+};
+
+}  // namespace blas

@@ -1,0 +1,18 @@
+// blas-analyze fixture: must produce a guarded-coverage finding for the
+// unannotated mutable field of a mutex-owning class.
+
+namespace blas {
+
+class Leaky {
+ public:
+  void Set(int v) {
+    MutexLock lock(mu_);
+    value_ = v;
+  }
+
+ private:
+  Mutex mu_;
+  int value_;
+};
+
+}  // namespace blas

@@ -1,0 +1,54 @@
+// blas-analyze fixture: must produce lock-order findings (an A/B cycle
+// from direct nesting, a call-graph-mediated cycle, and a declared-order
+// contradiction).
+
+namespace blas {
+
+class DirectCycle {
+ public:
+  void First() {
+    MutexLock a(a_mu_);
+    MutexLock b(b_mu_);
+  }
+  void Second() {
+    MutexLock b(b_mu_);
+    MutexLock a(a_mu_);
+  }
+
+ private:
+  Mutex a_mu_;
+  Mutex b_mu_;
+};
+
+class CallMediatedCycle {
+ public:
+  void Outer() {
+    MutexLock g(g_mu_);
+    Inner();
+  }
+  void Inner() {
+    MutexLock h(h_mu_);
+  }
+  void Reversed() {
+    MutexLock h(h_mu_);
+    MutexLock g(g_mu_);
+  }
+
+ private:
+  Mutex g_mu_;
+  Mutex h_mu_;
+};
+
+class DeclaredContradiction {
+ public:
+  void Do() {
+    MutexLock s(state_mu_);
+    MutexLock p(publish_mu_);
+  }
+
+ private:
+  Mutex publish_mu_ BLAS_ACQUIRED_BEFORE(state_mu_);
+  Mutex state_mu_;
+};
+
+}  // namespace blas

@@ -1,0 +1,45 @@
+// blas-analyze fixture: nothing here may produce a lock-order finding.
+
+namespace blas {
+
+// Consistent a-before-b everywhere, matching the declared order.
+class Ordered {
+ public:
+  void First() {
+    MutexLock a(a_mu_);
+    MutexLock b(b_mu_);
+  }
+  void Again() {
+    MutexLock a(a_mu_);
+    Nested();
+  }
+  void Nested() {
+    MutexLock b(b_mu_);
+  }
+
+ private:
+  Mutex a_mu_ BLAS_ACQUIRED_BEFORE(b_mu_);
+  Mutex b_mu_;
+};
+
+// TryLock never blocks, so probing "against" the order cannot deadlock
+// (this is the FrameBudget cross-shard reclaim pattern).
+class Prober {
+ public:
+  void ForwardOrder() {
+    MutexLock a(a_mu_);
+    MutexLock b(b_mu_);
+  }
+  void ProbeBackward() {
+    MutexLock b(b_mu_);
+    if (a_mu_.TryLock()) {
+      a_mu_.Unlock();
+    }
+  }
+
+ private:
+  Mutex a_mu_;
+  Mutex b_mu_;
+};
+
+}  // namespace blas

@@ -1,0 +1,41 @@
+// blas-analyze fixture: every function here must produce a pin-escape
+// finding. Parsed by the analyzer, never compiled — the vocabulary
+// (PageRef, BufferPool, Mutex) only has to look like the real thing.
+
+namespace blas {
+
+struct Holder {
+  void StashIntoMember(BufferPool& pool) {
+    PageRef ref = pool.Fetch(1);
+    view_ = std::string_view(ref->chars(), 8);
+  }
+  std::string_view view_;
+};
+
+std::string_view ReturnEscape(BufferPool& pool) {
+  PageRef ref = pool.Fetch(2);
+  std::string_view v(ref->chars(), 4);
+  return v;
+}
+
+void OutlivesPin(BufferPool& pool) {
+  std::string_view v;
+  {
+    PageRef ref = pool.Fetch(3);
+    v = std::string_view(ref->chars(), 4);
+  }
+  Consume(v);
+}
+
+void InvalidateWhilePinned(BufferPool& pool) {
+  PageRef ref = pool.Fetch(4);
+  pool.DropCache();
+  Consume(ref->chars());
+}
+
+void CaptureEscape(BufferPool& pool, TaskQueue& queue) {
+  PageRef ref = pool.Fetch(5);
+  queue.Post([ref]() { Consume(ref); });
+}
+
+}  // namespace blas

@@ -1,0 +1,35 @@
+// blas-analyze fixture: nothing here may produce a pin-escape finding.
+
+namespace blas {
+
+// Pin-derived view used strictly within the pin's scope.
+void SameScopeUse(BufferPool& pool) {
+  PageRef ref = pool.Fetch(1);
+  std::string_view v(ref->chars(), 4);
+  Consume(v);
+}
+
+// Copying bytes out of the page is always safe.
+std::string CopyOut(BufferPool& pool) {
+  PageRef ref = pool.Fetch(2);
+  std::string owned(ref->chars(), 4);
+  return owned;
+}
+
+// A deliberate eviction exercise, annotated as such.
+void MarkedDrop(BufferPool& pool) {
+  PageRef ref = pool.Fetch(3);
+  // blas-analyze: allow(pin-escape) -- refs survive DropCache by contract
+  pool.DropCache();
+  Consume(ref->chars());
+}
+
+// Moving the PageRef itself transfers the pin; no raw view escapes.
+struct Iterator {
+  void Advance(BufferPool& pool) {
+    leaf_ = pool.Fetch(4);
+  }
+  PageRef leaf_;
+};
+
+}  // namespace blas

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Fixture tests for blas-analyze: each check must flag every function in
+its must_flag fixture (proving it is non-vacuous) and stay silent on its
+must_pass fixture (proving it does not over-fire). A check that silently
+stops matching — a regex drifting from the project vocabulary, a broken
+scope walk — fails this suite.
+
+Runs the real CLI end-to-end with the structural frontend so results are
+deterministic in every environment.
+"""
+
+import os
+import subprocess
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+REPO = os.path.dirname(os.path.dirname(HERE))
+ANALYZE = os.path.join(REPO, "tools", "analyze", "blas_analyze.py")
+
+CHECKS = ("pin-escape", "lock-order", "blocking-under-lock",
+          "guarded-coverage")
+
+# Non-vacuity floor per must_flag fixture: at least this many distinct
+# findings (one per seeded defect would be stricter than the dedupe
+# granularity of cycle findings, so lock-order counts cycles).
+MIN_FLAGGED = {
+    "pin-escape": 5,
+    "lock-order": 3,
+    "blocking-under-lock": 4,
+    "guarded-coverage": 1,
+}
+
+
+def run_analyzer(check: str, fixture_rel: str) -> tuple:
+    proc = subprocess.run(
+        [sys.executable, ANALYZE, "--frontend=structural", "--no-baseline",
+         "--checks", check, "--paths", fixture_rel],
+        capture_output=True, text=True, cwd=REPO)
+    findings = [line for line in proc.stdout.splitlines()
+                if f"[{check}]" in line]
+    return proc.returncode, findings, proc.stderr
+
+
+def main() -> int:
+    failures = []
+    for check in CHECKS:
+        base = os.path.join("tests", "analyze", "fixtures", check)
+
+        rc, findings, err = run_analyzer(check,
+                                         os.path.join(base, "must_flag.cc"))
+        if rc != 1 or len(findings) < MIN_FLAGGED[check]:
+            failures.append(
+                f"{check}/must_flag: expected exit 1 with >= "
+                f"{MIN_FLAGGED[check]} findings, got exit {rc} with "
+                f"{len(findings)}:\n  " + "\n  ".join(findings or ["-"])
+                + (f"\n  stderr: {err.strip()}" if err.strip() else ""))
+        else:
+            print(f"ok: {check}/must_flag ({len(findings)} findings)")
+
+        rc, findings, err = run_analyzer(check,
+                                         os.path.join(base, "must_pass.cc"))
+        if rc != 0 or findings:
+            failures.append(
+                f"{check}/must_pass: expected exit 0 with no findings, "
+                f"got exit {rc} with {len(findings)}:\n  "
+                + "\n  ".join(findings or ["-"])
+                + (f"\n  stderr: {err.strip()}" if err.strip() else ""))
+        else:
+            print(f"ok: {check}/must_pass")
+
+    if failures:
+        print()
+        for f in failures:
+            print(f"FAIL: {f}")
+        return 1
+    print("\nall fixture tests passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

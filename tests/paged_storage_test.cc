@@ -453,6 +453,7 @@ TEST(PagedStorageTest, DropCacheKeepsPinnedPagesReadable) {
   ASSERT_TRUE(static_cast<bool>(pinned));
   Page copy = *pinned.get();
   // A concurrent cache drop must not free the pinned frame.
+  // blas-analyze: allow(pin-escape) -- pin-survives-DropCache under test
   paged->store().DropCache();
   EXPECT_EQ(std::memcmp(copy.bytes.data(), pinned->bytes.data(), kPageSize),
             0);

@@ -172,7 +172,8 @@ TEST(StorageBackendTest, PageRefSurvivesDropCacheOnEveryBackend) {
     PageRef ref = pool.Fetch(0);
     ASSERT_TRUE(ref) << StorageBackendName(backend);
     Page copy = *ref;
-    paged->store().DropCache();  // lint:pageref-across-dropcache-ok
+    // blas-analyze: allow(pin-escape) -- pin-survives-DropCache is the
+    paged->store().DropCache();  // very contract under test here
     // pread: the pinned frame was skipped. mmap: the page was madvised
     // away but refaults from the immutable file — same bytes either way.
     EXPECT_EQ(0, std::memcmp(copy.bytes.data(), ref->bytes.data(), kPageSize))

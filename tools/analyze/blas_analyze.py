@@ -1,0 +1,203 @@
+#!/usr/bin/env python3
+"""blas-analyze: project-specific AST invariant checks for blas.
+
+Runs four checks (pin-escape, lock-order, blocking-under-lock,
+guarded-coverage) over the source tree and compares the findings against
+a checked-in suppression baseline. See tools/README.md.
+
+Exit codes: 0 clean (or all findings baselined), 1 non-baselined
+findings, 2 usage/environment error.
+
+Frontends:
+  structural  pure-Python scope/type extraction; always available.
+  libclang    clang.cindex over compile_commands.json; used when the
+              `clang` Python package and a libclang shared object are
+              importable (CI installs the wheel).
+  auto        libclang if importable, else structural.  [default]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import checks as checks_mod  # noqa: E402
+import structural  # noqa: E402
+from ir import CHECK_NAMES, FileIR, ProjectIR  # noqa: E402
+
+REPO_ROOT = os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+DEFAULT_BASELINE = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "baseline.json")
+
+
+def discover_sources(repo_root: str, paths: list) -> list:
+    """Repo-relative .h/.cc files under the given roots (default:
+    src + tests, minus analyzer fixtures and compile_fail cases)."""
+    roots = paths or ["src", "tests"]
+    out = []
+    for root in roots:
+        abs_root = os.path.join(repo_root, root)
+        if os.path.isfile(abs_root):
+            out.append(os.path.relpath(abs_root, repo_root))
+            continue
+        for dirpath, _dirnames, filenames in os.walk(abs_root):
+            rel_dir = os.path.relpath(dirpath, repo_root)
+            # Fixture snippets are test INPUTS for the analyzer, not code
+            # under analysis; compile_fail cases are deliberately broken.
+            if rel_dir.startswith(os.path.join("tests", "analyze")) or \
+                    rel_dir.startswith(os.path.join("tests",
+                                                    "compile_fail")):
+                continue
+            for name in sorted(filenames):
+                if name.endswith((".h", ".cc", ".cpp", ".hpp")):
+                    out.append(os.path.relpath(
+                        os.path.join(dirpath, name), repo_root))
+    return sorted(set(out))
+
+
+def load_frontend(name: str, compile_commands: str):
+    """Returns (parse_fn, resolved_name). parse_fn(repo_root, rel_path)
+    -> FileIR."""
+    if name in ("libclang", "auto"):
+        try:
+            import clang_frontend
+            parse = clang_frontend.make_parser(compile_commands)
+            return parse, "libclang"
+        except Exception as exc:  # noqa: BLE001 - any failure falls back
+            if name == "libclang":
+                print(f"blas-analyze: libclang frontend unavailable: {exc}",
+                      file=sys.stderr)
+                sys.exit(2)
+            print(f"blas-analyze: libclang unavailable ({exc}); "
+                  "falling back to the structural frontend",
+                  file=sys.stderr)
+    return structural.parse_file, "structural"
+
+
+def load_baseline(path: str) -> dict:
+    if not os.path.exists(path):
+        return {}
+    with open(path, encoding="utf-8") as fh:
+        data = json.load(fh)
+    return {entry["key"]: entry for entry in data.get("findings", [])}
+
+
+def save_baseline(path: str, findings: list) -> None:
+    data = {
+        "comment": "Suppressed blas-analyze findings. Keys are "
+                   "line-independent; regenerate with --update-baseline "
+                   "and justify every entry in the PR that adds it.",
+        "findings": [
+            {"key": f.key, "message": f.text()} for f in findings
+        ],
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(data, fh, indent=2)
+        fh.write("\n")
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(prog="blas-analyze",
+                                 description=__doc__.splitlines()[0])
+    ap.add_argument("--repo", default=REPO_ROOT,
+                    help="repository root (default: auto-detected)")
+    ap.add_argument("--paths", nargs="*", default=None,
+                    help="files or directories to analyze, repo-relative "
+                         "(default: src tests)")
+    ap.add_argument("--frontend", default="auto",
+                    choices=("auto", "structural", "libclang"))
+    ap.add_argument("--compile-commands", default=None,
+                    help="compile_commands.json for the libclang frontend "
+                         "(default: <repo>/build/compile_commands.json)")
+    ap.add_argument("--checks", default=None,
+                    help="comma-separated subset of: "
+                         + ", ".join(CHECK_NAMES))
+    ap.add_argument("--json", dest="json_out", default=None,
+                    help="also write findings as JSON to this file "
+                         "('-' for stdout)")
+    ap.add_argument("--baseline", default=DEFAULT_BASELINE,
+                    help="suppression baseline (default: "
+                         "tools/analyze/baseline.json)")
+    ap.add_argument("--no-baseline", action="store_true",
+                    help="report every finding, ignoring the baseline")
+    ap.add_argument("--update-baseline", action="store_true",
+                    help="rewrite the baseline to the current findings")
+    args = ap.parse_args()
+
+    repo = os.path.abspath(args.repo)
+    check_names = None
+    if args.checks:
+        check_names = [c.strip() for c in args.checks.split(",") if
+                       c.strip()]
+        unknown = [c for c in check_names if c not in CHECK_NAMES]
+        if unknown:
+            print(f"blas-analyze: unknown check(s): {', '.join(unknown)}",
+                  file=sys.stderr)
+            return 2
+
+    compile_commands = args.compile_commands or os.path.join(
+        repo, "build", "compile_commands.json")
+    parse, frontend = load_frontend(args.frontend, compile_commands)
+
+    rel_paths = discover_sources(repo, args.paths)
+    if not rel_paths:
+        print("blas-analyze: no source files found", file=sys.stderr)
+        return 2
+
+    files = []
+    for rel in rel_paths:
+        try:
+            fir = parse(repo, rel)
+        except Exception as exc:  # noqa: BLE001
+            print(f"blas-analyze: failed to parse {rel}: {exc}",
+                  file=sys.stderr)
+            return 2
+        if fir is not None:
+            files.append(fir)
+
+    project = ProjectIR(files)
+    findings = checks_mod.run_checks(project, check_names)
+
+    if args.update_baseline:
+        save_baseline(args.baseline, findings)
+        print(f"blas-analyze: wrote {len(findings)} finding(s) to "
+              f"{os.path.relpath(args.baseline, repo)}")
+        return 0
+
+    baseline = {} if args.no_baseline else load_baseline(args.baseline)
+    new = [f for f in findings if f.key not in baseline]
+    stale = [k for k in baseline if k not in {f.key for f in findings}]
+
+    if args.json_out:
+        payload = json.dumps({
+            "frontend": frontend,
+            "files_analyzed": len(files),
+            "findings": [f.to_json() for f in findings],
+            "new": [f.to_json() for f in new],
+            "stale_baseline_keys": stale,
+        }, indent=2) + "\n"
+        if args.json_out == "-":
+            sys.stdout.write(payload)
+        else:
+            with open(args.json_out, "w", encoding="utf-8") as fh:
+                fh.write(payload)
+
+    for f in new:
+        print(f.text())
+    for k in stale:
+        print(f"blas-analyze: note: stale baseline entry (no longer "
+              f"fires): {k}", file=sys.stderr)
+    summary = (f"blas-analyze [{frontend}]: {len(files)} files, "
+               f"{len(findings)} finding(s), {len(findings) - len(new)} "
+               f"baselined, {len(new)} new")
+    print(summary, file=sys.stderr)
+    return 1 if new else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

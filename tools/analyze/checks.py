@@ -1,0 +1,785 @@
+"""The four blas-analyze checks, written against the frontend-neutral IR.
+
+  pin-escape           pin-derived raw views must not outlive their PageRef
+                       (and no frame invalidation while a pin is live)
+  lock-order           the derived mutex acquisition graph must be acyclic
+  blocking-under-lock  no blocking syscall/wait/submit reachable (one call
+                       level deep) while a lock scope is live; no clock
+                       reads directly inside a critical section
+  guarded-coverage     every mutable field of a mutex-owning class is
+                       guarded, atomic, const, or explicitly allowed
+
+Each check yields ir.Finding objects with stable, line-independent keys so
+the suppression baseline survives unrelated edits.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ir import (Call, ClassInfo, FileIR, Finding, FunctionIR, LockAcquire,
+                ProjectIR, Scope, VarDecl)
+
+# ---------------------------------------------------------------------------
+# Name resolution over the IR
+# ---------------------------------------------------------------------------
+
+
+class Resolver:
+    """Resolves mutex expressions and call sites to project entities."""
+
+    def __init__(self, project: ProjectIR):
+        self.project = project
+        self.functions_by_qualname: Dict[str, List[FunctionIR]] = {}
+        self.functions_by_name: Dict[str, List[FunctionIR]] = {}
+        for fn in project.functions():
+            self.functions_by_qualname.setdefault(fn.qualname, []).append(fn)
+            self.functions_by_name.setdefault(
+                fn.qualname.split("::")[-1], []).append(fn)
+
+    # -- mutexes ----------------------------------------------------------
+
+    def mutex_id(self, fn: FunctionIR, expr: str) -> str:
+        """Resolves a mutex operand expression to a stable identity:
+        `Class::member` when the owner is derivable, else a file-scoped
+        identity that never aliases across files."""
+        expr = expr.strip().lstrip("*&").strip()
+        m = re.match(r"^([A-Za-z_]\w*)\s*(?:\.|->)\s*([A-Za-z_]\w*)$", expr)
+        if m:
+            base, member = m.group(1), m.group(2)
+            cls = self._type_of_expr(fn, base)
+            if cls is not None and cls.field(member) is not None:
+                return f"{cls.name}::{member}"
+            # Unique owner across the project?
+            owners = [c for c in self.project.classes.values()
+                      if (f := c.field(member)) is not None and f.is_mutex]
+            if len(owners) == 1:
+                return f"{owners[0].name}::{member}"
+            return f"{fn.file}::{expr}"
+        if re.match(r"^[A-Za-z_]\w*$", expr):
+            cls = self._class_of(fn)
+            if cls is not None and cls.field(expr) is not None:
+                return f"{cls.name}::{expr}"
+            # A local Mutex or an unresolvable parameter: keep it
+            # function-scoped so it cannot alias a member mutex.
+            return f"{fn.qualname}::{expr}"
+        return f"{fn.file}::{expr}"
+
+    def _class_of(self, fn: FunctionIR) -> Optional[ClassInfo]:
+        if fn.cls is None:
+            return None
+        return self.project.resolve_class(fn.cls)
+
+    def _type_of_expr(self, fn: FunctionIR, name: str) -> Optional[ClassInfo]:
+        """Best-effort class of local/member `name` inside `fn`."""
+        decl = self._find_decl(fn, name)
+        type_text = None
+        if decl is not None:
+            type_text = decl.type_text
+            if type_text in ("auto", "auto&", "const auto&"):
+                # e.g. `auto& s = *shared_;` — chase one level.
+                inner = re.match(r"^\s*\*?\s*([A-Za-z_]\w*)", decl.init_text)
+                if inner:
+                    return self._type_of_expr(fn, inner.group(1))
+                type_text = None
+        if type_text is None:
+            cls = self._class_of(fn)
+            if cls is not None:
+                field = cls.field(name)
+                if field is not None:
+                    type_text = field.type_text
+        if type_text is None:
+            return None
+        return self._class_from_type_text(fn, type_text)
+
+    def _class_from_type_text(self, fn: FunctionIR,
+                              type_text: str) -> Optional[ClassInfo]:
+        # Try every identifier-ish token, innermost (template argument)
+        # first — `std::shared_ptr<const CollectionState>` resolves to
+        # CollectionState, `Shared&` to CollectionCursor::Shared.
+        tokens = re.findall(r"[A-Za-z_]\w*(?:::[A-Za-z_]\w*)*", type_text)
+        for token in reversed(tokens):
+            if token in ("const", "std", "auto", "mutable", "struct",
+                         "class", "typename", "unique_ptr", "shared_ptr",
+                         "optional", "vector", "map", "string"):
+                continue
+            # Prefer a nested class of the enclosing class.
+            if fn.cls is not None:
+                nested = self.project.classes.get(fn.cls + "::" + token)
+                if nested is not None:
+                    return nested
+            cls = self.project.resolve_class(token)
+            if cls is not None:
+                return cls
+        return None
+
+    def _find_decl(self, fn: FunctionIR, name: str) -> Optional[VarDecl]:
+        for scope in fn.body.walk():
+            for d in scope.decls:
+                if d.name == name:
+                    return d
+        return None
+
+    # -- calls ------------------------------------------------------------
+
+    def resolve_call(self, fn: FunctionIR, call: Call) -> List[FunctionIR]:
+        """Callee candidates, deliberately conservative: receiver-typed
+        lookups and same-class/free-function fallbacks only — never a
+        project-wide match by bare name (which would fabricate call-graph
+        edges between unrelated classes)."""
+        if call.base is not None:
+            cls = self._type_of_expr(fn, call.base)
+            if cls is None:
+                # `BlasSystem::OpenPaged(...)`-style static qualification.
+                cls = self.project.resolve_class(call.base)
+            if cls is not None:
+                out = self.functions_by_qualname.get(
+                    cls.name + "::" + call.name, [])
+                if out:
+                    return out
+                # Methods may be implemented on a nested class path.
+                return [f for f in self.functions_by_name.get(call.name, [])
+                        if f.cls is not None and
+                        (f.cls == cls.name or
+                         f.cls.startswith(cls.name + "::"))]
+            return []
+        # Unqualified: same class first, then free functions.
+        if fn.cls is not None:
+            out = self.functions_by_qualname.get(
+                fn.cls + "::" + call.name, [])
+            if out:
+                return out
+        return [f for f in self.functions_by_name.get(call.name, [])
+                if f.cls is None]
+
+
+def _lambda_between(scope: Scope, stop: Scope) -> bool:
+    """True when a lambda-body boundary lies on the parent chain from
+    `scope` (inclusive) up to `stop` (exclusive). Code past such a
+    boundary runs in a deferred context, so locks held at `stop` are not
+    held there."""
+    node: Optional[Scope] = scope
+    while node is not None and node is not stop:
+        if node.is_lambda_body:
+            return True
+        node = node.parent
+    return False
+
+
+def _held_at(fn: FunctionIR, resolver: Resolver, line: int, at_scope: Scope,
+             exclude: Optional[LockAcquire] = None) -> List[Tuple[str,
+                                                                  LockAcquire]]:
+    """Lock acquisitions live at `line` inside `at_scope`, as
+    (mutex_id, acquire) pairs. BLAS_REQUIRES capabilities count as held
+    for the whole body. Acquisitions lexically outside a lambda boundary
+    do not reach code inside the lambda."""
+    held: List[Tuple[str, LockAcquire]] = []
+    if not _lambda_between(at_scope, fn.body):
+        for req in fn.requires:
+            rid = resolver.mutex_id(fn, req)
+            held.append((rid, LockAcquire(var_name="", mutex_expr=req,
+                                          mutex_id=rid,
+                                          line=fn.body.start_line,
+                                          scope=fn.body)))
+    acquires = sorted(fn.all_locks(), key=lambda a: a.line)
+    for acq in acquires:
+        if acq is exclude:
+            continue
+        if acq.live_at(line) and acq.line <= line \
+                and not _lambda_between(at_scope, acq.scope):
+            if not acq.mutex_id:
+                acq.mutex_id = resolver.mutex_id(fn, acq.mutex_expr)
+            held.append((acq.mutex_id, acq))
+    return held
+
+
+def _non_lambda_calls(fn: FunctionIR) -> List[Tuple[Scope, Call]]:
+    """Call sites that execute as part of fn's own invocation (i.e. not
+    inside a lambda body defined within fn)."""
+    return [(scope, call) for scope, call in fn.all_calls()
+            if not _lambda_between(scope, fn.body)]
+
+
+# ---------------------------------------------------------------------------
+# Check: lock-order
+# ---------------------------------------------------------------------------
+
+
+def _direct_acquires(fn: FunctionIR, resolver: Resolver) -> Set[str]:
+    out: Set[str] = set()
+    for acq in fn.all_locks():
+        if acq.is_try:
+            continue
+        if _lambda_between(acq.scope, fn.body):
+            continue  # deferred: not acquired by calling fn itself
+        if not acq.mutex_id:
+            acq.mutex_id = resolver.mutex_id(fn, acq.mutex_expr)
+        out.add(acq.mutex_id)
+    return out
+
+
+def check_lock_order(project: ProjectIR,
+                     resolver: Resolver) -> List[Finding]:
+    findings: List[Finding] = []
+    funcs = project.functions()
+
+    # Transitive acquire sets (fixpoint over the conservative call graph).
+    acquires: Dict[int, Set[str]] = {
+        id(fn): _direct_acquires(fn, resolver) for fn in funcs}
+    callees: Dict[int, List[FunctionIR]] = {}
+    for fn in funcs:
+        outs: List[FunctionIR] = []
+        for _scope, call in _non_lambda_calls(fn):
+            outs.extend(resolver.resolve_call(fn, call))
+        callees[id(fn)] = outs
+    changed = True
+    while changed:
+        changed = False
+        for fn in funcs:
+            acc = acquires[id(fn)]
+            before = len(acc)
+            for g in callees[id(fn)]:
+                acc |= acquires[id(g)]
+            if len(acc) != before:
+                changed = True
+
+    # Edges: held -> acquired, from direct nesting and from calls whose
+    # callee (transitively) acquires.
+    # edge -> (file, line, description)
+    edges: Dict[Tuple[str, str], Tuple[str, int, str]] = {}
+
+    def add_edge(a: str, b: str, file: str, line: int, desc: str) -> None:
+        if a == b:
+            # Same-identity nesting is reported directly (it is a
+            # self-deadlock for one instance, an unordered pair for two).
+            findings.append(Finding(
+                check="lock-order", file=file, line=line,
+                message=f"acquisition of '{b}' while an acquisition of "
+                        f"'{a}' is live ({desc}); same-mutex nesting "
+                        "self-deadlocks (blas::Mutex is non-recursive), "
+                        "and two instances of the same class need a "
+                        "documented instance order",
+                key=f"lock-order|{file}|self|{a}"))
+            return
+        edges.setdefault((a, b), (file, line, desc))
+
+    for fn in funcs:
+        locks = sorted(fn.all_locks(), key=lambda a: a.line)
+        for acq in locks:
+            if acq.is_try:
+                continue
+            if not acq.mutex_id:
+                acq.mutex_id = resolver.mutex_id(fn, acq.mutex_expr)
+            for held_id, held_acq in _held_at(fn, resolver, acq.line,
+                                              acq.scope, exclude=acq):
+                if held_acq.is_try:
+                    continue
+                add_edge(held_id, acq.mutex_id, fn.file, acq.line,
+                         f"in {fn.qualname}: '{acq.mutex_expr}' acquired "
+                         f"at line {acq.line} under '{held_acq.mutex_expr}' "
+                         f"(line {held_acq.line})")
+        for scope, call in fn.all_calls():
+            held = [(i, a)
+                    for i, a in _held_at(fn, resolver, call.line, scope)
+                    if not a.is_try]
+            if not held:
+                continue
+            for g in resolver.resolve_call(fn, call):
+                for acquired in acquires[id(g)]:
+                    for held_id, held_acq in held:
+                        if acquired == held_id:
+                            continue  # reported by callee nesting if real
+                        add_edge(held_id, acquired, fn.file, call.line,
+                                 f"in {fn.qualname}: call to "
+                                 f"{g.qualname} (which acquires "
+                                 f"'{acquired}') at line {call.line} under "
+                                 f"'{held_acq.mutex_expr}'")
+
+    # Declared BLAS_ACQUIRED_BEFORE/AFTER constraints join the graph, so a
+    # derived edge contradicting a declaration closes a cycle.
+    for cls in project.classes.values():
+        for field in cls.fields:
+            if not field.is_mutex:
+                continue
+            me = f"{cls.name}::{field.name}"
+            for other in field.acquired_before:
+                other_id = f"{cls.name}::{other.strip()}" \
+                    if re.match(r"^\w+$", other.strip()) else other.strip()
+                edges.setdefault((me, other_id),
+                                 (cls.file, field.line,
+                                  f"declared BLAS_ACQUIRED_BEFORE on "
+                                  f"{me}"))
+            for other in field.acquired_after:
+                other_id = f"{cls.name}::{other.strip()}" \
+                    if re.match(r"^\w+$", other.strip()) else other.strip()
+                edges.setdefault((other_id, me),
+                                 (cls.file, field.line,
+                                  f"declared BLAS_ACQUIRED_AFTER on {me}"))
+
+    # Cycle detection: report each strongly connected component of size
+    # > 1 once, with one witness edge per hop.
+    graph: Dict[str, Set[str]] = {}
+    for (a, b) in edges:
+        graph.setdefault(a, set()).add(b)
+        graph.setdefault(b, set())
+    for component in _sccs(graph):
+        if len(component) < 2:
+            continue
+        comp = sorted(component)
+        witnesses = []
+        for (a, b), (file, line, desc) in sorted(edges.items()):
+            if a in component and b in component:
+                witnesses.append(f"{a} -> {b} [{file}:{line}: {desc}]")
+        file, line, _ = next(
+            (v for (a, b), v in sorted(edges.items())
+             if a in component and b in component))
+        findings.append(Finding(
+            check="lock-order", file=file, line=line,
+            message="cycle in the derived mutex acquisition order: "
+                    + "; ".join(witnesses),
+            key="lock-order|cycle|" + ",".join(comp)))
+    return findings
+
+
+def _sccs(graph: Dict[str, Set[str]]) -> List[Set[str]]:
+    """Iterative Tarjan."""
+    index: Dict[str, int] = {}
+    lowlink: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    out: List[Set[str]] = []
+    counter = [0]
+
+    for root in graph:
+        if root in index:
+            continue
+        work: List[Tuple[str, iter]] = [(root, iter(graph[root]))]
+        index[root] = lowlink[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for succ in it:
+                if succ not in index:
+                    index[succ] = lowlink[succ] = counter[0]
+                    counter[0] += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(graph.get(succ, ()))))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                comp: Set[str] = set()
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    comp.add(w)
+                    if w == node:
+                        break
+                out.append(comp)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Check: blocking-under-lock
+# ---------------------------------------------------------------------------
+
+BLOCKING_SYSCALLS = frozenset((
+    "fsync", "fdatasync", "pread", "pwrite", "sleep", "usleep", "nanosleep",
+    "sleep_for", "sleep_until", "join",
+))
+
+CLOCK_CALLS = frozenset(("clock_gettime", "gettimeofday"))
+CLOCK_NOW_BASES = ("steady_clock", "system_clock", "high_resolution_clock")
+
+
+def _is_clock_call(call: Call) -> bool:
+    if call.name in CLOCK_CALLS:
+        return True
+    if call.name == "time" and call.arg_text.strip() in ("nullptr", "NULL",
+                                                         "0"):
+        return True
+    if call.name == "now" and call.base is not None:
+        return True  # chrono clocks are the only `::now()` vocabulary here
+    return False
+
+
+def _is_blocking_call(call: Call) -> bool:
+    return call.name in BLOCKING_SYSCALLS
+
+
+def _block_reasons(project: ProjectIR,
+                   resolver: Resolver) -> Dict[int, str]:
+    """Fixpoint map id(fn) -> why calling fn may block: a direct blocking
+    call / CondVar wait, or a call chain reaching one."""
+    funcs = project.functions()
+    reason: Dict[int, str] = {}
+    for fn in funcs:
+        for _scope, call in _non_lambda_calls(fn):
+            if _is_blocking_call(call):
+                reason[id(fn)] = (f"{fn.qualname} calls {call.name}() at "
+                                  f"{fn.file}:{call.line}")
+                break
+            if call.name == "Wait":
+                reason[id(fn)] = (f"{fn.qualname} waits on a CondVar at "
+                                  f"{fn.file}:{call.line}")
+                break
+    changed = True
+    while changed:
+        changed = False
+        for fn in funcs:
+            if id(fn) in reason:
+                continue
+            for _scope, call in _non_lambda_calls(fn):
+                hit = next((g for g in resolver.resolve_call(fn, call)
+                            if g is not fn and id(g) in reason), None)
+                if hit is not None:
+                    reason[id(fn)] = (f"{fn.qualname} -> "
+                                      f"{reason[id(hit)]}")
+                    changed = True
+                    break
+    return reason
+
+
+def check_blocking_under_lock(project: ProjectIR,
+                              resolver: Resolver) -> List[Finding]:
+    findings: List[Finding] = []
+    reasons = _block_reasons(project, resolver)
+    for fn in project.functions():
+        if not fn.all_locks() and not fn.requires:
+            continue
+        for scope, call in fn.all_calls():
+            held = _held_at(fn, resolver, call.line, scope)
+            if not held:
+                continue
+            held_desc = ", ".join(sorted({h for h, _ in held}))
+            if _is_blocking_call(call):
+                findings.append(Finding(
+                    check="blocking-under-lock", file=fn.file,
+                    line=call.line,
+                    message=f"blocking call {call.name}() inside a "
+                            f"critical section of {held_desc} (in "
+                            f"{fn.qualname}); move the I/O outside the "
+                            "lock or justify with an allow marker",
+                    key=f"blocking-under-lock|{fn.file}|{fn.qualname}"
+                        f"|{call.name}"))
+                continue
+            if _is_clock_call(call):
+                findings.append(Finding(
+                    check="blocking-under-lock", file=fn.file,
+                    line=call.line,
+                    message=f"clock read inside a critical section of "
+                            f"{held_desc} (in {fn.qualname}); sample the "
+                            "clock outside the lock and record the value "
+                            "inside",
+                    key=f"blocking-under-lock|{fn.file}|{fn.qualname}"
+                        f"|clock"))
+                continue
+            if call.name == "Wait":
+                # CondVar::Wait(lock) releases exactly one lock; waiting
+                # while any OTHER lock stays held blocks every thread
+                # needing it.
+                lock_var = call.arg_text.strip().lstrip("*&").strip()
+                waited: Optional[str] = None
+                for mid, acq in held:
+                    if acq.var_name == lock_var:
+                        waited = mid
+                others = {mid for mid, _ in held
+                          if waited is None or mid != waited}
+                if waited is not None and others:
+                    findings.append(Finding(
+                        check="blocking-under-lock", file=fn.file,
+                        line=call.line,
+                        message=f"CondVar::Wait releases only "
+                                f"'{waited}' but "
+                                f"{', '.join(sorted(others))} stay(s) "
+                                f"held across the wait (in {fn.qualname})",
+                        key=f"blocking-under-lock|{fn.file}|{fn.qualname}"
+                            f"|foreign-wait"))
+                continue
+            # Reachable blocking: a callee that (transitively) blocks.
+            for g in resolver.resolve_call(fn, call):
+                if g is fn:
+                    continue
+                why = reasons.get(id(g))
+                if why is not None:
+                    findings.append(Finding(
+                        check="blocking-under-lock", file=fn.file,
+                        line=call.line,
+                        message=f"call to {g.qualname} inside a critical "
+                                f"section of {held_desc} (in "
+                                f"{fn.qualname}), and {g.qualname} "
+                                f"blocks: {why}",
+                        key=f"blocking-under-lock|{fn.file}|{fn.qualname}"
+                            f"|{g.qualname}"))
+                    break
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Check: pin-escape
+# ---------------------------------------------------------------------------
+
+_VIEW_TYPE_RE = re.compile(
+    r"(std::)?string_view\s*$|(^|\s|const\s+)Page\s*\*|char\s*\*"
+    r"|uint8_t\s*\*|std::byte\s*\*")
+_PAGEREF_TYPE_RE = re.compile(r"(^|[\s:<])PageRef\s*&?$")
+_PIN_INIT_RE = re.compile(r"(\.|->)(Fetch|Peek)\s*\(")
+_INVALIDATORS = ("DropCache", "PublishBatch")
+
+
+def _is_view_type(type_text: str) -> bool:
+    return _VIEW_TYPE_RE.search(type_text) is not None
+
+
+def _mentions(expr: str, names: Set[str]) -> Optional[str]:
+    for m in re.finditer(r"[A-Za-z_]\w*", expr):
+        if m.group(0) in names:
+            return m.group(0)
+    return None
+
+
+def check_pin_escape(project: ProjectIR,
+                     resolver: Resolver) -> List[Finding]:
+    findings: List[Finding] = []
+    for fn in project.functions():
+        scope_of: Dict[int, Scope] = {}
+        decls: List[VarDecl] = []
+        for scope in fn.body.walk():
+            for d in scope.decls:
+                scope_of[id(d)] = scope
+                decls.append(d)
+        decls.sort(key=lambda d: d.line)
+
+        # Seed pins: PageRef locals (declared type or Fetch/Peek init).
+        pin_of: Dict[str, VarDecl] = {}  # tainted name -> root pin decl
+        for d in decls:
+            if _PAGEREF_TYPE_RE.search(d.type_text) or (
+                    d.type_text.startswith("auto")
+                    and _PIN_INIT_RE.search(d.init_text)):
+                pin_of[d.name] = d
+        if not pin_of:
+            continue
+        # Propagate taint through derived declarations, in line order.
+        derived_from: Dict[str, str] = {}  # derived name -> pin name
+        for d in decls:
+            if d.name in pin_of:
+                continue
+            hit = _mentions(d.init_text, set(pin_of) | set(derived_from))
+            if hit is None:
+                continue
+            root = derived_from.get(hit, hit)
+            if _is_view_type(d.type_text) or d.type_text.startswith("auto"):
+                derived_from[d.name] = root
+                pin = pin_of[root]
+                pin_scope = scope_of[id(pin)]
+                d_scope = scope_of[id(d)]
+                if d_scope is not pin_scope and \
+                        d_scope.is_ancestor_of(pin_scope):
+                    findings.append(Finding(
+                        check="pin-escape", file=fn.file, line=d.line,
+                        message=f"'{d.name}' ({d.type_text}) is derived "
+                                f"from PageRef '{root}' but declared in "
+                                "an enclosing scope that outlives the "
+                                f"pin (in {fn.qualname}); the bytes may "
+                                "be evicted once the ref dies",
+                        key=f"pin-escape|{fn.file}|{fn.qualname}"
+                            f"|{d.name}"))
+
+        tainted = set(pin_of) | set(derived_from)
+
+        # `pin = PageRef();` drops the pin early: liveness ends there.
+        released_at: Dict[str, int] = {}
+        for scope in fn.body.walk():
+            for a in scope.assigns:
+                if a.lhs in pin_of and re.match(
+                        r"^(blas::)?PageRef\s*(\(\s*\)|\{\s*\})?\s*$",
+                        a.rhs.strip()):
+                    released_at[a.lhs] = min(
+                        released_at.get(a.lhs, a.line), a.line)
+
+        def root_of(name: str) -> str:
+            return derived_from.get(name, name)
+
+        cls = project.resolve_class(fn.cls) if fn.cls else None
+        for scope in fn.body.walk():
+            for assign in scope.assigns:
+                hit = _mentions(assign.rhs, tainted)
+                if hit is None:
+                    continue
+                lhs = assign.lhs
+                # Assignment into an outer-scope view local.
+                lhs_decl = scope.find_decl(lhs)
+                if lhs_decl is not None:
+                    if not (_is_view_type(lhs_decl.type_text)
+                            or lhs_decl.type_text.startswith("auto")):
+                        continue
+                    pin = pin_of[root_of(hit)]
+                    pin_scope = scope_of[id(pin)]
+                    lhs_scope = scope_of[id(lhs_decl)]
+                    if lhs_scope is not pin_scope and \
+                            lhs_scope.is_ancestor_of(pin_scope):
+                        findings.append(Finding(
+                            check="pin-escape", file=fn.file,
+                            line=assign.line,
+                            message=f"'{lhs}' outlives PageRef "
+                                    f"'{root_of(hit)}' but is assigned a "
+                                    f"pin-derived value (in "
+                                    f"{fn.qualname})",
+                            key=f"pin-escape|{fn.file}|{fn.qualname}"
+                                f"|{lhs}"))
+                    continue
+                # Assignment into a member: storing a pin-derived view.
+                member = lhs[len("this->"):] if lhs.startswith("this->") \
+                    else lhs
+                if re.match(r"^[A-Za-z_]\w*_$", member) and cls is not None:
+                    field = cls.field(member)
+                    if field is not None and _is_view_type(field.type_text):
+                        findings.append(Finding(
+                            check="pin-escape", file=fn.file,
+                            line=assign.line,
+                            message=f"member '{member}' "
+                                    f"({field.type_text}) stores a value "
+                                    f"derived from PageRef "
+                                    f"'{root_of(hit)}' (in {fn.qualname}); "
+                                    "the member outlives the pin",
+                            key=f"pin-escape|{fn.file}|{fn.qualname}"
+                                f"|{member}"))
+            for ret in scope.returns:
+                hit = _mentions(ret.expr, tainted)
+                if hit is not None and _is_view_type(fn.return_type):
+                    findings.append(Finding(
+                        check="pin-escape", file=fn.file, line=ret.line,
+                        message=f"returns a {fn.return_type.strip()} "
+                                f"derived from PageRef '{root_of(hit)}' "
+                                f"(in {fn.qualname}); the pin dies at "
+                                "return",
+                        key=f"pin-escape|{fn.file}|{fn.qualname}|return"))
+            for lam in scope.lambdas:
+                hit = _mentions(lam.capture_text, tainted)
+                if hit is not None:
+                    findings.append(Finding(
+                        check="pin-escape", file=fn.file, line=lam.line,
+                        message=f"lambda captures pin-derived "
+                                f"'{hit}' (PageRef '{root_of(hit)}') in "
+                                f"{fn.qualname}; the closure may outlive "
+                                "the pin",
+                        key=f"pin-escape|{fn.file}|{fn.qualname}"
+                            f"|capture-{hit}"))
+            # Frame invalidation while a pin is live (the scope-accurate
+            # successor of lint.py's pageref-publish rule).
+            for call in scope.calls:
+                if call.name not in _INVALIDATORS:
+                    continue
+                for pin_name, pin in pin_of.items():
+                    pin_scope = scope_of[id(pin)]
+                    live = (pin.line < call.line
+                            and call.line <= pin_scope.end_line
+                            and call.line <= released_at.get(
+                                pin_name, pin_scope.end_line)
+                            and (pin_scope is scope
+                                 or pin_scope.is_ancestor_of(scope)))
+                    if live:
+                        if call.name == "DropCache":
+                            hint = ("refs survive DropCache by contract — "
+                                    "annotate deliberate exercises with an "
+                                    "allow marker")
+                        else:
+                            hint = ("PublishBatch recycles whole systems, "
+                                    "drop the ref first")
+                        findings.append(Finding(
+                            check="pin-escape", file=fn.file,
+                            line=call.line,
+                            message=f"{call.name}() called while PageRef "
+                                    f"'{pin_name}' (line {pin.line}) is "
+                                    f"live (in {fn.qualname}); {hint}",
+                            key=f"pin-escape|{fn.file}|{fn.qualname}"
+                                f"|{call.name}-under-{pin_name}"))
+                        break
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Check: guarded-coverage
+# ---------------------------------------------------------------------------
+
+
+def check_guarded_coverage(project: ProjectIR,
+                           resolver: Resolver) -> List[Finding]:
+    findings: List[Finding] = []
+    seen: Set[str] = set()
+    for fir in project.files:
+        for cls in fir.classes:
+            if not cls.mutex_fields():
+                continue
+            if cls.name in seen:
+                continue
+            seen.add(cls.name)
+            for field in cls.fields:
+                if (field.is_mutex or field.is_condvar or field.is_const
+                        or field.is_static or field.is_reference
+                        or field.is_atomic or field.guarded_by is not None
+                        or field.pt_guarded_by is not None):
+                    continue
+                findings.append(Finding(
+                    check="guarded-coverage", file=cls.file,
+                    line=field.line,
+                    message=f"field '{cls.name}::{field.name}' "
+                            f"({field.type_text}) is mutable state in a "
+                            "mutex-owning class but carries no "
+                            "BLAS_GUARDED_BY/BLAS_PT_GUARDED_BY, is not "
+                            "std::atomic and not const; annotate it, or "
+                            "mark the line with "
+                            "`// blas-analyze: allow(guarded-coverage)` "
+                            "and a reason",
+                    key=f"guarded-coverage|{cls.file}|{cls.name}"
+                        f"|{field.name}"))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+ALL_CHECKS = {
+    "pin-escape": check_pin_escape,
+    "lock-order": check_lock_order,
+    "blocking-under-lock": check_blocking_under_lock,
+    "guarded-coverage": check_guarded_coverage,
+}
+
+
+def run_checks(project: ProjectIR,
+               checks: Optional[Iterable[str]] = None) -> List[Finding]:
+    resolver = Resolver(project)
+    names = list(checks) if checks else list(ALL_CHECKS)
+    findings: List[Finding] = []
+    for name in names:
+        findings.extend(ALL_CHECKS[name](project, resolver))
+    # Drop findings suppressed by an inline allow marker, then dedupe
+    # (the structural frontend can record a call twice when a condition
+    # text reappears in a statement segment).
+    out: List[Finding] = []
+    seen_keys: Set[Tuple[str, int, str]] = set()
+    for f in findings:
+        fir = project.file(f.file)
+        if fir is not None and fir.allowed(f.line, f.check):
+            continue
+        dedupe = (f.check, f.line, f.key)
+        if dedupe in seen_keys:
+            continue
+        seen_keys.add(dedupe)
+        out.append(f)
+    out.sort(key=lambda f: (f.file, f.line, f.check))
+    return out

@@ -1,0 +1,373 @@
+"""libclang frontend: lowers real Clang ASTs to the blas-analyze IR.
+
+Used when the `clang` Python package and a libclang shared object are
+available (CI installs the wheel; the structural frontend covers bare
+environments). Compile flags come from compile_commands.json so the AST
+sees exactly what the build sees; headers (which have no entry in the
+database) are parsed with the flags of an arbitrary TU.
+
+Any failure — import, bad database, parse error — must not take the
+analyzer down: make_parser raises (so --frontend=auto falls back
+entirely), and a per-file parse failure falls back to the structural
+frontend for that one file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import sys
+from typing import Dict, List, Optional
+
+import structural
+from ir import (Assign, Call, ClassInfo, Field, FileIR, FunctionIR, Lambda,
+                LockAcquire, Return, Scope, VarDecl, parse_allow_markers)
+
+import clang.cindex as ci
+
+_ATTR_GUARDED_RE = re.compile(r"guarded_by\s*\(\s*(.+?)\s*\)\s*$", re.S)
+_ATTR_PT_GUARDED_RE = re.compile(r"pt_guarded_by\s*\(\s*(.+?)\s*\)\s*$",
+                                 re.S)
+_ATTR_ACQ_BEFORE_RE = re.compile(r"acquired_before\s*\(\s*(.+?)\s*\)\s*$",
+                                 re.S)
+_ATTR_ACQ_AFTER_RE = re.compile(r"acquired_after\s*\(\s*(.+?)\s*\)\s*$",
+                                re.S)
+_ATTR_REQUIRES_RE = re.compile(r"requires_capability\s*\(\s*(.+?)\s*\)\s*$",
+                               re.S)
+_ATTR_EXCLUDES_RE = re.compile(r"locks_excluded\s*\(\s*(.+?)\s*\)\s*$",
+                               re.S)
+
+_KEEP_ARG_RE = re.compile(r"^(-I|-D|-U|-std=|-isystem|-include|-W|-f)")
+
+
+def _load_compile_args(path: str) -> Dict[str, List[str]]:
+    """file abspath -> clang args (include dirs, defines, std)."""
+    with open(path, encoding="utf-8") as fh:
+        entries = json.load(fh)
+    out: Dict[str, List[str]] = {}
+    for entry in entries:
+        args_raw = entry.get("arguments")
+        if args_raw is None:
+            args_raw = entry.get("command", "").split()
+        args: List[str] = []
+        i = 0
+        while i < len(args_raw):
+            a = args_raw[i]
+            if a in ("-I", "-D", "-U", "-isystem", "-include"):
+                if i + 1 < len(args_raw):
+                    args.extend((a, args_raw[i + 1]))
+                i += 2
+                continue
+            if _KEEP_ARG_RE.match(a):
+                args.append(a)
+            i += 1
+        src = entry.get("file", "")
+        if not os.path.isabs(src):
+            src = os.path.join(entry.get("directory", ""), src)
+        out[os.path.normpath(src)] = args
+    return out
+
+
+class _Lowerer:
+    """Lowers one translation unit's cursors for a single file."""
+
+    def __init__(self, rel_path: str, abs_path: str, text: str):
+        self.rel_path = rel_path
+        self.abs_path = abs_path
+        self.text = text
+        self.fir = FileIR(path=rel_path,
+                          allows=parse_allow_markers(text.splitlines()))
+
+    # -- helpers ---------------------------------------------------------
+
+    def _extent_text(self, node) -> str:
+        ext = node.extent
+        try:
+            if ext.start.file is None or \
+                    os.path.normpath(ext.start.file.name) != self.abs_path:
+                return ""
+            return self.text[ext.start.offset:ext.end.offset]
+        except (AttributeError, IndexError):
+            return ""
+
+    def _in_file(self, cursor) -> bool:
+        loc = cursor.location
+        return loc.file is not None and \
+            os.path.normpath(loc.file.name) == self.abs_path
+
+    @staticmethod
+    def _class_path(cursor) -> Optional[str]:
+        """Lexical class-nesting path of `cursor`'s semantic parent,
+        namespaces dropped (matches the structural frontend)."""
+        parts: List[str] = []
+        node = cursor.semantic_parent
+        while node is not None:
+            if node.kind in (ci.CursorKind.CLASS_DECL,
+                             ci.CursorKind.STRUCT_DECL,
+                             ci.CursorKind.UNION_DECL,
+                             ci.CursorKind.CLASS_TEMPLATE):
+                parts.append(node.spelling)
+            node = node.semantic_parent
+        return "::".join(reversed(parts)) if parts else None
+
+    def _attrs_text(self, cursor) -> List[str]:
+        out = []
+        for child in cursor.get_children():
+            if child.kind.is_attribute():
+                out.append(self._extent_text(child))
+        return out
+
+    # -- classes ---------------------------------------------------------
+
+    def lower_class(self, cursor) -> None:
+        path = self._class_path(cursor)
+        name = (path + "::" + cursor.spelling) if path else cursor.spelling
+        info = ClassInfo(name=name, file=self.rel_path,
+                         line=cursor.location.line)
+        for child in cursor.get_children():
+            if child.kind == ci.CursorKind.FIELD_DECL:
+                info.fields.append(self._lower_field(child))
+            elif child.kind == ci.CursorKind.VAR_DECL:
+                f = self._lower_field(child)
+                f.is_static = True
+                info.fields.append(f)
+        self.fir.classes.append(info)
+
+    def _lower_field(self, cursor) -> Field:
+        ftype = cursor.type
+        spelling = ftype.spelling
+        guarded = pt_guarded = None
+        before: List[str] = []
+        after: List[str] = []
+        for attr in self._attrs_text(cursor):
+            for rx, sink in ((_ATTR_ACQ_BEFORE_RE, before),
+                             (_ATTR_ACQ_AFTER_RE, after)):
+                m = rx.search(attr)
+                if m:
+                    sink.extend(a.strip() for a in m.group(1).split(","))
+            m = _ATTR_GUARDED_RE.search(attr)
+            if m:
+                guarded = m.group(1)
+            m = _ATTR_PT_GUARDED_RE.search(attr)
+            if m:
+                pt_guarded = m.group(1)
+        canon = ftype.get_canonical()
+        is_ref = canon.kind in (ci.TypeKind.LVALUEREFERENCE,
+                                ci.TypeKind.RVALUEREFERENCE)
+        # `T* const` -> the pointer itself is const; `const T*` is not.
+        is_const = canon.is_const_qualified()
+        base = re.sub(r"^const\s+", "", spelling)
+        return Field(
+            name=cursor.spelling,
+            type_text=spelling,
+            line=cursor.location.line,
+            is_mutable=False,
+            is_const=is_const,
+            is_atomic=bool(re.match(r"^(std::)?atomic<", base)),
+            is_reference=is_ref,
+            is_mutex=bool(re.search(r"(^|::)Mutex$", base)),
+            is_condvar=bool(re.search(r"(^|::)CondVar$", base)),
+            guarded_by=guarded,
+            pt_guarded_by=pt_guarded,
+            acquired_before=before,
+            acquired_after=after,
+        )
+
+    # -- functions -------------------------------------------------------
+
+    def lower_function(self, cursor) -> None:
+        body = None
+        for child in cursor.get_children():
+            if child.kind == ci.CursorKind.COMPOUND_STMT:
+                body = child
+        if body is None:
+            return
+        cls = self._class_path(cursor)
+        qualname = (cls + "::" + cursor.spelling) if cls \
+            else cursor.spelling
+        requires: List[str] = []
+        excludes: List[str] = []
+        for attr in self._attrs_text(cursor):
+            m = _ATTR_REQUIRES_RE.search(attr)
+            if m:
+                requires.extend(a.strip() for a in m.group(1).split(","))
+            m = _ATTR_EXCLUDES_RE.search(attr)
+            if m:
+                excludes.extend(a.strip() for a in m.group(1).split(","))
+        scope = Scope(start_line=body.extent.start.line,
+                      end_line=body.extent.end.line)
+        self._lower_stmts(body, scope)
+        self.fir.functions.append(FunctionIR(
+            qualname=qualname, cls=cls, file=self.rel_path,
+            line=cursor.location.line,
+            return_type=cursor.result_type.spelling if
+            cursor.result_type is not None else "",
+            body=scope, requires=requires, excludes=excludes))
+
+    def _lower_stmts(self, node, scope: Scope) -> None:
+        for child in node.get_children():
+            self._lower_one(child, scope)
+
+    def _lower_one(self, node, scope: Scope) -> None:
+        kind = node.kind
+        if kind == ci.CursorKind.COMPOUND_STMT:
+            child = Scope(start_line=node.extent.start.line,
+                          end_line=node.extent.end.line, parent=scope)
+            scope.children.append(child)
+            self._lower_stmts(node, child)
+            return
+        if kind == ci.CursorKind.LAMBDA_EXPR:
+            body = Scope(start_line=node.extent.start.line,
+                         end_line=node.extent.end.line, parent=scope,
+                         is_lambda_body=True)
+            text = self._extent_text(node)
+            capture = text[:text.index("]") + 1] if "]" in text else ""
+            scope.children.append(body)
+            scope.lambdas.append(Lambda(capture_text=capture,
+                                        line=node.extent.start.line,
+                                        body=body))
+            for child in node.get_children():
+                if child.kind == ci.CursorKind.COMPOUND_STMT:
+                    self._lower_stmts(child, body)
+            return
+        if kind == ci.CursorKind.VAR_DECL:
+            self._lower_var(node, scope)
+            return
+        if kind == ci.CursorKind.RETURN_STMT:
+            text = self._extent_text(node)
+            expr = re.sub(r"^\s*return\b", "", text).strip().rstrip(";")
+            scope.returns.append(Return(expr=expr,
+                                        line=node.extent.start.line))
+            self._lower_stmts(node, scope)
+            return
+        if kind in (ci.CursorKind.CALL_EXPR,):
+            self._lower_call(node, scope)
+            self._lower_stmts(node, scope)
+            return
+        if kind == ci.CursorKind.BINARY_OPERATOR:
+            children = list(node.get_children())
+            if len(children) == 2:
+                lhs_t = self._extent_text(children[0]).strip()
+                rhs_t = self._extent_text(children[1]).strip()
+                whole = self._extent_text(node)
+                mid = whole[len(self._extent_text(children[0])):]
+                if mid.lstrip().startswith("=") and \
+                        not mid.lstrip().startswith("=="):
+                    lhs = re.sub(r"^\(?\s*this\s*->\s*", "this->",
+                                 lhs_t)
+                    scope.assigns.append(Assign(
+                        lhs=lhs, rhs=rhs_t,
+                        line=node.extent.start.line))
+            self._lower_stmts(node, scope)
+            return
+        self._lower_stmts(node, scope)
+
+    def _lower_var(self, node, scope: Scope) -> None:
+        type_text = node.type.spelling
+        init_text = ""
+        for child in node.get_children():
+            if child.kind.is_expression():
+                init_text = self._extent_text(child)
+        decl = VarDecl(name=node.spelling, type_text=type_text,
+                       line=node.location.line, init_text=init_text)
+        scope.decls.append(decl)
+        if re.search(r"(^|::)MutexLock$", re.sub(r"^const\s+", "",
+                                                 type_text)):
+            mutex_expr = init_text
+            m = re.search(r"\(\s*(.*?)\s*\)\s*$", init_text, re.S)
+            if m:
+                mutex_expr = m.group(1)
+            scope.locks.append(LockAcquire(
+                var_name=node.spelling, mutex_expr=mutex_expr.strip(),
+                mutex_id="", line=node.location.line, scope=scope))
+        self._lower_stmts(node, scope)
+
+    def _lower_call(self, node, scope: Scope) -> None:
+        name = node.spelling
+        if not name:
+            return
+        base = None
+        text = self._extent_text(node)
+        m = re.match(r"\s*([A-Za-z_]\w*)\s*(?:\.|->|::)", text)
+        if m and m.group(1) != name:
+            base = m.group(1)
+        arg_text = ""
+        args = list(node.get_arguments())
+        if args:
+            arg_text = ", ".join(self._extent_text(a) for a in args)
+        scope.calls.append(Call(name=name, base=base,
+                                line=node.extent.start.line,
+                                arg_text=arg_text))
+        if name == "Lock" and base is not None:
+            scope.locks.append(LockAcquire(
+                var_name="", mutex_expr=text.split(".")[0].split("->")[0],
+                mutex_id="", line=node.extent.start.line, scope=scope))
+        elif name == "Unlock" and base is not None:
+            target = text.split(".")[0].split("->")[0]
+            for acq in reversed(scope.locks):
+                if (acq.var_name == "" and acq.mutex_expr == target
+                        and acq.release_line is None):
+                    acq.release_line = node.extent.start.line
+                    break
+
+
+def _walk_toplevel(lowerer: _Lowerer, cursor) -> None:
+    for child in cursor.get_children():
+        if not lowerer._in_file(child):
+            continue
+        kind = child.kind
+        if kind in (ci.CursorKind.NAMESPACE,
+                    ci.CursorKind.UNEXPOSED_DECL,
+                    ci.CursorKind.LINKAGE_SPEC):
+            _walk_toplevel(lowerer, child)
+        elif kind in (ci.CursorKind.CLASS_DECL, ci.CursorKind.STRUCT_DECL,
+                      ci.CursorKind.CLASS_TEMPLATE):
+            if child.is_definition():
+                lowerer.lower_class(child)
+                # Methods defined inline + nested classes.
+                _walk_toplevel(lowerer, child)
+        elif kind in (ci.CursorKind.CXX_METHOD,
+                      ci.CursorKind.FUNCTION_DECL,
+                      ci.CursorKind.CONSTRUCTOR,
+                      ci.CursorKind.DESTRUCTOR,
+                      ci.CursorKind.FUNCTION_TEMPLATE):
+            if child.is_definition():
+                lowerer.lower_function(child)
+
+
+def make_parser(compile_commands_path: str):
+    """Returns parse(repo_root, rel_path) -> FileIR. Raises when libclang
+    is unusable (the caller falls back to the structural frontend)."""
+    index = ci.Index.create()
+    db: Dict[str, List[str]] = {}
+    if os.path.exists(compile_commands_path):
+        db = _load_compile_args(compile_commands_path)
+    default_args = next(iter(db.values()), [])
+    base_args = ["-x", "c++", "-std=c++17"]
+
+    def parse(repo_root: str, rel_path: str) -> FileIR:
+        abs_path = os.path.normpath(os.path.join(repo_root, rel_path))
+        args = db.get(abs_path, default_args)
+        try:
+            tu = index.parse(
+                abs_path, args=base_args + list(args),
+                options=ci.TranslationUnit
+                .PARSE_DETAILED_PROCESSING_RECORD)
+            with open(abs_path, encoding="utf-8",
+                      errors="replace") as fh:
+                text = fh.read()
+            lowerer = _Lowerer(rel_path, abs_path, text)
+            _walk_toplevel(lowerer, tu.cursor)
+            if not lowerer.fir.classes and not lowerer.fir.functions \
+                    and text.strip():
+                # An AST that lowered to nothing for a non-empty file
+                # usually means hard errors; use the structural view.
+                return structural.parse_file(repo_root, rel_path)
+            return lowerer.fir
+        except Exception as exc:  # noqa: BLE001 - per-file fallback
+            print(f"blas-analyze: libclang failed on {rel_path} ({exc}); "
+                  "structural fallback for this file", file=sys.stderr)
+            return structural.parse_file(repo_root, rel_path)
+
+    return parse

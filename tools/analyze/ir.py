@@ -1,0 +1,293 @@
+"""Intermediate representation shared by every blas-analyze frontend.
+
+A frontend (structural or libclang) reduces each translation unit to this
+IR; the checks in checks.py run only against the IR, so both frontends
+enforce identical rules. The IR is deliberately small: scopes, typed
+declarations, lock acquisitions, calls, returns and assignments inside
+function bodies, plus a class table of fields and their thread-safety
+annotations. That is exactly the vocabulary the four checks reason in.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from typing import Dict, List, Optional, Set, Tuple
+
+# Inline suppression: `// blas-analyze: allow(check-a, check-b) -- reason`
+# on the finding line or the line directly above it.
+ALLOW_RE = re.compile(r"blas-analyze:\s*allow\(([a-z\-,\s]+)\)")
+
+CHECK_NAMES = (
+    "pin-escape",
+    "lock-order",
+    "blocking-under-lock",
+    "guarded-coverage",
+)
+
+
+@dataclasses.dataclass
+class Field:
+    """One data member of a class."""
+
+    name: str
+    type_text: str
+    line: int
+    is_mutable: bool = False
+    is_static: bool = False
+    is_const: bool = False
+    is_atomic: bool = False
+    is_reference: bool = False
+    is_mutex: bool = False
+    is_condvar: bool = False
+    guarded_by: Optional[str] = None
+    pt_guarded_by: Optional[str] = None
+    # BLAS_ACQUIRED_BEFORE/AFTER argument lists on mutex members.
+    acquired_before: List[str] = dataclasses.field(default_factory=list)
+    acquired_after: List[str] = dataclasses.field(default_factory=list)
+
+
+@dataclasses.dataclass
+class ClassInfo:
+    """A class/struct, qualified by its lexical class nesting (Outer::Inner;
+    namespaces are intentionally dropped — the project is one namespace
+    deep and check logic matches on the class-nesting path only)."""
+
+    name: str
+    file: str
+    line: int
+    fields: List[Field] = dataclasses.field(default_factory=list)
+
+    def field(self, name: str) -> Optional[Field]:
+        for f in self.fields:
+            if f.name == name:
+                return f
+        return None
+
+    def mutex_fields(self) -> List[Field]:
+        return [f for f in self.fields if f.is_mutex]
+
+
+@dataclasses.dataclass
+class VarDecl:
+    """A local variable declaration inside a function scope."""
+
+    name: str
+    type_text: str
+    line: int
+    init_text: str = ""
+
+
+@dataclasses.dataclass
+class Call:
+    """One call site. `name` is the last path component (`Append` for
+    `writer_->Append(...)`), `base` the receiver expression if any."""
+
+    name: str
+    base: Optional[str]
+    line: int
+    arg_text: str = ""
+
+
+@dataclasses.dataclass
+class Assign:
+    lhs: str
+    rhs: str
+    line: int
+
+
+@dataclasses.dataclass
+class Return:
+    expr: str
+    line: int
+
+
+@dataclasses.dataclass
+class LockAcquire:
+    """A critical section: RAII MutexLock, manual Lock()/Unlock() pair, or
+    a TryLock-guarded branch. Live from `line` to the end of `scope`
+    (or `release_line` when an explicit Unlock was matched)."""
+
+    var_name: str  # lock variable ("" for manual acquisitions)
+    mutex_expr: str  # source text of the mutex operand
+    mutex_id: str  # resolved identity, e.g. "LiveCollection::state_mu_"
+    line: int
+    scope: "Scope"
+    is_try: bool = False
+    release_line: Optional[int] = None
+
+    def live_at(self, line: int) -> bool:
+        if line < self.line:
+            return False
+        end = self.release_line if self.release_line is not None \
+            else self.scope.end_line
+        return line <= end
+
+
+@dataclasses.dataclass
+class Lambda:
+    """A lambda expression: its capture list plus the scope of its body."""
+
+    capture_text: str
+    line: int
+    body: "Scope"
+
+
+@dataclasses.dataclass
+class Scope:
+    """A lexical brace scope inside a function body."""
+
+    start_line: int
+    end_line: int
+    # True when this scope is the body of a lambda: code inside runs in a
+    # deferred execution context, so locks held lexically outside it are
+    # NOT held when it runs.
+    is_lambda_body: bool = False
+    parent: Optional["Scope"] = None
+    children: List["Scope"] = dataclasses.field(default_factory=list)
+    decls: List[VarDecl] = dataclasses.field(default_factory=list)
+    locks: List[LockAcquire] = dataclasses.field(default_factory=list)
+    calls: List[Call] = dataclasses.field(default_factory=list)
+    assigns: List[Assign] = dataclasses.field(default_factory=list)
+    returns: List[Return] = dataclasses.field(default_factory=list)
+    lambdas: List[Lambda] = dataclasses.field(default_factory=list)
+
+    def walk(self):
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def is_ancestor_of(self, other: "Scope") -> bool:
+        node = other.parent
+        while node is not None:
+            if node is self:
+                return True
+            node = node.parent
+        return False
+
+    def find_decl(self, name: str) -> Optional[VarDecl]:
+        """Innermost-first lookup of `name` from this scope outward."""
+        node: Optional[Scope] = self
+        while node is not None:
+            for d in node.decls:
+                if d.name == name:
+                    return d
+            node = node.parent
+        return None
+
+
+@dataclasses.dataclass
+class FunctionIR:
+    """One function definition with a body."""
+
+    qualname: str  # "LiveCollection::PublishBatch" or a free function name
+    cls: Optional[str]  # enclosing class-nesting path, if a method
+    file: str
+    line: int
+    return_type: str
+    body: Scope
+    requires: List[str] = dataclasses.field(default_factory=list)
+    excludes: List[str] = dataclasses.field(default_factory=list)
+
+    def all_locks(self) -> List[LockAcquire]:
+        out: List[LockAcquire] = []
+        for scope in self.body.walk():
+            out.extend(scope.locks)
+        return out
+
+    def all_calls(self) -> List[Tuple[Scope, Call]]:
+        out: List[Tuple[Scope, Call]] = []
+        for scope in self.body.walk():
+            for c in scope.calls:
+                out.append((scope, c))
+        return out
+
+
+@dataclasses.dataclass
+class FileIR:
+    path: str  # repo-relative
+    classes: List[ClassInfo] = dataclasses.field(default_factory=list)
+    functions: List[FunctionIR] = dataclasses.field(default_factory=list)
+    # line -> set of check names allowed on that line (and the next).
+    allows: Dict[int, Set[str]] = dataclasses.field(default_factory=dict)
+
+    def allowed(self, line: int, check: str) -> bool:
+        """A marker suppresses findings on its own line and the line below
+        (so a marker comment can sit above a long statement)."""
+        for probe in (line, line - 1):
+            if check in self.allows.get(probe, set()):
+                return True
+        return False
+
+
+@dataclasses.dataclass
+class Finding:
+    check: str
+    file: str
+    line: int
+    message: str
+    # Line-number-independent identity for the suppression baseline.
+    key: str
+
+    def text(self) -> str:
+        return f"{self.file}:{self.line}: [{self.check}] {self.message}"
+
+    def to_json(self) -> dict:
+        return {
+            "check": self.check,
+            "file": self.file,
+            "line": self.line,
+            "message": self.message,
+            "key": self.key,
+        }
+
+
+class ProjectIR:
+    """All parsed files plus the merged class table."""
+
+    def __init__(self, files: List[FileIR]):
+        self.files = files
+        self.classes: Dict[str, ClassInfo] = {}
+        for f in files:
+            for c in f.classes:
+                # Headers win over redefinitions; first definition with
+                # fields wins over an empty forward view.
+                existing = self.classes.get(c.name)
+                if existing is None or (not existing.fields and c.fields):
+                    self.classes[c.name] = c
+        # Unqualified tail -> candidate qualified names ("Shared" ->
+        # ["CollectionCursor::Shared", ...]).
+        self.by_tail: Dict[str, List[str]] = {}
+        for name in self.classes:
+            self.by_tail.setdefault(name.split("::")[-1], []).append(name)
+
+    def functions(self) -> List[FunctionIR]:
+        out: List[FunctionIR] = []
+        for f in self.files:
+            out.extend(f.functions)
+        return out
+
+    def file(self, path: str) -> Optional[FileIR]:
+        for f in self.files:
+            if f.path == path:
+                return f
+        return None
+
+    def resolve_class(self, name: str) -> Optional[ClassInfo]:
+        if name in self.classes:
+            return self.classes[name]
+        tails = self.by_tail.get(name.split("::")[-1], [])
+        if len(tails) == 1:
+            return self.classes[tails[0]]
+        return None
+
+
+def parse_allow_markers(raw_lines: List[str]) -> Dict[int, Set[str]]:
+    allows: Dict[int, Set[str]] = {}
+    for lineno, line in enumerate(raw_lines, start=1):
+        m = ALLOW_RE.search(line)
+        if not m:
+            continue
+        checks = {c.strip() for c in m.group(1).split(",") if c.strip()}
+        allows.setdefault(lineno, set()).update(checks)
+    return allows

@@ -1,0 +1,722 @@
+"""Dependency-free structural frontend for blas-analyze.
+
+Parses C++ sources into the shared IR (ir.py) with a real lexical model —
+a brace-scope tree, typed local declarations, RAII/manual lock
+acquisitions, call sites, returns, member assignments and a class table —
+without a compiler. It is not a C++ parser; it is a scope-and-declaration
+scanner tuned to this codebase's vocabulary (the tools/lint.py invariants
+keep that vocabulary closed: every lock is a blas::Mutex, every scoped
+acquisition a MutexLock). The libclang frontend (clang_frontend.py)
+produces the same IR from a real AST when the bindings are available; the
+checks cannot tell the two apart.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from typing import Dict, List, Optional, Tuple
+
+from ir import (Assign, Call, ClassInfo, Field, FileIR, FunctionIR, Lambda,
+                LockAcquire, Return, Scope, VarDecl, parse_allow_markers)
+
+# ---------------------------------------------------------------------------
+# Text preparation
+# ---------------------------------------------------------------------------
+
+
+def blank_comments_and_strings(text: str) -> str:
+    """Replaces comment bodies and string/char literal bodies with spaces,
+    preserving every newline and character offset."""
+    out = list(text)
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            while i < n and text[i] != "\n":
+                out[i] = " "
+                i += 1
+        elif c == "/" and nxt == "*":
+            out[i] = out[i + 1] = " "
+            i += 2
+            while i + 1 < n and not (text[i] == "*" and text[i + 1] == "/"):
+                if text[i] != "\n":
+                    out[i] = " "
+                i += 1
+            if i + 1 < n:
+                out[i] = out[i + 1] = " "
+                i += 2
+        elif c in "\"'":
+            quote = c
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\":
+                    if text[i] != "\n":
+                        out[i] = " "
+                    i += 1
+                    if i < n and text[i] != "\n":
+                        out[i] = " "
+                    i += 1
+                    continue
+                if text[i] != "\n":
+                    out[i] = " "
+                i += 1
+            i += 1  # past the closing quote
+        else:
+            i += 1
+    return "".join(out)
+
+
+def strip_preprocessor(text: str) -> str:
+    """Blanks preprocessor lines (#include, #define, ...) including their
+    backslash continuations, preserving newlines."""
+    lines = text.split("\n")
+    in_directive = False
+    for idx, line in enumerate(lines):
+        stripped = line.lstrip()
+        if in_directive or stripped.startswith("#"):
+            in_directive = line.rstrip().endswith("\\")
+            lines[idx] = " " * len(line)
+        else:
+            in_directive = False
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Brace-tree construction
+# ---------------------------------------------------------------------------
+
+
+class Block:
+    """One `{...}` region: header text (from the previous statement
+    boundary to the `{`), body span, and nested child blocks."""
+
+    __slots__ = ("header", "start", "end", "children", "kind", "name",
+                 "line", "body_start")
+
+    def __init__(self, header: str, start: int, line: int):
+        self.header = header
+        self.start = start  # offset of '{'
+        self.body_start = start + 1
+        self.end = -1  # offset of matching '}'
+        self.children: List["Block"] = []
+        self.kind = ""  # namespace | class | function | control | lambda |
+        #               # init | enum
+        self.name = ""
+        self.line = line
+
+
+CONTROL_KEYWORDS = ("if", "for", "while", "switch", "catch", "else", "do",
+                    "try", "case", "default")
+
+# Trailing function qualifiers/annotations stripped before classifying a
+# block header as a function definition.
+_TRAILER_RE = re.compile(
+    r"\s*(const|noexcept|override|final|mutable|->\s*[\w:<>,*&\s]+"
+    r"|BLAS_[A-Z_]+(\([^()]*(\([^()]*\))?[^()]*\))?"
+    r"|__attribute__\s*\(\([^)]*\)\)"
+    r"|noexcept\s*\([^)]*\))\s*$")
+
+_CLASS_RE = re.compile(
+    r"\b(class|struct)\s+(?:BLAS_[A-Z_]+\s*(?:\([^)]*\))?\s*"
+    r"|\[\[[^\]]*\]\]\s*|alignas\s*\([^)]*\)\s*)*([A-Za-z_]\w*)"
+    r"(?:\s*final)?\s*(?::[^;{]*)?$")
+
+_NAMESPACE_RE = re.compile(r"\bnamespace\s*([A-Za-z_]\w*)?\s*$")
+
+
+def _strip_trailers(header: str) -> str:
+    prev = None
+    while prev != header:
+        prev = header
+        header = _TRAILER_RE.sub("", header).rstrip()
+        # A constructor initializer list: "...) : member_(x), member_{y}"
+        # — cut everything after a top-level ") :" back to the ")".
+        m = _match_init_list(header)
+        if m is not None:
+            header = m
+    return header
+
+
+def _match_init_list(header: str) -> Optional[str]:
+    """If header looks like `...) : inits`, returns the prefix ending at
+    the `)`; else None."""
+    depth = 0
+    for i, c in enumerate(header):
+        if c in "([":
+            depth += 1
+        elif c in ")]":
+            depth -= 1
+        elif c == ":" and depth == 0:
+            if i + 1 < len(header) and header[i + 1] == ":":
+                continue  # part of ::
+            if i > 0 and header[i - 1] == ":":
+                continue
+            prefix = header[:i].rstrip()
+            if prefix.endswith(")"):
+                return prefix
+    return None
+
+
+def _classify(block: Block, enclosing: Optional[Block]) -> None:
+    header = " ".join(block.header.split())
+    if not header:
+        # Bare scope block (or a namespace continuation) — treat as
+        # control so its contents still parse as statements.
+        block.kind = "control"
+        return
+    m = _NAMESPACE_RE.search(header)
+    if m:
+        block.kind = "namespace"
+        block.name = m.group(1) or ""
+        return
+    if re.search(r"\benum\b", header):
+        block.kind = "enum"
+        return
+    m = _CLASS_RE.search(header)
+    if m:
+        block.kind = "class"
+        block.name = m.group(2)
+        return
+    # Lambda introducer directly before the brace (`[...](...){`,
+    # `[...] {`, possibly with mutable/-> type trailers).
+    lam = re.search(r"\[([^\[\]]*)\]\s*(\([^)]*\))?\s*"
+                    r"(mutable\s*)?(->\s*[\w:<>,*&\s]+)?$", header)
+    if lam is not None and (lam.group(2) is not None
+                            or header.rstrip().endswith("]")):
+        block.kind = "lambda"
+        block.name = lam.group(1)
+        return
+    stripped = _strip_trailers(header)
+    first_word = re.match(r"[A-Za-z_]\w*", stripped)
+    if first_word and first_word.group(0) in CONTROL_KEYWORDS:
+        block.kind = "control"
+        return
+    if stripped.endswith("="):
+        block.kind = "init"  # brace initializer: `int a[] = {...}`
+        return
+    if stripped.endswith(")"):
+        name = _function_name(stripped)
+        if name:
+            block.kind = "function"
+            block.name = name
+            return
+    block.kind = "control"
+
+
+def _function_name(header: str) -> Optional[str]:
+    """Extracts the (possibly qualified) function name from a header that
+    ends with the parameter list's `)`."""
+    # Find the matching '(' of the final ')'.
+    depth = 0
+    open_idx = -1
+    for i in range(len(header) - 1, -1, -1):
+        c = header[i]
+        if c == ")":
+            depth += 1
+        elif c == "(":
+            depth -= 1
+            if depth == 0:
+                open_idx = i
+                break
+    if open_idx <= 0:
+        return None
+    before = header[:open_idx].rstrip()
+    m = re.search(r"((?:[A-Za-z_]\w*::)*(?:~?[A-Za-z_]\w*|operator[^\s]*))$",
+                  before)
+    if not m:
+        return None
+    name = m.group(1)
+    kw = name.split("::")[-1]
+    if kw in CONTROL_KEYWORDS or kw in ("return", "sizeof", "alignof",
+                                        "decltype", "static_assert"):
+        return None
+    return name
+
+
+def build_block_tree(text: str) -> List[Block]:
+    """Parses blanked text into a forest of brace blocks."""
+    roots: List[Block] = []
+    stack: List[Block] = []
+    header_start = 0
+    line = 1
+    i, n = 0, len(text)
+    lines_before = [0]  # running newline count, maintained inline
+    newlines_upto = 0
+    last_boundary = 0
+    for i in range(n):
+        c = text[i]
+        if c == "\n":
+            newlines_upto += 1
+            continue
+        if c == "{":
+            header = text[last_boundary:i]
+            blk = Block(header, i, newlines_upto + 1)
+            parent = stack[-1] if stack else None
+            _classify(blk, parent)
+            if parent is not None:
+                parent.children.append(blk)
+            else:
+                roots.append(blk)
+            stack.append(blk)
+            last_boundary = i + 1
+        elif c == "}":
+            if stack:
+                stack[-1].end = i
+                stack.pop()
+            last_boundary = i + 1
+        elif c == ";":
+            last_boundary = i + 1
+    return roots
+
+
+# ---------------------------------------------------------------------------
+# Class parsing
+# ---------------------------------------------------------------------------
+
+_GUARDED_RE = re.compile(r"BLAS_GUARDED_BY\s*\(([^()]*(?:\([^()]*\))?[^()]*)\)")
+_PT_GUARDED_RE = re.compile(
+    r"BLAS_PT_GUARDED_BY\s*\(([^()]*(?:\([^()]*\))?[^()]*)\)")
+_ACQ_BEFORE_RE = re.compile(r"BLAS_ACQUIRED_BEFORE\s*\(([^)]*)\)")
+_ACQ_AFTER_RE = re.compile(r"BLAS_ACQUIRED_AFTER\s*\(([^)]*)\)")
+
+_FIELD_SKIP_RE = re.compile(
+    r"^\s*(public|private|protected)\s*$|^\s*(using|typedef|friend|template"
+    r"|static_assert|enum)\b")
+
+
+def _split_statements(text: str, base_offset: int,
+                      children: List[Block]) -> List[Tuple[int, str]]:
+    """Splits a block body (child blocks excluded) into `;`-terminated
+    statements at paren depth 0. Returns (offset, text) pairs; the text of
+    a statement whose body contained a child block keeps a '{}'
+    placeholder so regexes don't cross it."""
+    # Blank out child block bodies, keep newlines.
+    buf = list(text)
+    for child in children:
+        lo = child.start - base_offset
+        hi = (child.end if child.end >= 0 else base_offset + len(text)) \
+            - base_offset
+        for k in range(lo + 1, min(hi, len(buf))):
+            if buf[k] != "\n":
+                buf[k] = " "
+    blanked = "".join(buf)
+    out: List[Tuple[int, str]] = []
+    depth = 0
+    start = 0
+    for i, c in enumerate(blanked):
+        if c in "([":
+            depth += 1
+        elif c in ")]":
+            depth = max(0, depth - 1)
+        elif c in ";}" and depth == 0:
+            stmt = blanked[start:i]
+            if stmt.strip():
+                out.append((base_offset + start, stmt))
+            start = i + 1
+        elif c == ":" and depth == 0:
+            # Access specifier / label boundary ("public:"), but not "::".
+            prev = blanked[i - 1] if i > 0 else ""
+            nxt = blanked[i + 1] if i + 1 < len(blanked) else ""
+            if prev != ":" and nxt != ":":
+                seg = blanked[start:i].strip()
+                if seg in ("public", "private", "protected", "default",
+                           "case") or seg.startswith("case "):
+                    start = i + 1
+    tail = blanked[start:]
+    if tail.strip():
+        out.append((base_offset + start, tail))
+    return out
+
+
+_MUTEX_TYPE_RE = re.compile(r"(?:^|[\s:<])(?:blas::)?Mutex\s*$")
+_CONDVAR_TYPE_RE = re.compile(r"(?:^|[\s:<])(?:blas::)?CondVar\s*$")
+
+
+def _parse_field(stmt: str, line: int) -> Optional[Field]:
+    text = stmt.strip()
+    if not text or _FIELD_SKIP_RE.match(text):
+        return None
+    guarded = _GUARDED_RE.search(text)
+    pt_guarded = _PT_GUARDED_RE.search(text)
+    acq_before = _ACQ_BEFORE_RE.search(text)
+    acq_after = _ACQ_AFTER_RE.search(text)
+    for rx in (_GUARDED_RE, _PT_GUARDED_RE, _ACQ_BEFORE_RE, _ACQ_AFTER_RE):
+        text = rx.sub(" ", text)
+    text = re.sub(r"\[\[[^\]]*\]\]", " ", text).strip()
+    # Cut a default initializer: `= expr` or trailing `{...}` (the block
+    # tree already blanked brace bodies; a flat `{0}` survives here).
+    text = _cut_initializer(text)
+    if not text or "operator" in text:
+        return None
+    if re.match(r"^(struct|class|union)\s+[A-Za-z_]\w*$", text):
+        return None  # forward declaration
+    # A declaration with a top-level '(' is a function/ctor declaration,
+    # not a field (template args were handled by _cut_initializer's
+    # angle-aware scan below).
+    if _has_toplevel_paren(text):
+        return None
+    m = re.match(r"^((?:mutable|static|constexpr|inline|volatile)\s+)*(.+)$",
+                 text, re.S)
+    quals = text[:m.start(2)] if m else ""
+    rest = (m.group(2) if m else text).strip()
+    dm = re.match(r"^(.*?[\s&*>])\s*([A-Za-z_]\w*)\s*(\[[^\]]*\])?\s*$",
+                  rest, re.S)
+    if not dm:
+        return None
+    type_text = dm.group(1).strip()
+    name = dm.group(2)
+    if not type_text or type_text.endswith(("::", ",")):
+        return None
+    is_const = bool(re.match(r"^\s*const\b", type_text)) and \
+        "*" not in type_text.split("const")[-1]
+    # `const T* p` is a mutable pointer to const; only a const
+    # *object/pointer itself* is immutable. Approximate: const qualifies
+    # the field iff the declarator has no '*' after the const, or ends
+    # with "* const".
+    if "*" in type_text:
+        is_const = bool(re.search(r"\*\s*const\s*$", type_text))
+    return Field(
+        name=name,
+        type_text=type_text,
+        line=line,
+        is_mutable="mutable" in quals,
+        is_static="static" in quals or "constexpr" in quals,
+        is_const=is_const or "constexpr" in quals,
+        is_atomic=bool(re.match(r"^(std::)?atomic\s*<", type_text)),
+        is_reference=type_text.endswith("&"),
+        is_mutex=_MUTEX_TYPE_RE.search(type_text) is not None,
+        is_condvar=_CONDVAR_TYPE_RE.search(type_text) is not None,
+        guarded_by=guarded.group(1).strip() if guarded else None,
+        pt_guarded_by=pt_guarded.group(1).strip() if pt_guarded else None,
+        acquired_before=[a.strip() for a in acq_before.group(1).split(",")]
+        if acq_before else [],
+        acquired_after=[a.strip() for a in acq_after.group(1).split(",")]
+        if acq_after else [],
+    )
+
+
+def _cut_initializer(text: str) -> str:
+    depth_angle = 0
+    depth = 0
+    for i, c in enumerate(text):
+        if c == "<":
+            prev = text[i - 1] if i > 0 else ""
+            if prev.isalnum() or prev in "_>":
+                depth_angle += 1
+        elif c == ">" and depth_angle > 0:
+            depth_angle -= 1
+        elif c in "([":
+            depth += 1
+        elif c in ")]":
+            depth = max(0, depth - 1)
+        elif c in "={" and depth == 0 and depth_angle == 0:
+            if c == "=" and i + 1 < len(text) and text[i + 1] == "=":
+                continue
+            return text[:i].strip()
+    return text.strip()
+
+
+def _has_toplevel_paren(text: str) -> bool:
+    depth_angle = 0
+    for i, c in enumerate(text):
+        if c == "<":
+            prev = text[i - 1] if i > 0 else ""
+            if prev.isalnum() or prev in "_>":
+                depth_angle += 1
+        elif c == ">" and depth_angle > 0:
+            depth_angle -= 1
+        elif c == "(" and depth_angle == 0:
+            return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Function-body parsing
+# ---------------------------------------------------------------------------
+
+_CALL_RE = re.compile(
+    r"((?:[A-Za-z_][\w]*(?:::|\.|->))*)(~?[A-Za-z_]\w*)\s*\(")
+_NOT_CALLS = frozenset((
+    "if", "for", "while", "switch", "return", "sizeof", "alignof",
+    "decltype", "catch", "static_assert", "assert", "defined", "case",
+    "static_cast", "const_cast", "reinterpret_cast", "dynamic_cast",
+    "alignas", "noexcept", "new", "delete", "throw", "co_await", "co_return",
+))
+
+_DECL_RE = re.compile(
+    r"^\s*(?:(?:const|constexpr|static|volatile|inline|mutable)\s+)*"
+    r"(?:auto|[A-Za-z_][\w]*(?:::[A-Za-z_]\w*)*(?:<[^;{}]*>)?"
+    r"(?:::[A-Za-z_]\w*)*)\s*[&*]*\s*"
+    r"(?<=[\s&*])([A-Za-z_]\w*)\s*(=|\(|\{|;|$)", re.S)
+
+_ASSIGN_RE = re.compile(
+    r"^\s*((?:this->)?[A-Za-z_]\w*(?:(?:\.|->)[A-Za-z_]\w*)*"
+    r"(?:\[[^\]]*\])?)\s*[+\-|&^]?=(?!=)\s*(.*)$", re.S)
+
+_RETURN_RE = re.compile(r"^\s*return\b\s*(.*)$", re.S)
+
+
+def _line_of(offset: int, newline_index: List[int]) -> int:
+    """1-based line number of a character offset via binary search over
+    newline offsets."""
+    import bisect
+    return bisect.bisect_right(newline_index, offset) + 1
+
+
+def _extract_arg(stmt: str, after: int) -> str:
+    """Returns the text of the parenthesized argument list starting at
+    offset `after` (which must point at '(')."""
+    depth = 0
+    for i in range(after, len(stmt)):
+        if stmt[i] == "(":
+            depth += 1
+        elif stmt[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return stmt[after + 1:i]
+    return stmt[after + 1:]
+
+
+class _FunctionParser:
+    def __init__(self, text: str, newline_index: List[int]):
+        self.text = text
+        self.newline_index = newline_index
+
+    def parse(self, block: Block, qualname: str, cls: Optional[str],
+              header: str) -> FunctionIR:
+        requires = [a.strip()
+                    for m in re.finditer(
+                        r"BLAS_REQUIRES(?:_SHARED)?\s*\(([^)]*)\)", header)
+                    for a in m.group(1).split(",")]
+        excludes = [a.strip()
+                    for m in re.finditer(r"BLAS_EXCLUDES\s*\(([^)]*)\)",
+                                         header)
+                    for a in m.group(1).split(",")]
+        ret = self._return_type(header)
+        body = self._parse_scope(block, None)
+        return FunctionIR(qualname=qualname, cls=cls, file="",
+                          line=block.line, return_type=ret, body=body,
+                          requires=requires, excludes=excludes)
+
+    def _return_type(self, header: str) -> str:
+        stripped = _strip_trailers(" ".join(header.split()))
+        name = _function_name(stripped)
+        if not name:
+            return ""
+        idx = stripped.rfind(name + "(")
+        if idx < 0:
+            idx = stripped.rfind(name)
+        return stripped[:idx].strip() if idx > 0 else ""
+
+    def _parse_scope(self, block: Block, parent: Optional[Scope]) -> Scope:
+        end = block.end if block.end >= 0 else len(self.text) - 1
+        scope = Scope(start_line=_line_of(block.start, self.newline_index),
+                      end_line=_line_of(end, self.newline_index),
+                      parent=parent)
+        body_text = self.text[block.body_start:end]
+        stmts = _split_statements(body_text, block.body_start,
+                                  block.children)
+        for off, stmt in stmts:
+            self._parse_statement(stmt, off, scope)
+        for child in block.children:
+            self._parse_child(child, scope)
+        return scope
+
+    def _parse_child(self, child: Block, scope: Scope) -> None:
+        if child.kind == "lambda":
+            body = self._parse_scope(child, scope)
+            body.is_lambda_body = True
+            scope.lambdas.append(
+                Lambda(capture_text=child.name, line=child.line, body=body))
+            scope.children.append(body)
+            # The header text precedes the `{` at child.start.
+            self._scan_expressions(child.header,
+                                   child.start - len(child.header), scope)
+            return
+        if child.kind in ("class", "enum", "namespace"):
+            return  # local classes: out of scope for the checks
+        # control / init / nested function-looking blocks: a scope child.
+        body = self._parse_scope(child, scope)
+        scope.children.append(body)
+        # The header (condition text) belongs to the parent scope, except
+        # TryLock guards which acquire inside the child. The header text
+        # precedes the `{` at child.start.
+        self._scan_expressions(child.header,
+                               child.start - len(child.header), scope,
+                               skip_trylock=True)
+        m = re.search(r"([A-Za-z_]\w*(?:(?:\.|->)[A-Za-z_]\w*)*)"
+                      r"(?:\.|->)TryLock\s*\(\s*\)", child.header)
+        if m and re.match(r"\s*if\b", child.header.strip()):
+            body.locks.append(LockAcquire(
+                var_name="", mutex_expr=m.group(1), mutex_id="",
+                line=body.start_line, scope=body, is_try=True))
+
+    def _parse_statement(self, stmt: str, off: int, scope: Scope) -> None:
+        line = _line_of(off + len(stmt) - len(stmt.lstrip()),
+                        self.newline_index)
+        text = stmt.strip()
+        if not text:
+            return
+        rm = _RETURN_RE.match(text)
+        if rm:
+            scope.returns.append(Return(expr=rm.group(1).strip(), line=line))
+            self._scan_expressions(stmt, off, scope)
+            return
+        if text.startswith("BLAS_ASSIGN_OR_RETURN"):
+            # The macro declares its first argument: `BLAS_ASSIGN_OR_RETURN(
+            # ManifestWriter writer, expr)`.
+            arg = _extract_arg(text, text.index("("))
+            first = arg.split(",")[0].strip()
+            adm = re.match(r"^(.*[\s&*])([A-Za-z_]\w*)$", first, re.S)
+            if adm:
+                scope.decls.append(VarDecl(
+                    name=adm.group(2), type_text=adm.group(1).strip(),
+                    line=line,
+                    init_text=arg.partition(",")[2].strip()))
+            self._scan_expressions(stmt, off, scope)
+            return
+        dm = _DECL_RE.match(text)
+        is_decl = False
+        if dm:
+            name = dm.group(1)
+            type_text = text[:dm.start(1)].strip()
+            # Reject false declarations: "foo.bar baz", keywords, or a
+            # "type" that is actually an expression.
+            if (type_text and "." not in type_text
+                    and "->" not in type_text
+                    and not re.match(r"^(return|delete|throw|goto|new|else"
+                                     r"|case|using|typedef|break|continue)\b",
+                                     type_text)):
+                init = text[dm.end(1):].strip()
+                if init.startswith("("):
+                    init = _extract_arg(text, dm.end(1) + text[dm.end(1):]
+                                        .index("("))
+                elif init.startswith("="):
+                    init = init[1:].strip().rstrip(";")
+                elif init.startswith("{"):
+                    init = init[1:].rstrip("}")
+                decl = VarDecl(name=name, type_text=type_text, line=line,
+                               init_text=init)
+                scope.decls.append(decl)
+                is_decl = True
+                if re.search(r"\bMutexLock\s*$", type_text):
+                    scope.locks.append(LockAcquire(
+                        var_name=name, mutex_expr=init.strip(),
+                        mutex_id="", line=line, scope=scope))
+        if not is_decl:
+            am = _ASSIGN_RE.match(text)
+            if am:
+                scope.assigns.append(
+                    Assign(lhs=am.group(1), rhs=am.group(2).strip(),
+                           line=line))
+        self._scan_expressions(stmt, off, scope)
+
+    def _scan_expressions(self, stmt: str, off: int, scope: Scope,
+                          skip_trylock: bool = False) -> None:
+        base_line_off = off
+        for m in _CALL_RE.finditer(stmt):
+            name = m.group(2)
+            if name in _NOT_CALLS:
+                continue
+            chain = m.group(1).rstrip()
+            base = None
+            if chain:
+                base = re.split(r"::|\.|->", chain.rstrip(".:->"))[0] or None
+                if chain.endswith("::"):
+                    base = chain[:-2]
+            line = _line_of(base_line_off + m.start(2), self.newline_index)
+            arg = _extract_arg(stmt, m.end() - 1)
+            call = Call(name=name, base=base, line=line, arg_text=arg)
+            scope.calls.append(call)
+            # Manual Lock()/Unlock() pairing.
+            if name == "Lock" and chain and not skip_trylock:
+                scope.locks.append(LockAcquire(
+                    var_name="", mutex_expr=chain.rstrip(".:->"),
+                    mutex_id="", line=line, scope=scope))
+            elif name == "Unlock" and chain:
+                target = chain.rstrip(".:->")
+                for acq in reversed(scope.locks):
+                    if (acq.var_name == "" and acq.mutex_expr == target
+                            and acq.release_line is None):
+                        acq.release_line = line
+                        break
+
+
+# ---------------------------------------------------------------------------
+# File driver
+# ---------------------------------------------------------------------------
+
+
+def parse_file(repo_root: str, rel_path: str) -> FileIR:
+    with open(os.path.join(repo_root, rel_path), encoding="utf-8") as f:
+        raw = f.read()
+    raw_lines = raw.split("\n")
+    blanked = strip_preprocessor(blank_comments_and_strings(raw))
+    newline_index = [i for i, c in enumerate(blanked) if c == "\n"]
+    roots = build_block_tree(blanked)
+    fir = FileIR(path=rel_path, allows=parse_allow_markers(raw_lines))
+    parser = _FunctionParser(blanked, newline_index)
+
+    def visit(block: Block, class_path: List[str]) -> None:
+        if block.kind == "namespace":
+            for child in block.children:
+                visit(child, class_path)
+            return
+        if block.kind == "class":
+            qual = class_path + [block.name]
+            cls = ClassInfo(name="::".join(qual), file=rel_path,
+                            line=block.line)
+            end = block.end if block.end >= 0 else len(blanked) - 1
+            body = blanked[block.body_start:end]
+            for off, stmt in _split_statements(body, block.body_start,
+                                               block.children):
+                line = _line_of(off + len(stmt) - len(stmt.lstrip()),
+                                newline_index)
+                field = _parse_field(stmt, line)
+                if field is not None:
+                    cls.fields.append(field)
+            # Default member initializers with braces split the field
+            # statement around an `init` child block: recover
+            # `std::atomic<bool> obsolete{true};` style fields from the
+            # headers of such children.
+            for child in block.children:
+                if child.kind in ("class", "enum"):
+                    continue
+                header = child.header.strip()
+                if child.kind in ("control", "init") and header and \
+                        not header.endswith(("=", ")")):
+                    field = _parse_field(header, child.line)
+                    if field is not None and \
+                            cls.field(field.name) is None:
+                        cls.fields.append(field)
+            fir.classes.append(cls)
+            for child in block.children:
+                if child.kind == "class":
+                    visit(child, qual)
+                elif child.kind == "function":
+                    fn = parser.parse(child, "::".join(qual) + "::" +
+                                      child.name, "::".join(qual),
+                                      child.header)
+                    fn.file = rel_path
+                    fir.functions.append(fn)
+            return
+        if block.kind == "function":
+            name = block.name
+            cls = None
+            if "::" in name:
+                cls = name.rsplit("::", 1)[0]
+            elif class_path:
+                cls = "::".join(class_path)
+                name = cls + "::" + name
+            fn = parser.parse(block, name, cls, block.header)
+            fn.file = rel_path
+            fir.functions.append(fn)
+            return
+        for child in block.children:
+            visit(child, class_path)
+
+    for root in roots:
+        visit(root, [])
+    return fir
