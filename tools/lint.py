@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Project-invariant linter for blas.
+"""Project-invariant linter for blas — the non-AST residue.
 
 Checks invariants the compiler cannot (or that must hold even in GCC
 builds where the thread-safety attributes compile to nothing):
@@ -16,24 +16,11 @@ builds where the thread-safety attributes compile to nothing):
                        BLAS_ASSIGN_OR_RETURN, or explicitly cast to
                        void). Backstops [[nodiscard]] for translation
                        units a compiler pass might miss.
-  3. pageref-publish   No function scope holds a live PageRef local
-                       while calling DropCache() or PublishBatch(): both
-                       invalidate or recycle frames, so a pin held
-                       across them is a stale-page read (or a deadlock
-                       against eviction) waiting to happen. Since the
-                       PageSource seam, refs from every backend are
-                       guaranteed valid across DropCache (pread refs pin
-                       their frame, which eviction skips; mmap refs pin
-                       the mapping epoch and simply refault), so a
-                       DropCache call that deliberately exercises that
-                       guarantee may be exempted with a trailing
-                       "lint:pageref-across-dropcache-ok" comment.
-                       PublishBatch has no exemption: it recycles whole
-                       systems, not frames.
-  4. no-clock-in-lock  No wall/steady-clock reads inside a MutexLock
-                       scope. Clock syscalls are unbounded (vDSO fast
-                       path is not guaranteed); timing happens outside
-                       the critical section, then gets recorded inside.
+
+The former pageref-publish and no-clock-in-lock rules moved to
+tools/analyze/blas_analyze.py (checks pin-escape and
+blocking-under-lock), which reasons over real scopes, types and the call
+graph instead of raw lines. Run both tools; CI does.
 
 Exit code 0 = clean, 1 = findings (one "file:line: [rule] message" per
 line), 2 = usage error. Run from the repo root: python3 tools/lint.py
@@ -52,11 +39,6 @@ RAW_LOCK_RE = re.compile(
     r"|condition_variable_any|lock_guard|unique_lock|scoped_lock|shared_lock)\b"
 )
 ESCAPE_HATCH_RE = re.compile(r"BLAS_NO_THREAD_SAFETY_ANALYSIS\b")
-
-CLOCK_RE = re.compile(
-    r"(std::chrono::(system_clock|steady_clock|high_resolution_clock)::now"
-    r"|\bgettimeofday\s*\(|\bclock_gettime\s*\(|\btime\s*\(\s*(nullptr|NULL|0)\s*\))"
-)
 
 # Consumption contexts for invariant 2: anything on the line that shows the
 # return value is used or deliberately dropped.
@@ -187,85 +169,6 @@ def check_status_consumed(findings):
                 "cast to (void) with a comment")
 
 
-def function_scopes(path):
-    """Yields (start_line, [(lineno, line), ...]) per top-level brace scope."""
-    lines = list(clean_lines(path))
-    depth = 0
-    current = None
-    for lineno, line in lines:
-        opens = line.count("{")
-        closes = line.count("}")
-        if depth == 0 and opens > closes:
-            current = (lineno, [])
-        if current is not None:
-            current[1].append((lineno, line))
-        depth += opens - closes
-        if depth <= 0 and current is not None:
-            yield current
-            current = None
-            depth = max(depth, 0)
-
-
-PAGEREF_DROPCACHE_EXEMPTION = "lint:pageref-across-dropcache-ok"
-
-
-def check_pageref_publish(findings):
-    pageref_decl = re.compile(r"\bPageRef\s+[a-z_]\w*\s*[=({]")
-    invalidator = re.compile(r"\b(DropCache|PublishBatch)\s*\(")
-    for path in source_files({".cc", ".h"}):
-        # The exemption marker lives in a comment, which clean_lines
-        # strips — look it up in the raw text by line number.
-        with open(os.path.join(REPO, path), encoding="utf-8") as f:
-            raw = dict(enumerate(f.read().splitlines(), start=1))
-        for _start, body in function_scopes(path):
-            ref_line = None
-            for lineno, line in body:
-                if ref_line is None and pageref_decl.search(line):
-                    ref_line = lineno
-                elif ref_line is not None:
-                    m = invalidator.search(line)
-                    if m:
-                        if (m.group(1) == "DropCache" and
-                                PAGEREF_DROPCACHE_EXEMPTION
-                                in raw.get(lineno, "")):
-                            # Deliberate exercise of the cross-backend
-                            # guarantee: refs survive DropCache (frame
-                            # pin under pread, mapping-epoch pin under
-                            # mmap).
-                            continue
-                        findings.append(
-                            f"{path}:{lineno}: [pageref-publish] "
-                            f"{m.group(1)}() called while a PageRef "
-                            f"(declared line {ref_line}) may still pin a "
-                            "frame in this scope; drop the ref first "
-                            f"(or, for DropCache only, annotate the call "
-                            f"with {PAGEREF_DROPCACHE_EXEMPTION})")
-                        break
-
-
-def check_no_clock_in_lock(findings):
-    lock_decl = re.compile(r"\bMutexLock\s+\w+\s*\(")
-    for path in source_files({".cc", ".h"}):
-        # Track brace depth; remember the depth at which each MutexLock
-        # scope began, and flag clock reads while any such scope is open.
-        depth = 0
-        lock_depths = []
-        for lineno, line in clean_lines(path):
-            if lock_depths and CLOCK_RE.search(line):
-                findings.append(
-                    f"{path}:{lineno}: [no-clock-in-lock] clock read inside "
-                    "a MutexLock critical section; sample the clock outside "
-                    "the lock and record the value inside")
-            if lock_decl.search(line):
-                lock_depths.append(depth)
-            depth += line.count("{") - line.count("}")
-            # A lock declared at depth d dies when its enclosing brace
-            # closes, i.e. when depth drops below d.
-            while lock_depths and depth < lock_depths[-1]:
-                lock_depths.pop()
-    return findings
-
-
 def main():
     if not os.path.isdir(SRC):
         print("lint.py: src/ not found; run from the repo checkout",
@@ -274,8 +177,6 @@ def main():
     findings = []
     check_lock_vocabulary(findings)
     check_status_consumed(findings)
-    check_pageref_publish(findings)
-    check_no_clock_in_lock(findings)
     for f in findings:
         print(f)
     print(f"lint.py: {len(findings)} finding(s) in "
