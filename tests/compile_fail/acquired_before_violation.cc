@@ -1,0 +1,36 @@
+// MUST NOT COMPILE under -Werror=thread-safety-beta. The declared
+// acquisition order (publish before state, the PR-7 manifest protocol)
+// is violated by taking the locks in the reverse nesting — with a
+// second thread doing it the declared way round, that is an AB/BA
+// deadlock. Clang checks BLAS_ACQUIRED_BEFORE only under the -beta
+// flag, which the compile_fail harness enables; blas-analyze's
+// lock-order check catches the same contradiction from the nesting
+// graph without needing the declaration.
+
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Publisher {
+ public:
+  // BUG under test: acquires state_mu_ first, then publish_mu_ —
+  // the reverse of the declared order.
+  void PublishBackwards() {
+    blas::MutexLock state(state_mu_);
+    blas::MutexLock publish(publish_mu_);
+    ++generation_;
+  }
+
+ private:
+  blas::Mutex publish_mu_ BLAS_ACQUIRED_BEFORE(state_mu_);
+  blas::Mutex state_mu_;
+  long generation_ BLAS_GUARDED_BY(publish_mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Publisher p;
+  p.PublishBackwards();
+  return 0;
+}
