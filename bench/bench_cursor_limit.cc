@@ -88,6 +88,6 @@ int main(int argc, char** argv) {
               "wall-time columns between /full and /limit rows.\n\n");
   blas::Register();
   benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  blas::bench::RunBenchmarksToJson("cursor_limit");
   return 0;
 }

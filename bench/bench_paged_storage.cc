@@ -112,6 +112,8 @@ void BM_ColdOpenMaterialized(benchmark::State& state) {
     benchmark::DoNotOptimize(sys->doc_stats().tags);
   }
   state.counters["backend"] = BackendCounter(StorageBackend::kInMemory);
+  state.counters["index_pages"] =
+      static_cast<double>(GetCorpus().memory->doc_stats().pages);
 }
 
 /// Touches every pool page once, in order, through the pool's read path.
@@ -178,6 +180,7 @@ void RunColdQuery(benchmark::State& state, const BlasSystem& sys,
     benchmark::DoNotOptimize(last.starts.data());
   }
   state.counters["backend"] = BackendCounter(backend);
+  state.counters["elements"] = static_cast<double>(last.stats.elements);
   state.counters["pages"] = static_cast<double>(last.stats.page_fetches);
   state.counters["misses"] = static_cast<double>(last.stats.page_misses);
   state.counters["io_reads"] = static_cast<double>(last.stats.io_reads);

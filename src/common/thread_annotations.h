@@ -1,6 +1,7 @@
 #ifndef BLAS_COMMON_THREAD_ANNOTATIONS_H_
 #define BLAS_COMMON_THREAD_ANNOTATIONS_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -151,6 +152,14 @@ class CondVar {
   CondVar& operator=(const CondVar&) = delete;
 
   void Wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+  /// Timed wait against an absolute steady_clock deadline. Returns true
+  /// when notified (or woken spuriously), false when the deadline passed.
+  /// Compute the deadline *before* taking the lock — a clock read inside
+  /// a critical section is a blas-analyze blocking-under-lock finding.
+  bool WaitUntil(MutexLock& lock,
+                 std::chrono::steady_clock::time_point deadline) {
+    return cv_.wait_until(lock.lock_, deadline) == std::cv_status::no_timeout;
+  }
   void NotifyOne() { cv_.notify_one(); }
   void NotifyAll() { cv_.notify_all(); }
 

@@ -16,6 +16,8 @@
 namespace blas {
 namespace obs {
 
+struct MetricsSnapshot;  // obs/snapshot.h
+
 /// \brief Monotonic event counter. One relaxed atomic add per event —
 /// safe to hit from any thread, including under storage-layer latches.
 class Counter {
@@ -135,8 +137,16 @@ class MetricsRegistry {
   std::string DumpPrometheus() const;
 
   /// One JSON object: {"counters":{...},"gauges":{...},"histograms":
-  /// {name:{"count","sum","max","p50","p90","p99","p999"}}}.
+  /// {name:{"count","sum","max","p50","p90","p99","p999"}}}. Quantiles,
+  /// counts and sums are bare JSON numbers (never strings) so scrapers
+  /// can compute rates and averages without parsing Prometheus text.
   std::string DumpJson() const;
+
+  /// Copyable state of every metric (see obs/snapshot.h): counters,
+  /// gauge levels (callback gauges evaluated now) and full sparse
+  /// histogram buckets. Two snapshots subtract into an exact windowed
+  /// view; the MetricsSnapshotter rings these. Defined in snapshot.cc.
+  MetricsSnapshot Snapshot() const;
 
  private:
   struct Entry {

@@ -1,0 +1,193 @@
+#include "server/http.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+
+namespace blas {
+namespace server {
+
+namespace {
+
+std::string ToLower(std::string_view text) {
+  std::string out(text);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string_view Trim(std::string_view text) {
+  while (!text.empty() && (text.front() == ' ' || text.front() == '\t')) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() && (text.back() == ' ' || text.back() == '\t')) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+}  // namespace
+
+std::string_view HttpRequest::Header(std::string_view name) const {
+  for (const auto& [key, value] : headers) {
+    if (EqualsIgnoreCase(key, name)) return value;
+  }
+  return {};
+}
+
+std::string_view HttpRequest::QueryParam(std::string_view key) const {
+  std::string_view rest = query;
+  while (!rest.empty()) {
+    const size_t amp = rest.find('&');
+    std::string_view pair =
+        amp == std::string_view::npos ? rest : rest.substr(0, amp);
+    rest = amp == std::string_view::npos ? std::string_view{}
+                                         : rest.substr(amp + 1);
+    const size_t eq = pair.find('=');
+    if (eq == std::string_view::npos) {
+      if (pair == key) return std::string_view{"", 0};
+      continue;
+    }
+    if (pair.substr(0, eq) == key) return pair.substr(eq + 1);
+  }
+  return {};
+}
+
+bool HttpRequest::KeepAlive() const {
+  const std::string_view connection = Header("connection");
+  if (EqualsIgnoreCase(connection, "close")) return false;
+  if (version == "HTTP/1.0") {
+    return EqualsIgnoreCase(connection, "keep-alive");
+  }
+  return true;  // HTTP/1.1 default
+}
+
+const char* HttpStatusReason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+Result<HttpRequest> ParseHttpRequest(std::string_view head) {
+  HttpRequest request;
+  // Request line: METHOD SP TARGET SP VERSION.
+  size_t line_end = head.find("\r\n");
+  if (line_end == std::string_view::npos) line_end = head.size();
+  const std::string_view line = head.substr(0, line_end);
+  const size_t sp1 = line.find(' ');
+  const size_t sp2 = line.rfind(' ');
+  if (sp1 == std::string_view::npos || sp2 == sp1) {
+    return Status::InvalidArgument("malformed request line");
+  }
+  request.method = std::string(line.substr(0, sp1));
+  request.target = std::string(Trim(line.substr(sp1 + 1, sp2 - sp1 - 1)));
+  request.version = std::string(line.substr(sp2 + 1));
+  if (request.method.empty() || request.target.empty() ||
+      request.target[0] != '/') {
+    return Status::InvalidArgument("malformed request target");
+  }
+  if (request.version.rfind("HTTP/", 0) != 0) {
+    return Status::InvalidArgument("not an HTTP version tag");
+  }
+  const size_t question = request.target.find('?');
+  if (question == std::string::npos) {
+    request.path = request.target;
+  } else {
+    request.path = request.target.substr(0, question);
+    request.query = request.target.substr(question + 1);
+  }
+
+  // Header lines: NAME ":" VALUE.
+  std::string_view rest =
+      line_end >= head.size() ? std::string_view{} : head.substr(line_end + 2);
+  while (!rest.empty()) {
+    size_t end = rest.find("\r\n");
+    if (end == std::string_view::npos) end = rest.size();
+    const std::string_view header_line = rest.substr(0, end);
+    rest = end >= rest.size() ? std::string_view{} : rest.substr(end + 2);
+    if (header_line.empty()) continue;
+    const size_t colon = header_line.find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      return Status::InvalidArgument("malformed header line");
+    }
+    request.headers.emplace_back(
+        ToLower(Trim(header_line.substr(0, colon))),
+        std::string(Trim(header_line.substr(colon + 1))));
+  }
+
+  // The admin surface never reads bodies; announcing one is an error the
+  // framing layer rejects before a handler can misinterpret the stream.
+  const std::string_view content_length = request.Header("content-length");
+  if (!content_length.empty() && content_length != "0") {
+    return Status::InvalidArgument("request bodies are not supported");
+  }
+  if (!request.Header("transfer-encoding").empty()) {
+    return Status::InvalidArgument("transfer-encoding is not supported");
+  }
+  return request;
+}
+
+std::string SerializeHttpResponse(const HttpResponse& response,
+                                  bool head_only, bool keep_alive) {
+  std::string out;
+  out.reserve(response.body.size() + 160);
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "HTTP/1.1 %d %s\r\n", response.status,
+                HttpStatusReason(response.status));
+  out += buf;
+  out += "Content-Type: " + response.content_type + "\r\n";
+  std::snprintf(buf, sizeof(buf), "Content-Length: %zu\r\n",
+                response.body.size());
+  out += buf;
+  out += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
+  out += "\r\n";
+  if (!head_only) out += response.body;
+  return out;
+}
+
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace server
+}  // namespace blas

@@ -1,0 +1,72 @@
+#ifndef BLAS_SERVER_HTTP_H_
+#define BLAS_SERVER_HTTP_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace blas {
+namespace server {
+
+/// \brief One parsed HTTP/1.x request head (no body — the admin surface
+/// is GET/HEAD only; a request that announces a body is rejected with 400
+/// before it gets here).
+struct HttpRequest {
+  std::string method;   // "GET", "HEAD", ...
+  std::string target;   // as sent: "/varz?window=10"
+  std::string path;     // "/varz"
+  std::string query;    // "window=10" ("" when absent)
+  std::string version;  // "HTTP/1.1"
+  /// Headers in arrival order, names lower-cased.
+  std::vector<std::pair<std::string, std::string>> headers;
+
+  /// First header of that (case-insensitive) name, or "".
+  std::string_view Header(std::string_view name) const;
+  /// First value of `key` in the query string ("a=1&b=2"), or "".
+  std::string_view QueryParam(std::string_view key) const;
+  /// HTTP/1.1 defaults to keep-alive; "Connection: close" (any case) or
+  /// HTTP/1.0 without "Connection: keep-alive" turns it off.
+  bool KeepAlive() const;
+};
+
+/// \brief One response to serialize. Handlers fill status / content type /
+/// body; the server adds framing headers (Content-Length, Connection).
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// A registered endpoint. Runs on the server's event-loop thread — keep
+/// it non-blocking and quick (string building, no disk, no sleeps).
+using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+/// Standard reason phrase ("OK", "Not Found", ...; "Unknown" otherwise).
+const char* HttpStatusReason(int status);
+
+/// Parses a request head (everything up to and excluding the blank line).
+/// Returns InvalidArgument on any framing violation: bad request line,
+/// non-HTTP version tag, malformed header line, or an announced body
+/// (Content-Length > 0 / Transfer-Encoding).
+Result<HttpRequest> ParseHttpRequest(std::string_view head);
+
+/// Serializes status line + framing headers + body. With `head_only` the
+/// body is omitted but Content-Length still describes it (HEAD
+/// semantics).
+std::string SerializeHttpResponse(const HttpResponse& response,
+                                  bool head_only, bool keep_alive);
+
+/// Minimal JSON string escaping for bodies assembled by handlers
+/// (quotes, backslashes, control characters).
+std::string JsonEscape(std::string_view text);
+
+}  // namespace server
+}  // namespace blas
+
+#endif  // BLAS_SERVER_HTTP_H_

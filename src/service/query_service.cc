@@ -8,6 +8,7 @@
 
 #include "common/stopwatch.h"
 #include "exec/optimizer.h"
+#include "obs/snapshot.h"
 #include "service/normalize.h"
 #include "xpath/parser.h"
 
@@ -815,6 +816,16 @@ std::string QueryService::StatszPrometheus() const {
   out += metrics_.DumpPrometheus();
   out += obs::DefaultRegistry().DumpPrometheus();
   return out;
+}
+
+obs::MetricsSnapshot QueryService::SnapshotMetrics() const {
+  obs::MetricsSnapshot snapshot = metrics_.Snapshot();
+  snapshot.Merge(obs::DefaultRegistry().Snapshot());
+  const ServiceStats s = stats();
+  for (const auto& [name, value] : ServiceStatsFields(s)) {
+    snapshot.counters[std::string("blas_service_") + name] = value;
+  }
+  return snapshot;
 }
 
 }  // namespace blas

@@ -286,6 +286,13 @@ class QueryService {
   /// ServiceStats counters are exported as `blas_service_*`.
   std::string StatszPrometheus() const;
 
+  /// Cumulative snapshot of the same three groups for the windowed layer
+  /// (obs/snapshot.h): this service's registry merged with the process
+  /// registry, plus every ServiceStats counter as `blas_service_*`. This
+  /// is the capture callback a MetricsSnapshotter should ring — two of
+  /// these subtract into an exact per-window view.
+  obs::MetricsSnapshot SnapshotMetrics() const;
+
   /// This service's metric registry (query latency, per-stage latency,
   /// plan-cache gauges). Stable pointers; safe to read concurrently.
   const obs::MetricsRegistry& metrics() const { return metrics_; }

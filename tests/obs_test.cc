@@ -4,6 +4,8 @@
 // and both machine-readable exporters.
 
 #include <algorithm>
+#include <cctype>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <string>
@@ -16,6 +18,7 @@
 #include "common/stopwatch.h"
 #include "obs/metrics.h"
 #include "obs/slow_query_log.h"
+#include "obs/snapshot.h"
 #include "obs/trace.h"
 
 namespace blas {
@@ -371,6 +374,221 @@ TEST(SlowQueryLog, ToStringCarriesBreakdown) {
   EXPECT_NE(text.find("translator=pushup"), std::string::npos);
   EXPECT_NE(text.find("engine=twig"), std::string::npos);
   EXPECT_NE(text.find("execute"), std::string::npos);
+}
+
+// ------------------------------------------------------------ snapshots ---
+
+TEST(MetricsSnapshot, RegistryCapturesEveryKind) {
+  MetricsRegistry registry;
+  registry.GetCounter("c")->Add(41);
+  registry.GetGauge("g")->Set(-7);
+  registry.RegisterCallbackGauge("cb", "", [] { return int64_t{13}; });
+  Histogram* h = registry.GetHistogram("h");
+  h->Record(5);
+  h->Record(500);
+
+  MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_GT(snap.captured_mono_ns, 0u);
+  EXPECT_EQ(snap.counters.at("c"), 41u);
+  EXPECT_EQ(snap.gauges.at("g"), -7);
+  EXPECT_EQ(snap.gauges.at("cb"), 13);
+  const HistogramSnapshot& hs = snap.histograms.at("h");
+  EXPECT_EQ(hs.count, 2u);
+  EXPECT_EQ(hs.sum, 505u);
+  EXPECT_EQ(hs.max, 500u);
+  // Sparse: two samples -> two non-empty buckets, not 496.
+  EXPECT_EQ(hs.buckets.size(), 2u);
+}
+
+TEST(MetricsSnapshot, SubtractIsTheWindowDistribution) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("lat");
+  Counter* c = registry.GetCounter("reqs");
+  Rng rng(7);
+  auto log_uniform = [&rng] {
+    const double exponent =
+        2.0 + 4.0 * static_cast<double>(rng.Below(1000000)) / 1e6;
+    return static_cast<uint64_t>(std::pow(10.0, exponent));
+  };
+
+  // Warm-up samples that must NOT appear in the window.
+  for (int i = 0; i < 20000; ++i) h->Record(log_uniform());
+  c->Add(100);
+  MetricsSnapshot before = registry.Snapshot();
+
+  // The window under test.
+  std::vector<uint64_t> window;
+  window.reserve(30000);
+  for (int i = 0; i < 30000; ++i) {
+    window.push_back(log_uniform());
+    h->Record(window.back());
+  }
+  c->Add(250);
+  MetricsSnapshot after = registry.Snapshot();
+
+  MetricsSnapshot delta = after.Subtract(before);
+  EXPECT_EQ(delta.counters.at("reqs"), 250u);
+  const HistogramSnapshot& hs = delta.histograms.at("lat");
+  EXPECT_EQ(hs.count, window.size());
+
+  std::sort(window.begin(), window.end());
+  for (double q : {0.50, 0.90, 0.99, 0.999}) {
+    uint64_t rank =
+        static_cast<uint64_t>(q * static_cast<double>(window.size()));
+    if (rank < 1) rank = 1;
+    const uint64_t oracle = window[rank - 1];
+    const uint64_t estimate = hs.ValueAtQuantile(q);
+    // Same 1/8-octave + midpoint error envelope as the live histogram.
+    EXPECT_NEAR(static_cast<double>(estimate), static_cast<double>(oracle),
+                0.13 * static_cast<double>(oracle))
+        << "q=" << q;
+  }
+}
+
+TEST(MetricsSnapshot, SubtractSaturatesInsteadOfWrapping) {
+  MetricsRegistry a;
+  MetricsRegistry b;
+  a.GetCounter("c")->Add(10);
+  b.GetCounter("c")->Add(99);
+  a.GetHistogram("h")->Record(5);
+  Histogram* hb = b.GetHistogram("h");
+  hb->Record(5);
+  hb->Record(5);
+  // Subtracting a *larger* earlier snapshot (as after a registry reset)
+  // degrades to zero, never wraps to ~2^64.
+  MetricsSnapshot delta = a.Snapshot().Subtract(b.Snapshot());
+  EXPECT_EQ(delta.counters.at("c"), 0u);
+  EXPECT_EQ(delta.histograms.at("h").count, 0u);
+}
+
+TEST(MetricsSnapshot, MergeAddsCountersAndKeepsOwnGauges) {
+  MetricsRegistry a;
+  MetricsRegistry b;
+  a.GetCounter("shared")->Add(5);
+  b.GetCounter("shared")->Add(7);
+  b.GetCounter("only_b")->Add(3);
+  a.GetGauge("g")->Set(1);
+  b.GetGauge("g")->Set(2);
+  a.GetHistogram("h")->Record(4);
+  b.GetHistogram("h")->Record(4);
+
+  MetricsSnapshot merged = a.Snapshot();
+  merged.Merge(b.Snapshot());
+  EXPECT_EQ(merged.counters.at("shared"), 12u);
+  EXPECT_EQ(merged.counters.at("only_b"), 3u);
+  EXPECT_EQ(merged.gauges.at("g"), 1);  // own value wins
+  EXPECT_EQ(merged.histograms.at("h").count, 2u);
+  EXPECT_EQ(merged.histograms.at("h").buckets.size(), 1u);
+  EXPECT_EQ(merged.histograms.at("h").buckets[0].second, 2u);
+}
+
+/// DumpJson regression: quantiles/counts/sums must be bare JSON numbers
+/// (scrapers compute rates from them), never strings.
+TEST(MetricsRegistry, JsonQuantilesAreNumbersNotStrings) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("lat");
+  for (int i = 1; i <= 100; ++i) h->Record(static_cast<uint64_t>(i));
+  const std::string json = registry.DumpJson();
+  for (const char* key : {"\"count\":", "\"sum\":", "\"max\":", "\"p50\":",
+                          "\"p90\":", "\"p99\":", "\"p999\":"}) {
+    const size_t at = json.find(key);
+    ASSERT_NE(at, std::string::npos) << key;
+    const char next = json[at + std::string(key).size()];
+    EXPECT_TRUE(std::isdigit(static_cast<unsigned char>(next)))
+        << key << " is followed by '" << next << "' — a string, not a number";
+  }
+}
+
+// ----------------------------------------------------------- snapshotter ---
+
+/// Capture callback with hand-authored timestamps: one snapshot per call,
+/// one "second" apart, counter advancing 100/s.
+struct FakeCapture {
+  uint64_t calls = 0;
+  MetricsSnapshot operator()() {
+    MetricsSnapshot snap;
+    ++calls;
+    snap.captured_mono_ns = calls * 1000000000ull;
+    snap.counters["c"] = calls * 100;
+    HistogramSnapshot h;
+    h.buckets = {{static_cast<uint32_t>(calls % 16), 10}};
+    h.count = 10;
+    h.sum = 10 * (calls % 16);
+    snap.histograms["h"] = h;
+    return snap;
+  }
+};
+
+TEST(MetricsSnapshotter, RingIsBoundedAndOldestFirst) {
+  MetricsSnapshotter::Options options;
+  options.ring_capacity = 5;
+  MetricsSnapshotter snaps(FakeCapture{}, options);
+  for (int i = 0; i < 12; ++i) snaps.CaptureNow();
+  EXPECT_EQ(snaps.ring_size(), 5u);
+  EXPECT_EQ(snaps.ring_capacity(), 5u);
+  const std::vector<MetricsSnapshot> ring = snaps.Ring();
+  ASSERT_EQ(ring.size(), 5u);
+  // FakeCapture is copied into the snapshotter; calls 1..12 happened, the
+  // ring keeps the newest five in arrival order.
+  for (size_t i = 0; i < ring.size(); ++i) {
+    EXPECT_EQ(ring[i].counters.at("c"), (8 + i) * 100);
+  }
+}
+
+TEST(MetricsSnapshotter, WindowDeltaPicksTheRightBase) {
+  MetricsSnapshotter snaps(FakeCapture{});
+  MetricsSnapshot delta;
+  double span = 0;
+  EXPECT_FALSE(snaps.WindowDelta(10, &delta));  // empty ring
+  snaps.CaptureNow();
+  EXPECT_FALSE(snaps.WindowDelta(10, &delta));  // one snapshot
+  for (int i = 0; i < 7; ++i) snaps.CaptureNow();  // timestamps 1s..8s
+
+  ASSERT_TRUE(snaps.WindowDelta(3, &delta, &span));
+  EXPECT_DOUBLE_EQ(span, 3.0);  // base = snapshot at 5s, tip at 8s
+  EXPECT_EQ(delta.counters.at("c"), 300u);
+
+  // Window wider than the ring: honest span over what exists (7s).
+  ASSERT_TRUE(snaps.WindowDelta(60, &delta, &span));
+  EXPECT_DOUBLE_EQ(span, 7.0);
+  EXPECT_EQ(delta.counters.at("c"), 700u);
+}
+
+TEST(MetricsSnapshotter, WindowsJsonShapes) {
+  MetricsSnapshotter snaps(FakeCapture{});
+  // No data at all: every window renders as {}.
+  EXPECT_EQ(snaps.WindowsJson({10, 60}), "{\"10s\":{},\"60s\":{}}");
+  for (int i = 0; i < 5; ++i) snaps.CaptureNow();
+  const std::string json = snaps.WindowsJson({2});
+  EXPECT_NE(json.find("\"2s\":{\"span_seconds\":2.000"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"rates\":{\"c\":100"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"histograms\":{\"h\":{\"count\":"), std::string::npos)
+      << json;
+}
+
+TEST(MetricsSnapshotter, BackgroundThreadCapturesAndStops) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("ticks");
+  MetricsSnapshotter::Options options;
+  options.interval_ms = 5;
+  options.ring_capacity = 8;
+  MetricsSnapshotter snaps([&registry] { return registry.Snapshot(); },
+                           options);
+  snaps.Start();
+  snaps.Start();  // idempotent
+  c->Add(1);
+  // Wait (bounded) for the thread to capture at least twice.
+  for (int i = 0; i < 400 && snaps.ring_size() < 2; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GE(snaps.ring_size(), 2u);
+  EXPECT_LE(snaps.ring_size(), 8u);
+  snaps.Stop();
+  snaps.Stop();  // idempotent
+  const size_t after_stop = snaps.ring_size();
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_EQ(snaps.ring_size(), after_stop);  // thread really stopped
 }
 
 // ------------------------------------------------------------ stopwatch ---
